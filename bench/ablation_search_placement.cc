@@ -1,0 +1,71 @@
+// Ablation (§4.4): the Search policy's placement optimizations.
+//
+// The paper: "The NUMA and CCX optimizations were critical in achieving
+// parity with CFS as they delivered 27% and 10% throughput improvements",
+// plus the bespoke keep-pending-100us-instead-of-migrating rule discovered
+// through rapid iteration. This bench runs the Fig 8 workload under the full
+// Search policy and with each placement feature disabled.
+#include <cstdio>
+#include <memory>
+
+#include "src/agent/agent_process.h"
+#include "src/ghost/machine.h"
+#include "src/policies/search.h"
+#include "src/workloads/search_workload.h"
+
+namespace gs {
+namespace {
+
+constexpr Duration kRun = Seconds(20);
+
+struct Result {
+  double p99_a = 0, p99_b = 0, p99_c = 0;
+  uint64_t deferred = 0;
+};
+
+Result Run(bool ccx_aware, Duration max_pending) {
+  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth());
+  auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
+  SearchPolicy::Options options;
+  options.global_cpu = 0;
+  options.ccx_aware = ccx_aware;
+  options.max_pending_before_migrate = max_pending;
+  auto policy = std::make_unique<SearchPolicy>(options);
+  SearchPolicy* policy_ptr = policy.get();
+  AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
+  process.Start();
+
+  SearchWorkload workload(&m.kernel(), {.seed = 33});
+  for (Task* worker : workload.workers()) {
+    enclave->AddTask(worker);
+  }
+  workload.Start(kRun);
+  m.RunFor(kRun + Milliseconds(200));
+
+  Result r;
+  r.p99_a = workload.latency(SearchWorkload::kA).PercentileUs(99);
+  r.p99_b = workload.latency(SearchWorkload::kB).PercentileUs(99);
+  r.p99_c = workload.latency(SearchWorkload::kC).PercentileUs(99);
+  r.deferred = policy_ptr->deferred_for_warmth();
+  return r;
+}
+
+void Print(const char* name, const Result& r) {
+  std::printf("%-34s %10.0f %10.0f %10.0f %12llu\n", name, r.p99_a, r.p99_b, r.p99_c,
+              (unsigned long long)r.deferred);
+  std::fflush(stdout);
+}
+
+}  // namespace
+}  // namespace gs
+
+int main() {
+  using namespace gs;
+  std::printf("Ablation: Search policy placement features (Fig 8 workload, 20 s).\n\n");
+  std::printf("%-34s %10s %10s %10s %12s\n", "variant", "p99_A_us", "p99_B_us", "p99_C_us",
+              "deferred");
+  Print("full policy", Run(true, Microseconds(100)));
+  Print("no 100us pending rule", Run(true, 0));
+  Print("no CCX tiers (first-idle)", Run(false, 0));
+  return 0;
+}

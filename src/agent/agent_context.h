@@ -1,0 +1,98 @@
+// AgentContext: the cost-charged userspace API surface for one agent-loop
+// iteration.
+//
+// Policy code runs "instantaneously" in host time at the start of its
+// iteration; every API call accrues virtual-time cost to the ledger. When the
+// policy returns, the agent runtime turns the accrued cost into the agent's
+// CPU burst, and transaction effects land at the offsets at which they left
+// the agent — reproducing the agent-side overheads of Table 3 (fixed commit
+// cost + per-transaction cost, NUMA penalties, amortized group commits).
+#ifndef GHOST_SIM_SRC_AGENT_AGENT_CONTEXT_H_
+#define GHOST_SIM_SRC_AGENT_AGENT_CONTEXT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/ghost/enclave.h"
+#include "src/ghost/ghost_class.h"
+
+namespace gs {
+
+class AgentContext {
+ public:
+  AgentContext(Enclave* enclave, GhostClass* ghost_class, Kernel* kernel, Task* agent);
+
+  Enclave* enclave() { return enclave_; }
+  Kernel* kernel() { return kernel_; }
+  Task* agent_task() { return agent_; }
+  int agent_cpu() const { return agent_cpu_; }
+
+  // Virtual time at which this iteration started.
+  Time start() const { return start_; }
+  // Cost accrued so far (the iteration's eventual CPU burst).
+  Duration cost() const { return cost_; }
+  // Policies charge their own computation explicitly when it is significant.
+  void Charge(Duration d) { cost_ += d; }
+
+  // A spinning agent that poll-waits is also re-run at this time even without
+  // a poke (for timeslice enforcement, e.g. Shinjuku's 30 µs preemption).
+  void RequestWakeupAt(Time when) {
+    if (wakeup_at_ == kTimeNever || when < wakeup_at_) {
+      wakeup_at_ = when;
+    }
+  }
+  Time wakeup_at() const { return wakeup_at_; }
+
+  // ---- Messages -------------------------------------------------------------
+  // Pops one message (charges the dequeue cost). nullopt if empty.
+  std::optional<Message> Pop(MessageQueue* queue);
+  // Drains up to `max` messages into `out`; returns the count.
+  int Drain(MessageQueue* queue, std::vector<Message>* out, int max = INT32_MAX);
+
+  // ---- Status words ------------------------------------------------------------
+  uint32_t ReadAseq();
+  const TaskStatusWord* ReadStatus(int64_t tid);
+  // Application-provided scheduling hint for the thread (shared memory read).
+  uint64_t ReadHint(int64_t tid);
+
+  // ---- CPU state -----------------------------------------------------------------
+  // Enclave CPUs that are idle and have no in-flight/latched transaction —
+  // what GetIdleCPUs() returns in Fig 4. Charges a per-CPU scan cost.
+  CpuMask AvailableCpus();
+  bool CpuAvailable(int cpu);
+  // True if a non-ghOSt scheduling class (e.g. CFS) has runnable work queued
+  // for `cpu` — the §3.3 hot-handoff trigger: a spinning global agent must
+  // vacate its CPU when the kernel wants to run something else there.
+  bool HigherClassWaitersOn(int cpu);
+
+  // ---- Transactions ----------------------------------------------------------------
+  // TXN_CREATE(): fills in a transaction (cheap; shared-memory write).
+  static Transaction MakeTxn(int64_t tid, int cpu) {
+    Transaction txn;
+    txn.tid = tid;
+    txn.target_cpu = cpu;
+    return txn;
+  }
+
+  // TXNS_COMMIT() for any mix of local/remote transactions. Remote targets
+  // pay the fixed + per-transaction agent cost (with the cross-NUMA
+  // multiplier); their effects leave the agent at the accrued offsets and
+  // arrive behind an IPI. A local target (the agent's own CPU) latches for
+  // pickup when the agent yields.
+  void Commit(std::span<Transaction*> txns);
+  void Commit(Transaction* txn) { Commit(std::span<Transaction*>(&txn, 1)); }
+
+ private:
+  Enclave* enclave_;
+  GhostClass* ghost_class_;
+  Kernel* kernel_;
+  Task* agent_;
+  int agent_cpu_;
+  Time start_;
+  Duration cost_ = 0;
+  Time wakeup_at_ = kTimeNever;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_AGENT_AGENT_CONTEXT_H_

@@ -1,0 +1,136 @@
+#include "src/agent/agent_process.h"
+
+#include <string>
+
+namespace gs {
+
+AgentProcess::AgentProcess(Kernel* kernel, GhostClass* ghost_class, Enclave* enclave,
+                           std::unique_ptr<Policy> policy)
+    : kernel_(kernel),
+      ghost_class_(ghost_class),
+      enclave_(enclave),
+      policy_(std::move(policy)) {}
+
+AgentProcess::~AgentProcess() {
+  if (alive_ && !enclave_->destroyed()) {
+    Shutdown();
+  }
+}
+
+void AgentProcess::Start() {
+  CHECK(!started_) << "agent process already started";
+  CHECK(!enclave_->destroyed());
+  started_ = true;
+  alive_ = true;
+
+  // Create the agent threads first so the policy can configure queue wakeups
+  // against them in Attached(). No event runs until the simulation resumes,
+  // so the ordering is race-free.
+  SchedClass* agent_class = kernel_->sched_class_at(0);
+  const CpuMask& cpus = enclave_->cpus();
+  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+    Task* agent = kernel_->CreateTask("agent/" + std::to_string(cpu), agent_class);
+    agents_[cpu] = agent;
+    enclave_->RegisterAgentTask(cpu, agent);
+    kernel_->SetOnScheduled(agent, [this](Task* task) { OnAgentScheduled(task); });
+  }
+
+  policy_->Attached(this, enclave_, kernel_);
+  if (enclave_->num_tasks() > 0) {
+    // Upgrade path (§3.4): extract the state of all threads in the enclave
+    // from the kernel and resume scheduling. The kernel dump supersedes any
+    // message history left behind by the previous agent.
+    enclave_->FlushAllQueues();
+    policy_->Restore(enclave_->TaskDump());
+  }
+
+  for (auto& [cpu, agent] : agents_) {
+    kernel_->Wake(agent);
+  }
+
+  // If the enclave dies out from under us (watchdog), stop driving.
+  enclave_->SetDestroyListener([this] { alive_ = false; });
+}
+
+void AgentProcess::Shutdown() {
+  if (!alive_) {
+    return;
+  }
+  alive_ = false;
+  for (auto& [cpu, agent] : agents_) {
+    enclave_->UnregisterAgentTask(cpu, agent);
+    kernel_->Kill(agent);
+  }
+  agents_.clear();
+  polling_.clear();
+}
+
+Task* AgentProcess::agent_on(int cpu) const {
+  auto it = agents_.find(cpu);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+void AgentProcess::OnAgentScheduled(Task* agent) {
+  polling_.erase(agent);
+  BeginIteration(agent);
+}
+
+void AgentProcess::BeginIteration(Task* agent) {
+  if (!alive_ || agent->state() == TaskState::kDead) {
+    return;
+  }
+  ++iterations_;
+  const uint64_t epoch = enclave_->poke_epoch();
+  AgentContext ctx(enclave_, ghost_class_, kernel_, agent);
+  const AgentAction action = policy_->RunAgent(ctx);
+  const Time wakeup_at = ctx.wakeup_at();
+  kernel_->trace().Record(kernel_->now(), TraceEventType::kAgentIter, agent->cpu(),
+                          agent->tid(), ctx.cost());
+  kernel_->StartBurst(agent, ctx.cost(), [this, action, epoch, wakeup_at](Task* task) {
+    EndIteration(task, action, epoch, wakeup_at);
+  });
+}
+
+void AgentProcess::EndIteration(Task* agent, AgentAction action, uint64_t epoch,
+                                Time wakeup_at) {
+  if (!alive_ || agent->state() == TaskState::kDead) {
+    return;
+  }
+  if (action == AgentAction::kPollWait && enclave_->poke_epoch() != epoch) {
+    // Something happened while this iteration's burst was charged; spin again
+    // rather than poll-waiting (avoids a lost wakeup).
+    action = AgentAction::kRunAgain;
+  }
+  switch (action) {
+    case AgentAction::kRunAgain:
+      BeginIteration(agent);
+      break;
+    case AgentAction::kPollWait: {
+      polling_.insert(agent);
+      enclave_->RegisterPollWaiter(agent, [this, agent] { Poke(agent); });
+      if (wakeup_at != kTimeNever) {
+        const Duration delay = std::max<Duration>(0, wakeup_at - kernel_->now());
+        kernel_->loop()->ScheduleAfter(delay, [this, agent] { Poke(agent); });
+      }
+      break;
+    }
+    case AgentAction::kYield:
+      kernel_->Yield(agent);
+      break;
+    case AgentAction::kBlock:
+      kernel_->Block(agent);
+      break;
+  }
+}
+
+void AgentProcess::Poke(Task* agent) {
+  if (!alive_ || agent->state() == TaskState::kDead || polling_.count(agent) == 0) {
+    return;
+  }
+  polling_.erase(agent);
+  enclave_->UnregisterPollWaiter(agent);
+  kernel_->StartBurst(agent, kernel_->cost().poll_detect,
+                      [this](Task* task) { BeginIteration(task); });
+}
+
+}  // namespace gs

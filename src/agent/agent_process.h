@@ -1,0 +1,71 @@
+// AgentProcess: the userspace process hosting the agent threads.
+//
+// "Each agent is implemented in a Linux pthread and all agents belong to the
+// same userspace process" (§3). This class creates one agent task per enclave
+// CPU, drives the policy's loop iterations, and implements the lifecycle the
+// paper's §3.4 describes: graceful shutdown, crash, and in-place upgrade
+// (a replacement process attaches and restores state from the kernel dump).
+#ifndef GHOST_SIM_SRC_AGENT_AGENT_PROCESS_H_
+#define GHOST_SIM_SRC_AGENT_AGENT_PROCESS_H_
+
+#include <map>
+#include <set>
+#include <memory>
+
+#include "src/agent/agent_context.h"
+#include "src/agent/policy.h"
+
+namespace gs {
+
+class AgentProcess {
+ public:
+  AgentProcess(Kernel* kernel, GhostClass* ghost_class, Enclave* enclave,
+               std::unique_ptr<Policy> policy);
+  ~AgentProcess();
+
+  AgentProcess(const AgentProcess&) = delete;
+  AgentProcess& operator=(const AgentProcess&) = delete;
+
+  // Spawns and wakes one agent per enclave CPU. If the enclave already holds
+  // threads (agent upgrade), the policy's Restore() is invoked with the
+  // kernel's task dump first.
+  void Start();
+
+  // Graceful exit: unregisters and kills all agent threads. The enclave and
+  // its threads survive (a new process may attach).
+  void Shutdown();
+
+  // Simulates an agent crash. Identical kernel-visible effect to Shutdown();
+  // recovery is driven by the watchdog or by a supervisor destroying the
+  // enclave.
+  void Crash() { Shutdown(); }
+
+  Policy* policy() { return policy_.get(); }
+  Enclave* enclave() { return enclave_; }
+  Task* agent_on(int cpu) const;
+  bool started() const { return started_; }
+  bool alive() const { return alive_; }
+
+  uint64_t iterations() const { return iterations_; }
+
+ private:
+  void OnAgentScheduled(Task* agent);
+  void BeginIteration(Task* agent);
+  void EndIteration(Task* agent, AgentAction action, uint64_t epoch, Time wakeup_at);
+  // Idempotently kicks a poll-waiting agent into another iteration.
+  void Poke(Task* agent);
+
+  Kernel* kernel_;
+  GhostClass* ghost_class_;
+  Enclave* enclave_;
+  std::unique_ptr<Policy> policy_;
+  std::map<int, Task*> agents_;  // cpu -> agent task
+  std::set<Task*> polling_;      // agents in poll-wait
+  bool started_ = false;
+  bool alive_ = false;
+  uint64_t iterations_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_AGENT_AGENT_PROCESS_H_

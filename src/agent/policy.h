@@ -1,0 +1,50 @@
+// Policy interface: the userspace scheduling logic that runs inside agents.
+//
+// A policy is invoked one loop iteration at a time (Fig 3 / Fig 4 of the
+// paper). All interaction with the kernel goes through AgentContext, which
+// charges virtual-time costs for every operation so that policy complexity
+// translates into scheduling latency exactly as it does on real hardware.
+// The returned action tells the agent runtime what the agent thread does
+// next: spin another iteration, poll-wait, yield the CPU to a freshly
+// committed thread (per-CPU model), or block until a queue wakeup.
+#ifndef GHOST_SIM_SRC_AGENT_POLICY_H_
+#define GHOST_SIM_SRC_AGENT_POLICY_H_
+
+#include <vector>
+
+#include "src/ghost/enclave.h"
+
+namespace gs {
+
+class AgentContext;
+class AgentProcess;
+
+enum class AgentAction {
+  kRunAgain,  // immediately run another iteration (spinning agent with work)
+  kPollWait,  // spin idle: stay on the CPU, re-run when poked (global agent)
+  kYield,     // vacate the CPU (per-CPU agent after a local commit)
+  kBlock,     // sleep until a queue wakeup (inactive / per-CPU idle agent)
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual const char* name() const = 0;
+
+  // Called once before agents start: create queues, configure wakeups,
+  // install fast paths.
+  virtual void Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) {}
+
+  // Called when this policy's process takes over an enclave that already
+  // contains threads (in-place agent upgrade, §3.4). The default treats every
+  // dumped thread as if a THREAD_CREATED message had been seen.
+  virtual void Restore(const std::vector<Enclave::TaskInfo>& dump) {}
+
+  // One iteration of the agent loop for the agent pinned to ctx.agent_cpu().
+  virtual AgentAction RunAgent(AgentContext& ctx) = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_AGENT_POLICY_H_

@@ -1,0 +1,112 @@
+// Userspace runqueues for policies.
+//
+// FifoRunqueue backs the Shinjuku/Snap-style FIFO policies (Fig 3/4);
+// MinRunqueue is an ordered queue keyed by a policy-chosen value — elapsed
+// runtime for the Google Search policy's min-heap (§4.4), deadlines for the
+// EDF secure-VM policy (§4.5).
+#ifndef GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
+#define GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
+
+#include <deque>
+#include <set>
+
+#include "src/agent/task_table.h"
+#include "src/base/logging.h"
+
+namespace gs {
+
+class FifoRunqueue {
+ public:
+  void Push(PolicyTask* task) { queue_.push_back(task); }
+  void PushFront(PolicyTask* task) { queue_.push_front(task); }
+
+  PolicyTask* Pop() {
+    if (queue_.empty()) {
+      return nullptr;
+    }
+    PolicyTask* task = queue_.front();
+    queue_.pop_front();
+    return task;
+  }
+
+  PolicyTask* Peek() const { return queue_.empty() ? nullptr : queue_.front(); }
+
+  // Removes a task wherever it sits (e.g. it blocked while queued).
+  bool Remove(PolicyTask* task) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (*it == task) {
+        queue_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  // Rotation support for skip-and-revisit scans (the Search policy skips
+  // threads whose preferred CPUs are busy and revisits them next loop).
+  std::deque<PolicyTask*>& raw() { return queue_; }
+
+ private:
+  std::deque<PolicyTask*> queue_;
+};
+
+// Ordered runqueue: smallest key first; ties broken by tid for determinism.
+class MinRunqueue {
+ public:
+  void Push(PolicyTask* task, int64_t key) {
+    keys_[task] = key;
+    queue_.insert({key, task});
+  }
+
+  PolicyTask* PopMin() {
+    if (queue_.empty()) {
+      return nullptr;
+    }
+    PolicyTask* task = queue_.begin()->second;
+    queue_.erase(queue_.begin());
+    keys_.erase(task);
+    return task;
+  }
+
+  PolicyTask* PeekMin() const { return queue_.empty() ? nullptr : queue_.begin()->second; }
+
+  bool Remove(PolicyTask* task) {
+    auto it = keys_.find(task);
+    if (it == keys_.end()) {
+      return false;
+    }
+    const size_t erased = queue_.erase({it->second, task});
+    CHECK_EQ(erased, 1u);
+    keys_.erase(it);
+    return true;
+  }
+
+  bool Contains(PolicyTask* task) const { return keys_.count(task) > 0; }
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  // In-order iteration (skip-scan support).
+  auto begin() const { return queue_.begin(); }
+  auto end() const { return queue_.end(); }
+
+ private:
+  struct Less {
+    bool operator()(const std::pair<int64_t, PolicyTask*>& a,
+                    const std::pair<int64_t, PolicyTask*>& b) const {
+      if (a.first != b.first) {
+        return a.first < b.first;
+      }
+      return a.second->tid < b.second->tid;
+    }
+  };
+
+  std::set<std::pair<int64_t, PolicyTask*>, Less> queue_;
+  std::map<PolicyTask*, int64_t> keys_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_AGENT_RUNQUEUE_H_

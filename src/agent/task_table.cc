@@ -1,0 +1,95 @@
+#include "src/agent/task_table.h"
+
+#include "src/base/logging.h"
+
+namespace gs {
+
+PolicyTask* TaskTable::Find(int64_t tid) {
+  auto it = tasks_.find(tid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+PolicyTask* TaskTable::Add(int64_t tid) {
+  auto task = std::make_unique<PolicyTask>();
+  task->tid = tid;
+  task->affinity.SetAll();
+  PolicyTask* ptr = task.get();
+  tasks_[tid] = std::move(task);
+  return ptr;
+}
+
+void TaskTable::Remove(int64_t tid) { tasks_.erase(tid); }
+
+TaskTable::Event TaskTable::Apply(const Message& msg, PolicyTask** out) {
+  *out = nullptr;
+  if (msg.tid == 0) {
+    return Event::kNone;  // CPU message (TIMER_TICK)
+  }
+  PolicyTask* task = Find(msg.tid);
+
+  switch (msg.type) {
+    case MessageType::kTaskNew: {
+      if (task == nullptr) {
+        task = Add(msg.tid);
+      }
+      task->tseq = msg.tseq;
+      task->affinity = msg.affinity;
+      task->runnable = msg.runnable;
+      task->became_runnable = msg.posted;
+      *out = task;
+      return Event::kNew;
+    }
+    case MessageType::kTaskWakeup:
+      if (task == nullptr) {
+        return Event::kNone;
+      }
+      task->tseq = msg.tseq;
+      task->runnable = true;
+      task->became_runnable = msg.posted;
+      *out = task;
+      return Event::kRunnable;
+    case MessageType::kTaskPreempted:
+    case MessageType::kTaskYield:
+      if (task == nullptr) {
+        return Event::kNone;
+      }
+      task->tseq = msg.tseq;
+      task->runnable = true;
+      task->became_runnable = msg.posted;
+      task->last_cpu = msg.cpu;
+      task->assigned_cpu = -1;
+      *out = task;
+      return Event::kRunnable;
+    case MessageType::kTaskBlocked:
+      if (task == nullptr) {
+        return Event::kNone;
+      }
+      task->tseq = msg.tseq;
+      task->runnable = false;
+      task->last_cpu = msg.cpu;
+      task->assigned_cpu = -1;
+      *out = task;
+      return Event::kBlocked;
+    case MessageType::kTaskDead:
+    case MessageType::kTaskDeparted:
+      if (task == nullptr) {
+        return Event::kNone;
+      }
+      *out = task;  // caller cleans up `user`, then calls Remove()
+      return Event::kDead;
+    case MessageType::kTaskAffinity:
+      if (task == nullptr) {
+        return Event::kNone;
+      }
+      task->tseq = msg.tseq;
+      task->affinity = msg.affinity;
+      *out = task;
+      return Event::kAffinity;
+    case MessageType::kTimerTick:
+    case MessageType::kAgentWakeup:
+      return Event::kNone;
+  }
+  return Event::kNone;
+}
+
+}  // namespace gs

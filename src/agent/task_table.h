@@ -1,0 +1,68 @@
+// TaskTable: message-driven bookkeeping of thread state in userspace.
+//
+// This is the core of the paper's "ghOSt Userspace Support Library"
+// (Table 2): policies consume the kernel's message stream and need a
+// consistent per-thread view (runnable? where did it run? latest Tseq?).
+// Policies attach their own state via the `user` pointer and react to
+// transitions through the Apply() result.
+#ifndef GHOST_SIM_SRC_AGENT_TASK_TABLE_H_
+#define GHOST_SIM_SRC_AGENT_TASK_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/base/cpumask.h"
+#include "src/base/time.h"
+#include "src/ghost/message.h"
+
+namespace gs {
+
+// The policy's view of one managed thread.
+struct PolicyTask {
+  int64_t tid = 0;
+  bool runnable = false;
+  // Policy's belief: scheduled on this CPU (set by the policy on a committed
+  // transaction, cleared when a BLOCKED/PREEMPTED/YIELD/DEAD message lands).
+  int assigned_cpu = -1;
+  int last_cpu = -1;  // where it last ran, for locality decisions
+  uint32_t tseq = 0;  // latest sequence number seen
+  CpuMask affinity;
+  Time became_runnable = 0;
+  // Common policy bookkeeping: is the task sitting in a policy runqueue, and
+  // which priority tier does it belong to (0 = latency-critical).
+  bool queued = false;
+  int tier = 0;
+  // Policy-specific payload (e.g. deadlines, per-query state).
+  void* user = nullptr;
+};
+
+class TaskTable {
+ public:
+  enum class Event {
+    kNone,        // CPU message or unknown thread
+    kNew,         // thread joined (possibly already runnable)
+    kRunnable,    // thread became runnable (wakeup / preempted / yielded)
+    kBlocked,     // thread blocked
+    kDead,        // thread died or departed
+    kAffinity,    // affinity changed (still in whatever state it was)
+  };
+
+  // Folds a message into the table. `*out` receives the affected task
+  // (nullptr for CPU messages / already-dead threads).
+  Event Apply(const Message& msg, PolicyTask** out);
+
+  PolicyTask* Find(int64_t tid);
+  PolicyTask* Add(int64_t tid);  // for Restore() paths
+  void Remove(int64_t tid);
+  size_t size() const { return tasks_.size(); }
+
+  std::map<int64_t, std::unique_ptr<PolicyTask>>& tasks() { return tasks_; }
+
+ private:
+  std::map<int64_t, std::unique_ptr<PolicyTask>> tasks_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_AGENT_TASK_TABLE_H_

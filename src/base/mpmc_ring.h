@@ -1,0 +1,103 @@
+// Bounded multi-producer / multi-consumer lock-free queue (Vyukov scheme).
+//
+// Used for the BPF-fast-path analog (§3.2, §5 of the paper): the agent
+// (producer) publishes runnable threads into per-domain rings; the kernel's
+// pick-next hook on any idle CPU (many consumers) pops them. Each slot carries
+// a sequence number that encodes whether it is ready for the producer or the
+// consumer, so both sides make progress with a single CAS-free
+// fetch-or-compare loop per operation.
+#ifndef GHOST_SIM_SRC_BASE_MPMC_RING_H_
+#define GHOST_SIM_SRC_BASE_MPMC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "src/base/logging.h"
+#include "src/base/spsc_ring.h"  // kCacheLineSize
+
+namespace gs {
+
+template <typename T>
+class MpmcRing {
+ public:
+  // `capacity` must be a power of two.
+  explicit MpmcRing(size_t capacity) : mask_(capacity - 1), slots_(new Slot[capacity]) {
+    CHECK_GT(capacity, 0u);
+    CHECK((capacity & (capacity - 1)) == 0) << "capacity must be a power of two";
+    for (size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  bool TryPush(T value) {
+    Slot* slot;
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      const int64_t diff = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    slot->value = std::move(value);
+    slot->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    Slot* slot;
+    uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot = &slots_[pos & mask_];
+      const uint64_t seq = slot->seq.load(std::memory_order_acquire);
+      const int64_t diff = static_cast<int64_t>(seq) - static_cast<int64_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    T value = std::move(slot->value);
+    slot->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return value;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // Approximate (racy) size, for load metrics only.
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq;
+    T value;
+  };
+
+  const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(kCacheLineSize) std::atomic<uint64_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_BASE_MPMC_RING_H_

@@ -1,0 +1,84 @@
+// Deterministic random number generation for experiments.
+//
+// xoshiro256** (Blackman & Vigna) — fast, high quality, and trivially
+// seedable, so every benchmark run is reproducible from a single uint64 seed.
+// Distribution helpers cover what the workload generators need: uniform,
+// exponential (Poisson inter-arrival times), and Bernoulli.
+#ifndef GHOST_SIM_SRC_BASE_RNG_H_
+#define GHOST_SIM_SRC_BASE_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/base/logging.h"
+
+namespace gs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  // Re-seeds the generator. Uses splitmix64 to expand the seed into the full
+  // 256-bit state, per the xoshiro authors' recommendation.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    CHECK_GT(bound, 0u);
+    // Lemire's multiply-shift rejection-free approximation is fine here: the
+    // slight modulo bias at 64-bit range is irrelevant for workload sampling.
+    return static_cast<uint64_t>((static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed value with the given mean (for Poisson
+  // processes: mean inter-arrival time).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u >= 1.0) {
+      u = 0.9999999999999999;
+    }
+    return -mean * std::log1p(-u);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_BASE_RNG_H_

@@ -1,0 +1,82 @@
+#include "src/baselines/shinjuku_dataplane.h"
+
+#include <memory>
+
+namespace gs {
+
+ShinjukuDataplane::ShinjukuDataplane(Kernel* kernel, AgentClass* agent_class,
+                                     Options options)
+    : kernel_(kernel), options_(std::move(options)) {
+  worker_busy_.assign(options_.worker_cpus.size(), false);
+  worker_request_.resize(options_.worker_cpus.size());
+
+  // Pin never-preemptible spinners on every dataplane CPU: the machine's
+  // other schedulers see these CPUs as permanently busy.
+  std::vector<int> spin_cpus = options_.worker_cpus;
+  spin_cpus.insert(spin_cpus.end(), options_.dispatcher_cpus.begin(),
+                   options_.dispatcher_cpus.end());
+  for (int cpu : spin_cpus) {
+    Task* spinner = kernel_->CreateTask("shinjuku-spin/" + std::to_string(cpu),
+                                        agent_class);
+    agent_class->RegisterAgent(cpu, spinner);
+    auto loop = std::make_shared<std::function<void(Task*)>>();
+    Kernel* k = kernel_;
+    *loop = [k, loop](Task* t) { k->StartBurst(t, Milliseconds(10), *loop); };
+    kernel_->StartBurst(spinner, Milliseconds(10), *loop);
+    kernel_->Wake(spinner);
+  }
+}
+
+void ShinjukuDataplane::Submit(Time arrival, Duration service) {
+  fifo_.push_back(Request{arrival, service});
+  TryDispatch();
+}
+
+void ShinjukuDataplane::TryDispatch() {
+  while (!fifo_.empty()) {
+    int free_worker = -1;
+    for (size_t w = 0; w < worker_busy_.size(); ++w) {
+      if (!worker_busy_[w]) {
+        free_worker = static_cast<int>(w);
+        break;
+      }
+    }
+    if (free_worker < 0) {
+      return;
+    }
+    const Request request = fifo_.front();
+    fifo_.pop_front();
+    worker_busy_[free_worker] = true;
+    kernel_->loop()->ScheduleAfter(options_.dispatch_cost, [this, free_worker, request] {
+      RunSlice(free_worker, request);
+    });
+  }
+}
+
+void ShinjukuDataplane::RunSlice(int worker, Request request) {
+  worker_request_[worker] = request;
+  const Duration slice = std::min(request.remaining, options_.timeslice);
+  kernel_->loop()->ScheduleAfter(slice, [this, worker] { OnSliceEnd(worker); });
+}
+
+void ShinjukuDataplane::OnSliceEnd(int worker) {
+  Request& request = worker_request_[worker];
+  request.remaining -= std::min(request.remaining, options_.timeslice);
+  if (request.remaining == 0) {
+    latency_.Add(kernel_->now() - request.arrival);
+    ++completed_;
+    worker_busy_[worker] = false;
+    TryDispatch();
+    return;
+  }
+  // Timeslice expired: preempt (posted interrupt) and rotate to the back of
+  // the central FIFO.
+  ++preemptions_;
+  kernel_->loop()->ScheduleAfter(options_.preempt_cost, [this, worker] {
+    fifo_.push_back(worker_request_[worker]);
+    worker_busy_[worker] = false;
+    TryDispatch();
+  });
+}
+
+}  // namespace gs

@@ -1,0 +1,72 @@
+// Shinjuku dataplane baseline (Kaffes et al., NSDI'19) — the §4.2 comparison.
+//
+// The original Shinjuku is a specialized dataplane OS: a spinning dispatcher
+// on a dedicated physical core assigns request *descriptors* (not threads) to
+// spinning worker threads pinned to dedicated hyperthreads, preempting
+// requests via posted interrupts after a timeslice. Because the workers spin,
+// their CPUs are unavailable to anything else on the machine (Fig 6c: the
+// batch app gets zero CPU under Shinjuku).
+//
+// The reproduction runs request dispatch at event level (descriptor passing
+// costs ~100s of ns, far below thread scheduling) while pinning
+// never-preemptible spinner tasks on the dataplane's CPUs so that the rest of
+// the simulated machine correctly sees those CPUs as owned.
+#ifndef GHOST_SIM_SRC_BASELINES_SHINJUKU_DATAPLANE_H_
+#define GHOST_SIM_SRC_BASELINES_SHINJUKU_DATAPLANE_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/kernel/agent_class.h"
+#include "src/kernel/kernel.h"
+#include "src/workloads/latency_recorder.h"
+
+namespace gs {
+
+class ShinjukuDataplane {
+ public:
+  struct Options {
+    std::vector<int> worker_cpus;      // spinning workers, one per CPU
+    std::vector<int> dispatcher_cpus;  // the dispatcher's dedicated core
+    Duration timeslice = Microseconds(30);
+    // Descriptor hand-off from dispatcher to worker (shared-memory queue).
+    Duration dispatch_cost = Nanoseconds(150);
+    // Posted-interrupt preemption + context save/restore.
+    Duration preempt_cost = Nanoseconds(1000);
+  };
+
+  // `agent_class` hosts the spinners so nothing can preempt them (the
+  // dataplane owns its cores outright, like Dune/VT-x in the original).
+  ShinjukuDataplane(Kernel* kernel, AgentClass* agent_class, Options options);
+
+  // Request arrival.
+  void Submit(Time arrival, Duration service);
+
+  LatencyRecorder& latency() { return latency_; }
+  int64_t completed() const { return completed_; }
+  uint64_t preemptions() const { return preemptions_; }
+  size_t queue_depth() const { return fifo_.size(); }
+
+ private:
+  struct Request {
+    Time arrival = 0;
+    Duration remaining = 0;
+  };
+
+  void TryDispatch();
+  void RunSlice(int worker, Request request);
+  void OnSliceEnd(int worker);
+
+  Kernel* kernel_;
+  Options options_;
+  std::deque<Request> fifo_;
+  std::vector<bool> worker_busy_;
+  std::vector<Request> worker_request_;
+  LatencyRecorder latency_;
+  int64_t completed_ = 0;
+  uint64_t preemptions_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_BASELINES_SHINJUKU_DATAPLANE_H_

@@ -1,0 +1,598 @@
+#include "src/ghost/enclave.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "src/ghost/ghost_class.h"
+#include "src/kernel/agent_class.h"
+
+namespace gs {
+
+const char* ToString(MessageType type) {
+  switch (type) {
+    case MessageType::kTaskNew:
+      return "THREAD_CREATED";
+    case MessageType::kTaskBlocked:
+      return "THREAD_BLOCKED";
+    case MessageType::kTaskPreempted:
+      return "THREAD_PREEMPTED";
+    case MessageType::kTaskYield:
+      return "THREAD_YIELD";
+    case MessageType::kTaskDead:
+      return "THREAD_DEAD";
+    case MessageType::kTaskWakeup:
+      return "THREAD_WAKEUP";
+    case MessageType::kTaskAffinity:
+      return "THREAD_AFFINITY";
+    case MessageType::kTaskDeparted:
+      return "THREAD_DEPARTED";
+    case MessageType::kTimerTick:
+      return "TIMER_TICK";
+    case MessageType::kAgentWakeup:
+      return "AGENT_WAKEUP";
+  }
+  return "?";
+}
+
+const char* ToString(TxnStatus status) {
+  switch (status) {
+    case TxnStatus::kPending:
+      return "PENDING";
+    case TxnStatus::kCommitted:
+      return "COMMITTED";
+    case TxnStatus::kEStale:
+      return "ESTALE";
+    case TxnStatus::kENotRunnable:
+      return "ENOTRUNNABLE";
+    case TxnStatus::kECpuBusy:
+      return "ECPUBUSY";
+    case TxnStatus::kETxnPending:
+      return "ETXNPENDING";
+    case TxnStatus::kEInvalid:
+      return "EINVAL";
+    case TxnStatus::kEAborted:
+      return "EABORTED";
+    case TxnStatus::kENoAgent:
+      return "ENOAGENT";
+  }
+  return "?";
+}
+
+Enclave::Enclave(Kernel* kernel, GhostClass* ghost_class, AgentClass* agent_class,
+                 CpuMask cpus, Config config)
+    : kernel_(kernel),
+      ghost_class_(ghost_class),
+      agent_class_(agent_class),
+      cpus_(cpus),
+      config_(config) {
+  CHECK(!cpus_.Empty());
+  ghost_class_->AddEnclave(this);
+  default_queue_ = CreateQueue(config_.default_queue_capacity);
+
+  idle_listener_handle_ = kernel_->AddIdleListener(
+      [this](int cpu, bool idle) { OnCpuIdleTransition(cpu, idle); });
+
+  if (config_.watchdog_timeout > 0) {
+    ScheduleWatchdog();
+  }
+}
+
+Enclave::~Enclave() {
+  if (!destroyed_) {
+    Destroy();
+  }
+}
+
+void Enclave::ScheduleWatchdog() {
+  watchdog_event_ = kernel_->loop()->ScheduleAfter(config_.watchdog_period, [this] {
+    watchdog_event_ = kInvalidEventId;
+    WatchdogScan();
+    if (!destroyed_) {
+      ScheduleWatchdog();
+    }
+  });
+}
+
+void Enclave::WatchdogScan() {
+  if (destroyed_ || config_.watchdog_timeout <= 0) {
+    return;
+  }
+  const Time now = kernel_->now();
+  for (const auto& [tid, gt] : tasks_) {
+    const Task* task = gt->task;
+    if (task->state() == TaskState::kRunnable &&
+        now - task->runnable_since() > config_.watchdog_timeout) {
+      LOG(WARNING) << "ghOSt watchdog: " << task->name() << " runnable for "
+                   << ToMillis(now - task->runnable_since())
+                   << " ms without being scheduled; destroying enclave";
+      Destroy();
+      return;
+    }
+  }
+}
+
+void Enclave::Destroy() {
+  if (destroyed_) {
+    return;
+  }
+  destroyed_ = true;
+  if (tickless_) {
+    SetTickless(false);
+    tickless_ = true;  // remember the mode for post-mortem inspection
+  }
+  if (watchdog_event_ != kInvalidEventId) {
+    kernel_->loop()->Cancel(watchdog_event_);
+    watchdog_event_ = kInvalidEventId;
+  }
+  kernel_->RemoveIdleListener(idle_listener_handle_);
+
+  // Every managed thread falls back to the default scheduler (CFS). Collect
+  // first: SetSchedClass mutates tasks_ via OnTaskDeparted.
+  std::vector<Task*> managed;
+  managed.reserve(tasks_.size());
+  for (const auto& [tid, gt] : tasks_) {
+    managed.push_back(gt->task);
+  }
+  for (Task* task : managed) {
+    kernel_->SetSchedClass(task, kernel_->default_class());
+  }
+  CHECK_EQ(num_tasks(), 0);
+
+  // Kill the agents.
+  for (const auto& [cpu, agent] : agents_) {
+    kernel_->Kill(agent);
+    agent_class_->UnregisterAgent(cpu, agent);
+  }
+  agents_.clear();
+  poll_waiters_.clear();
+
+  ghost_class_->RemoveEnclave(this);
+  if (destroy_listener_) {
+    destroy_listener_();
+  }
+}
+
+// ---- Threads ------------------------------------------------------------------
+
+void Enclave::AddTask(Task* task) {
+  CHECK(!destroyed_);
+  CHECK(task->ghost_state() == nullptr) << task->name() << " already in an enclave";
+  auto gt = std::make_unique<GhostTask>();
+  gt->task = task;
+  gt->enclave = this;
+  gt->queue = default_queue_;
+  task->set_ghost_state(gt.get());
+  tasks_[task->tid()] = std::move(gt);
+  kernel_->SetSchedClass(task, ghost_class_);
+}
+
+void Enclave::RemoveTask(Task* task) {
+  CHECK(task->ghost_state() != nullptr);
+  kernel_->SetSchedClass(task, kernel_->default_class());
+}
+
+GhostTask* Enclave::Find(int64_t tid) {
+  auto it = tasks_.find(tid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+const TaskStatusWord* Enclave::task_status(int64_t tid) {
+  GhostTask* gt = Find(tid);
+  return gt == nullptr ? nullptr : &gt->status;
+}
+
+std::vector<Enclave::TaskInfo> Enclave::TaskDump() const {
+  std::vector<TaskInfo> dump;
+  dump.reserve(tasks_.size());
+  for (const auto& [tid, gt] : tasks_) {
+    TaskInfo info;
+    info.tid = tid;
+    info.runnable = gt->status.runnable;
+    info.on_cpu = gt->status.on_cpu;
+    info.cpu = gt->status.cpu;
+    info.tseq = gt->tseq;
+    info.affinity = gt->task->affinity();
+    dump.push_back(info);
+  }
+  return dump;
+}
+
+// ---- Queues -------------------------------------------------------------------
+
+MessageQueue* Enclave::CreateQueue(size_t capacity) {
+  auto queue = std::make_unique<MessageQueue>(next_queue_id_++, capacity);
+  MessageQueue* ptr = queue.get();
+  queues_.push_back(std::move(queue));
+  return ptr;
+}
+
+void Enclave::DestroyQueue(MessageQueue* queue) {
+  CHECK_NE(queue, default_queue_) << "cannot destroy the default queue";
+  for (const auto& [tid, gt] : tasks_) {
+    CHECK(gt->queue != queue) << "queue still has associated threads";
+  }
+  for (auto& [cpu, q] : cpu_queues_) {
+    if (q == queue) {
+      q = default_queue_;
+    }
+  }
+  queues_.erase(std::find_if(queues_.begin(), queues_.end(),
+                             [queue](const auto& q) { return q.get() == queue; }));
+}
+
+bool Enclave::AssociateQueue(int64_t tid, MessageQueue* queue) {
+  GhostTask* gt = Find(tid);
+  CHECK(gt != nullptr) << "unknown tid " << tid;
+  if (gt->queue == queue) {
+    return true;
+  }
+  if (gt->pending_msgs > 0) {
+    // The agent must drain the original queue and retry (§3.1).
+    return false;
+  }
+  gt->queue = queue;
+  return true;
+}
+
+void Enclave::ConfigQueueWakeup(MessageQueue* queue, Task* agent) {
+  queue->set_wakeup_agent(agent);
+}
+
+void Enclave::SetCpuQueue(int cpu, MessageQueue* queue) {
+  CHECK(cpus_.IsSet(cpu));
+  cpu_queues_[cpu] = queue;
+}
+
+std::optional<Message> Enclave::PopMessage(MessageQueue* queue) {
+  std::optional<Message> msg = queue->Pop();
+  if (msg.has_value() && msg->tid != 0) {
+    GhostTask* gt = Find(msg->tid);
+    if (gt != nullptr && gt->pending_msgs > 0) {
+      --gt->pending_msgs;
+    }
+  }
+  return msg;
+}
+
+void Enclave::FlushAllQueues() {
+  for (auto& queue : queues_) {
+    while (queue->Pop().has_value()) {
+    }
+  }
+  for (auto& [tid, gt] : tasks_) {
+    gt->pending_msgs = 0;
+  }
+}
+
+void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
+  if (destroyed_) {
+    return;
+  }
+  Message msg;
+  msg.type = type;
+  msg.cpu = cpu;
+  msg.posted = kernel_->now();
+  MessageQueue* queue = default_queue_;
+  if (gt != nullptr) {
+    msg.tid = gt->task->tid();
+    msg.tseq = ++gt->tseq;
+    gt->status.tseq = gt->tseq;
+    msg.affinity = gt->task->affinity();
+    msg.runnable = gt->status.runnable;
+    ++gt->pending_msgs;
+    queue = gt->queue;
+  } else {
+    auto it = cpu_queues_.find(cpu);
+    if (it != cpu_queues_.end()) {
+      queue = it->second;
+    }
+  }
+  CHECK(queue->Push(msg)) << "message queue " << queue->id() << " overflow ("
+                          << queue->capacity() << " messages)";
+  ++messages_posted_;
+  kernel_->trace().Record(kernel_->now(), TraceEventType::kMessage, cpu,
+                          msg.tid, static_cast<int64_t>(type));
+
+  // Aseq bookkeeping + consumer notification.
+  Task* agent = queue->wakeup_agent();
+  if (agent != nullptr) {
+    ++agent_status_[agent].aseq;
+    if (agent->state() == TaskState::kBlocked) {
+      const Duration delay = kernel_->cost().msg_produce + kernel_->cost().agent_wakeup;
+      Kernel* kernel = kernel_;
+      kernel_->loop()->ScheduleAfter(delay, [kernel, agent] {
+        if (agent->state() == TaskState::kBlocked) {
+          kernel->Wake(agent);
+        }
+      });
+    }
+  }
+  PokePollWaiters();
+}
+
+// ---- Agents --------------------------------------------------------------------
+
+void Enclave::RegisterAgentTask(int cpu, Task* agent) {
+  CHECK(cpus_.IsSet(cpu)) << "CPU " << cpu << " not in enclave";
+  agents_[cpu] = agent;
+  AgentStatusWord& status = agent_status_[agent];
+  status.cpu = cpu;
+  status.active = true;
+  agent_class_->RegisterAgent(cpu, agent);
+}
+
+void Enclave::UnregisterAgentTask(int cpu, Task* agent) {
+  auto it = agents_.find(cpu);
+  if (it != agents_.end() && it->second == agent) {
+    agents_.erase(it);
+    agent_class_->UnregisterAgent(cpu, agent);
+  }
+  UnregisterPollWaiter(agent);
+}
+
+Task* Enclave::AgentOnCpu(int cpu) const {
+  auto it = agents_.find(cpu);
+  return it == agents_.end() ? nullptr : it->second;
+}
+
+AgentStatusWord& Enclave::agent_status(Task* agent) { return agent_status_[agent]; }
+
+void Enclave::RegisterPollWaiter(Task* agent, std::function<void()> poke) {
+  poll_waiters_.emplace_back(agent, std::move(poke));
+}
+
+void Enclave::UnregisterPollWaiter(Task* agent) {
+  poll_waiters_.erase(std::remove_if(poll_waiters_.begin(), poll_waiters_.end(),
+                                     [agent](const auto& w) { return w.first == agent; }),
+                      poll_waiters_.end());
+}
+
+void Enclave::PokePollWaiters() {
+  ++poke_epoch_;
+  if (poll_waiters_.empty()) {
+    return;
+  }
+  // Single-shot: a poked spinner re-registers when it next runs dry.
+  std::vector<std::pair<Task*, std::function<void()>>> waiters;
+  waiters.swap(poll_waiters_);
+  for (auto& [agent, poke] : waiters) {
+    poke();
+  }
+}
+
+// ---- Transactions ----------------------------------------------------------------
+
+TxnStatus Enclave::Validate(const Transaction& txn, Task* agent) {
+  if (destroyed_) {
+    return TxnStatus::kENoAgent;
+  }
+  if (txn.target_cpu < 0 || !cpus_.IsSet(txn.target_cpu)) {
+    return TxnStatus::kEInvalid;
+  }
+  if (agent != nullptr && agent_status_.find(agent) == agent_status_.end()) {
+    return TxnStatus::kENoAgent;
+  }
+  if (txn.expected_aseq.has_value() && agent != nullptr &&
+      *txn.expected_aseq != agent_status_[agent].aseq) {
+    return TxnStatus::kEStale;
+  }
+  if (ghost_class_->LatchPending(txn.target_cpu)) {
+    return TxnStatus::kETxnPending;
+  }
+  if (txn.idle) {
+    return txn.tid == 0 ? TxnStatus::kPending : TxnStatus::kEInvalid;
+  }
+  GhostTask* gt = Find(txn.tid);
+  if (gt == nullptr) {
+    return TxnStatus::kEInvalid;
+  }
+  if (txn.expected_tseq.has_value() && *txn.expected_tseq != gt->tseq) {
+    return TxnStatus::kEStale;
+  }
+  Task* task = gt->task;
+  if (!task->affinity().IsSet(txn.target_cpu)) {
+    return TxnStatus::kEInvalid;
+  }
+  if (task->state() != TaskState::kRunnable || gt->latched_cpu >= 0) {
+    return TxnStatus::kENotRunnable;
+  }
+  // The target CPU must be idle, running a (preemptible) ghOSt thread, or be
+  // the committing agent's own CPU (local commit-and-yield).
+  const CpuState& cs = kernel_->cpu_state(txn.target_cpu);
+  const Task* occupant = cs.switching ? cs.switching_to : cs.current;
+  if (occupant != nullptr && occupant != agent &&
+      occupant->sched_class() != ghost_class_) {
+    return TxnStatus::kECpuBusy;
+  }
+  return TxnStatus::kPending;  // validation passed
+}
+
+void Enclave::Latch(Transaction* txn, Task* agent, Duration delay) {
+  GhostClass* ghost_class = ghost_class_;
+  Kernel* kernel = kernel_;
+  const int cpu = txn->target_cpu;
+  const bool local = agent != nullptr && agent->cpu() == cpu;
+  const bool cross_numa =
+      agent != nullptr && agent->cpu() >= 0 &&
+      kernel_->topology().cpu(agent->cpu()).numa != kernel_->topology().cpu(cpu).numa;
+
+  if (txn->idle) {
+    if (local) {
+      ghost_class->SetForcedIdle(cpu, true);
+    } else {
+      kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
+        kernel->SendIpi(cpu, cross_numa, [ghost_class, cpu, kernel] {
+          ghost_class->SetForcedIdle(cpu, true);
+          kernel->ReschedCpu(cpu);
+        });
+      });
+    }
+    return;
+  }
+
+  GhostTask* gt = Find(txn->tid);
+  CHECK(gt != nullptr);
+  ghost_class->SetForcedIdle(cpu, false);
+  if (local) {
+    // Takes effect when the agent yields its CPU.
+    ghost_class->LatchTask(cpu, gt->task, /*enabled=*/true);
+  } else {
+    ghost_class->LatchTask(cpu, gt->task, /*enabled=*/false);
+    kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
+      kernel->SendIpi(cpu, cross_numa,
+                      [ghost_class, cpu] { ghost_class->EnableLatch(cpu); });
+    });
+  }
+}
+
+void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
+                         const std::function<Duration(int)>& agent_side_delay) {
+  // Pass 1: validate everything (latching as we go so that duplicate targets
+  // inside one call conflict, as in the real txn table).
+  // Synchronized groups need all-or-nothing semantics, so validation for them
+  // happens before any latch in the group.
+  std::map<int, std::vector<int>> sync_groups;  // group id -> txn indices
+  for (int i = 0; i < static_cast<int>(txns.size()); ++i) {
+    if (txns[i]->sync_group >= 0) {
+      sync_groups[txns[i]->sync_group].push_back(i);
+    }
+  }
+
+  // Validate sync groups first (all members validated against the same view).
+  std::vector<bool> handled(txns.size(), false);
+  for (auto& [group, members] : sync_groups) {
+    bool all_ok = true;
+    std::vector<TxnStatus> statuses(members.size());
+    std::set<int> group_cpus;
+    std::set<int64_t> group_tids;
+    for (size_t m = 0; m < members.size(); ++m) {
+      const Transaction& txn = *txns[members[m]];
+      statuses[m] = Validate(txn, agent);
+      // Batch validation can't see its own group's latches yet: reject
+      // duplicate CPUs or threads within the group explicitly.
+      if (statuses[m] == TxnStatus::kPending) {
+        if (!group_cpus.insert(txn.target_cpu).second) {
+          statuses[m] = TxnStatus::kETxnPending;
+        } else if (!txn.idle && !group_tids.insert(txn.tid).second) {
+          statuses[m] = TxnStatus::kENotRunnable;
+        }
+      }
+      if (statuses[m] != TxnStatus::kPending) {
+        all_ok = false;
+      }
+    }
+    for (size_t m = 0; m < members.size(); ++m) {
+      const int i = members[m];
+      handled[i] = true;
+      if (all_ok) {
+        txns[i]->status = TxnStatus::kCommitted;
+        Latch(txns[i], agent, agent_side_delay(i));
+        ++txns_committed_;
+      } else {
+        txns[i]->status =
+            statuses[m] != TxnStatus::kPending ? statuses[m] : TxnStatus::kEAborted;
+        ++txns_failed_;
+      }
+    }
+  }
+
+  for (int i = 0; i < static_cast<int>(txns.size()); ++i) {
+    if (handled[i]) {
+      continue;
+    }
+    const TxnStatus status = Validate(*txns[i], agent);
+    if (status != TxnStatus::kPending) {
+      txns[i]->status = status;
+      ++txns_failed_;
+      kernel_->trace().Record(kernel_->now(), TraceEventType::kTxnFail,
+                              txns[i]->target_cpu, txns[i]->tid,
+                              static_cast<int64_t>(status));
+      continue;
+    }
+    txns[i]->status = TxnStatus::kCommitted;
+    Latch(txns[i], agent, agent_side_delay(i));
+    ++txns_committed_;
+    kernel_->trace().Record(kernel_->now(), TraceEventType::kTxnCommit,
+                            txns[i]->target_cpu, txns[i]->tid);
+  }
+}
+
+// ---- Hooks from the scheduling class ------------------------------------------------
+
+void Enclave::OnTaskNew(Task* task, bool runnable) {
+  GhostTask* gt = Find(task->tid());
+  CHECK(gt != nullptr);
+  Post(gt, MessageType::kTaskNew, task->cpu());
+}
+
+void Enclave::OnTaskWakeup(Task* task) {
+  Post(Find(task->tid()), MessageType::kTaskWakeup, -1);
+}
+
+void Enclave::OnTaskPutPrev(Task* task, int cpu, PutPrevReason reason) {
+  GhostTask* gt = Find(task->tid());
+  CHECK(gt != nullptr);
+  switch (reason) {
+    case PutPrevReason::kBlocked:
+      Post(gt, MessageType::kTaskBlocked, cpu);
+      break;
+    case PutPrevReason::kPreempted:
+      Post(gt, MessageType::kTaskPreempted, cpu);
+      break;
+    case PutPrevReason::kYielded:
+      Post(gt, MessageType::kTaskYield, cpu);
+      break;
+    case PutPrevReason::kExited:
+      Post(gt, MessageType::kTaskDead, cpu);
+      task->set_ghost_state(nullptr);
+      tasks_.erase(task->tid());
+      break;
+  }
+}
+
+void Enclave::OnTaskAffinity(Task* task) {
+  Post(Find(task->tid()), MessageType::kTaskAffinity, -1);
+}
+
+void Enclave::OnTaskDeparted(Task* task) {
+  GhostTask* gt = Find(task->tid());
+  CHECK(gt != nullptr);
+  Post(gt, MessageType::kTaskDeparted, -1);
+  task->set_ghost_state(nullptr);
+  tasks_.erase(task->tid());
+}
+
+void Enclave::OnTaskStarted(Task* task, int cpu) {
+  sched_latency_.Add(kernel_->now() - task->runnable_since());
+}
+
+void Enclave::OnTimerTick(int cpu) { Post(nullptr, MessageType::kTimerTick, cpu); }
+
+void Enclave::SetTickless(bool tickless) {
+  tickless_ = tickless;
+  for (int cpu = cpus_.First(); cpu >= 0; cpu = cpus_.NextAfter(cpu)) {
+    kernel_->SetTickEnabled(cpu, !tickless);
+  }
+}
+
+void Enclave::SetHint(int64_t tid, uint64_t hint) {
+  GhostTask* gt = Find(tid);
+  if (gt != nullptr) {
+    gt->hint = hint;
+  }
+}
+
+uint64_t Enclave::Hint(int64_t tid) {
+  GhostTask* gt = Find(tid);
+  return gt != nullptr ? gt->hint : 0;
+}
+
+void Enclave::OnCpuIdleTransition(int cpu, bool idle) {
+  if (destroyed_ || !idle || !cpus_.IsSet(cpu)) {
+    return;
+  }
+  PokePollWaiters();
+}
+
+}  // namespace gs

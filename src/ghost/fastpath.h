@@ -1,0 +1,83 @@
+// BPF fast-path analog (§3.2, §5).
+//
+// "ghOSt allows recovering lost CPU time via a custom BPF program, attached
+// by the agent to the kernel's pick_next_task() function. When a CPU becomes
+// idle and the agent has not already issued a transaction, the BPF program
+// issues its own transaction, picking a thread to run on that CPU. The BPF
+// program communicates with the agent via a shared-memory window."
+//
+// Here the "BPF program" is a FastPath object invoked by the ghOSt scheduling
+// class when a CPU would otherwise go idle. RingFastPath is the §5 design:
+// the agent publishes runnable thread ids into a shared MPMC ring (one per
+// NUMA domain if desired); the pick-next hook pops candidates. The agent can
+// effectively revoke a thread by scheduling it elsewhere first — the hook
+// skips ids that are no longer runnable.
+#ifndef GHOST_SIM_SRC_GHOST_FASTPATH_H_
+#define GHOST_SIM_SRC_GHOST_FASTPATH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/mpmc_ring.h"
+
+namespace gs {
+
+class FastPath {
+ public:
+  virtual ~FastPath() = default;
+
+  // Called from pick_next_task context when `cpu` is about to idle.
+  // Returns the tid of a thread to run, or 0 for none. The callee must not
+  // return the same tid twice without it being re-published.
+  virtual int64_t PickForCpu(int cpu) = 0;
+
+  // Statistics: how many picks the fast path served.
+  virtual uint64_t picks() const = 0;
+};
+
+// Shared-memory ring(s) of runnable tids. With `per_numa` rings the agent can
+// keep NUMA locality (§5: "one ring buffer per NUMA node").
+class RingFastPath : public FastPath {
+ public:
+  RingFastPath(int num_rings, std::vector<int> cpu_to_ring, size_t capacity = 1024)
+      : cpu_to_ring_(std::move(cpu_to_ring)) {
+    rings_.reserve(num_rings);
+    for (int i = 0; i < num_rings; ++i) {
+      rings_.push_back(std::make_unique<MpmcRing<int64_t>>(capacity));
+    }
+  }
+
+  // Single global ring covering `num_cpus` CPUs.
+  static std::unique_ptr<RingFastPath> Global(int num_cpus, size_t capacity = 1024) {
+    return std::make_unique<RingFastPath>(1, std::vector<int>(num_cpus, 0), capacity);
+  }
+
+  // Agent side: publish a runnable thread. Returns false if the ring is full.
+  bool Publish(int ring, int64_t tid) { return rings_[ring]->TryPush(tid); }
+
+  int64_t PickForCpu(int cpu) override {
+    if (cpu < 0 || cpu >= static_cast<int>(cpu_to_ring_.size())) {
+      return 0;
+    }
+    auto tid = rings_[cpu_to_ring_[cpu]]->TryPop();
+    if (!tid.has_value()) {
+      return 0;
+    }
+    ++picks_;
+    return *tid;
+  }
+
+  uint64_t picks() const override { return picks_; }
+
+  int ring_for_cpu(int cpu) const { return cpu_to_ring_[cpu]; }
+
+ private:
+  std::vector<std::unique_ptr<MpmcRing<int64_t>>> rings_;
+  std::vector<int> cpu_to_ring_;
+  uint64_t picks_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_FASTPATH_H_

@@ -1,0 +1,197 @@
+#include "src/ghost/ghost_class.h"
+
+#include <algorithm>
+
+#include "src/ghost/enclave.h"
+#include "src/ghost/ghost_task.h"
+#include "src/kernel/kernel.h"
+
+namespace gs {
+namespace {
+
+GhostTask* StateOf(Task* task) {
+  auto* gt = static_cast<GhostTask*>(task->ghost_state());
+  CHECK(gt != nullptr) << task->name() << " has no ghOSt state";
+  return gt;
+}
+
+}  // namespace
+
+void GhostClass::Attach(Kernel* kernel) {
+  SchedClass::Attach(kernel);
+  const int n = kernel->topology().num_cpus();
+  cpu_owner_.assign(n, nullptr);
+  latches_.resize(n);
+}
+
+void GhostClass::AddEnclave(Enclave* enclave) {
+  enclaves_.push_back(enclave);
+  const CpuMask& cpus = enclave->cpus();
+  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+    CHECK(cpu_owner_[cpu] == nullptr) << "CPU " << cpu << " already in an enclave";
+    cpu_owner_[cpu] = enclave;
+  }
+}
+
+void GhostClass::RemoveEnclave(Enclave* enclave) {
+  enclaves_.erase(std::remove(enclaves_.begin(), enclaves_.end(), enclave), enclaves_.end());
+  for (auto& owner : cpu_owner_) {
+    if (owner == enclave) {
+      owner = nullptr;
+    }
+  }
+  for (size_t cpu = 0; cpu < latches_.size(); ++cpu) {
+    if (cpu_owner_[cpu] == nullptr && latches_[cpu].task != nullptr &&
+        StateOf(latches_[cpu].task)->enclave == enclave) {
+      ClearLatch(static_cast<int>(cpu));
+    }
+  }
+}
+
+void GhostClass::LatchTask(int cpu, Task* task, bool enabled) {
+  Latch& latch = latches_[cpu];
+  CHECK(latch.task == nullptr) << "CPU " << cpu << " already has a pending transaction";
+  latch.task = task;
+  latch.enabled = enabled;
+  latch.forced_idle = false;
+  StateOf(task)->latched_cpu = cpu;
+}
+
+void GhostClass::EnableLatch(int cpu) {
+  Latch& latch = latches_[cpu];
+  if (latch.task == nullptr) {
+    return;  // invalidated while the IPI was in flight
+  }
+  latch.enabled = true;
+  kernel_->ReschedCpu(cpu);
+}
+
+void GhostClass::ClearLatch(int cpu) {
+  Latch& latch = latches_[cpu];
+  if (latch.task != nullptr) {
+    StateOf(latch.task)->latched_cpu = -1;
+    latch.task = nullptr;
+  }
+  latch.enabled = false;
+}
+
+void GhostClass::SetForcedIdle(int cpu, bool forced) {
+  latches_[cpu].forced_idle = forced;
+  if (forced) {
+    // Kick any ghOSt thread currently running there.
+    Task* current = kernel_->current(cpu);
+    if (current != nullptr && current->sched_class() == this) {
+      kernel_->ReschedCpu(cpu);
+    }
+  }
+}
+
+void GhostClass::TaskNew(Task* task) {
+  GhostTask* gt = StateOf(task);
+  const bool runnable =
+      task->state() == TaskState::kRunnable || task->state() == TaskState::kRunning;
+  gt->status.runnable = runnable;
+  gt->enclave->OnTaskNew(task, runnable);
+}
+
+void GhostClass::TaskDeparted(Task* task) {
+  GhostTask* gt = StateOf(task);
+  if (gt->latched_cpu >= 0) {
+    ClearLatch(gt->latched_cpu);
+  }
+  gt->enclave->OnTaskDeparted(task);
+}
+
+void GhostClass::EnqueueWake(Task* task) {
+  GhostTask* gt = StateOf(task);
+  if (gt->status.runnable) {
+    return;  // already reported runnable (enclave-entry path)
+  }
+  gt->status.runnable = true;
+  gt->enclave->OnTaskWakeup(task);
+}
+
+void GhostClass::PutPrev(Task* task, int cpu, PutPrevReason reason) {
+  GhostTask* gt = StateOf(task);
+  gt->status.on_cpu = false;
+  gt->status.cpu = -1;
+  gt->status.runtime = task->total_runtime();
+  switch (reason) {
+    case PutPrevReason::kBlocked:
+      gt->status.runnable = false;
+      break;
+    case PutPrevReason::kExited:
+      gt->status.runnable = false;
+      break;
+    case PutPrevReason::kPreempted:
+    case PutPrevReason::kYielded:
+      gt->status.runnable = true;
+      break;
+  }
+  gt->enclave->OnTaskPutPrev(task, cpu, reason);
+}
+
+Task* GhostClass::PickNext(int cpu) {
+  Latch& latch = latches_[cpu];
+  if (latch.forced_idle) {
+    return nullptr;
+  }
+  if (latch.task != nullptr) {
+    if (!latch.enabled) {
+      return nullptr;  // commit in flight (IPI not yet delivered)
+    }
+    Task* task = latch.task;
+    ClearLatch(cpu);
+    if (task->state() == TaskState::kRunnable && task->affinity().IsSet(cpu)) {
+      return task;
+    }
+    // Stale latch (thread blocked/died/affinity changed since commit): fall
+    // through to the fast path.
+  }
+  Enclave* enclave = cpu_owner_[cpu];
+  if (enclave == nullptr || enclave->fastpath() == nullptr) {
+    return nullptr;
+  }
+  // BPF-analog: pop published runnable threads until a usable one surfaces.
+  RingFastPath* fastpath = enclave->fastpath();
+  for (;;) {
+    const int64_t tid = fastpath->PickForCpu(cpu);
+    if (tid == 0) {
+      return nullptr;
+    }
+    GhostTask* gt = enclave->Find(tid);
+    if (gt == nullptr || gt->latched_cpu >= 0) {
+      continue;
+    }
+    Task* task = gt->task;
+    if (task->state() == TaskState::kRunnable && task->affinity().IsSet(cpu)) {
+      ++fastpath_picks_;
+      return task;
+    }
+  }
+}
+
+void GhostClass::TaskStarted(int cpu, Task* task) {
+  GhostTask* gt = StateOf(task);
+  gt->status.on_cpu = true;
+  gt->status.cpu = cpu;
+  gt->enclave->OnTaskStarted(task, cpu);
+}
+
+void GhostClass::TaskTick(int cpu, Task* current) {
+  Enclave* enclave = cpu_owner_[cpu];
+  if (enclave != nullptr) {
+    enclave->OnTimerTick(cpu);
+  }
+}
+
+void GhostClass::AffinityChanged(Task* task) {
+  GhostTask* gt = StateOf(task);
+  if (gt->latched_cpu >= 0 && !task->affinity().IsSet(gt->latched_cpu)) {
+    // §3.3's example: an affinity change must defeat an in-flight commit.
+    ClearLatch(gt->latched_cpu);
+  }
+  gt->enclave->OnTaskAffinity(task);
+}
+
+}  // namespace gs

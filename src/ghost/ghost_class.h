@@ -1,0 +1,72 @@
+// The ghOSt kernel scheduling class.
+//
+// Sits at the *bottom* of the class hierarchy (§3.4): any CFS or RT thread
+// preempts a ghOSt thread, generating a THREAD_PREEMPTED message for the
+// agent. The class holds no runqueues — policy lives in userspace. Its only
+// per-CPU state is the transaction latch (the committed-but-not-yet-picked
+// thread), a forced-idle flag (synchronized core-scheduling commits), and the
+// optional fast-path hook consulted when a CPU would otherwise idle.
+#ifndef GHOST_SIM_SRC_GHOST_GHOST_CLASS_H_
+#define GHOST_SIM_SRC_GHOST_GHOST_CLASS_H_
+
+#include <vector>
+
+#include "src/kernel/sched_class.h"
+
+namespace gs {
+
+class Enclave;
+
+class GhostClass : public SchedClass {
+ public:
+  const char* name() const override { return "ghost"; }
+  void Attach(Kernel* kernel) override;
+
+  // ---- Enclave registry -----------------------------------------------------
+  void AddEnclave(Enclave* enclave);
+  void RemoveEnclave(Enclave* enclave);
+  Enclave* EnclaveForCpu(int cpu) const { return cpu_owner_[cpu]; }
+
+  // ---- Transaction latch ------------------------------------------------------
+  // Latches `task` on `cpu`. If `enabled`, the next pick may take it;
+  // otherwise it becomes pickable once EnableLatch() runs (IPI arrival).
+  void LatchTask(int cpu, Task* task, bool enabled);
+  void EnableLatch(int cpu);
+  void ClearLatch(int cpu);
+  bool HasLatch(int cpu) const { return latches_[cpu].task != nullptr; }
+  // Forced idle (idle transactions from synchronized groups, §4.5): the
+  // ghOSt class schedules nothing on the CPU until the next latch.
+  void SetForcedIdle(int cpu, bool forced);
+  bool forced_idle(int cpu) const { return latches_[cpu].forced_idle; }
+
+  // A CPU is available for a new transaction if no latch is pending there.
+  bool LatchPending(int cpu) const { return latches_[cpu].task != nullptr; }
+
+  // ---- SchedClass ----------------------------------------------------------------
+  void TaskNew(Task* task) override;
+  void TaskDeparted(Task* task) override;
+  void EnqueueWake(Task* task) override;
+  void PutPrev(Task* task, int cpu, PutPrevReason reason) override;
+  Task* PickNext(int cpu) override;
+  void TaskStarted(int cpu, Task* task) override;
+  void TaskTick(int cpu, Task* current) override;
+  void AffinityChanged(Task* task) override;
+
+  uint64_t fastpath_picks() const { return fastpath_picks_; }
+
+ private:
+  struct Latch {
+    Task* task = nullptr;
+    bool enabled = false;
+    bool forced_idle = false;
+  };
+
+  std::vector<Enclave*> enclaves_;
+  std::vector<Enclave*> cpu_owner_;
+  std::vector<Latch> latches_;
+  uint64_t fastpath_picks_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_GHOST_CLASS_H_

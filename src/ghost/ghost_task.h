@@ -1,0 +1,35 @@
+// Kernel-side per-task ghOSt state.
+#ifndef GHOST_SIM_SRC_GHOST_GHOST_TASK_H_
+#define GHOST_SIM_SRC_GHOST_GHOST_TASK_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+#include "src/ghost/status_word.h"
+
+namespace gs {
+
+class Enclave;
+class MessageQueue;
+class Task;
+
+struct GhostTask {
+  Task* task = nullptr;
+  Enclave* enclave = nullptr;
+  // Queue this task's messages are delivered to (ASSOCIATE_QUEUE target).
+  MessageQueue* queue = nullptr;
+  // Messages for this task sitting undrained in `queue` — a queue
+  // re-association fails while this is non-zero (§3.1).
+  int pending_msgs = 0;
+  uint32_t tseq = 0;
+  // Application-provided scheduling hint (shared memory, §4.3).
+  uint64_t hint = 0;
+  // CPU with a latched (committed, not yet picked) transaction for this task,
+  // or -1. A task can be latched on at most one CPU.
+  int latched_cpu = -1;
+  TaskStatusWord status;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_GHOST_TASK_H_

@@ -1,0 +1,82 @@
+// Machine: convenience bundle wiring up the standard simulated host.
+//
+// Builds the class stack the paper's testbeds run:
+//   agent (RT) > MicroQuanta > CFS (default) > ghOSt
+// Experiments and tests grab the pieces they need; extra classes (in-kernel
+// core scheduling) can be inserted via the constructor flag.
+#ifndef GHOST_SIM_SRC_GHOST_MACHINE_H_
+#define GHOST_SIM_SRC_GHOST_MACHINE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/ghost/enclave.h"
+#include "src/ghost/ghost_class.h"
+#include "src/kernel/agent_class.h"
+#include "src/kernel/cfs.h"
+#include "src/kernel/core_sched.h"
+#include "src/kernel/kernel.h"
+#include "src/kernel/microquanta.h"
+#include "src/sim/event_loop.h"
+
+namespace gs {
+
+class Machine {
+ public:
+  explicit Machine(Topology topology, CostModel cost = CostModel(),
+                   bool with_core_sched = false)
+      : kernel_(&loop_, std::move(topology), cost) {
+    auto agent = std::make_unique<AgentClass>();
+    auto mq = std::make_unique<MicroQuantaClass>();
+    auto cfs = std::make_unique<CfsClass>();
+    auto ghost = std::make_unique<GhostClass>();
+    agent_class_ = agent.get();
+    mq_class_ = mq.get();
+    cfs_class_ = cfs.get();
+    ghost_class_ = ghost.get();
+
+    std::vector<std::unique_ptr<SchedClass>> classes;
+    classes.push_back(std::move(agent));
+    classes.push_back(std::move(mq));
+    int default_index = 2;
+    if (with_core_sched) {
+      auto core_sched = std::make_unique<CoreSchedClass>();
+      core_sched_class_ = core_sched.get();
+      classes.push_back(std::move(core_sched));
+      default_index = 3;
+    }
+    classes.push_back(std::move(cfs));
+    classes.push_back(std::move(ghost));
+    kernel_.InstallClasses(std::move(classes), default_index);
+  }
+
+  EventLoop& loop() { return loop_; }
+  Kernel& kernel() { return kernel_; }
+  AgentClass* agent_class() { return agent_class_; }
+  MicroQuantaClass* mq_class() { return mq_class_; }
+  CfsClass* cfs_class() { return cfs_class_; }
+  GhostClass* ghost_class() { return ghost_class_; }
+  CoreSchedClass* core_sched_class() { return core_sched_class_; }
+
+  std::unique_ptr<Enclave> CreateEnclave(const CpuMask& cpus,
+                                         Enclave::Config config = Enclave::Config()) {
+    return std::make_unique<Enclave>(&kernel_, ghost_class_, agent_class_, cpus, config);
+  }
+
+  void RunFor(Duration d) { loop_.RunFor(d); }
+  Time now() const { return loop_.now(); }
+
+ private:
+  EventLoop loop_;
+  Kernel kernel_;
+  AgentClass* agent_class_ = nullptr;
+  MicroQuantaClass* mq_class_ = nullptr;
+  CfsClass* cfs_class_ = nullptr;
+  GhostClass* ghost_class_ = nullptr;
+  CoreSchedClass* core_sched_class_ = nullptr;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_MACHINE_H_

@@ -1,0 +1,47 @@
+// Shared-memory message queue (§3.1).
+//
+// One producer (the kernel-side ghOSt class, which serializes on the enclave)
+// and one consumer (whichever agent drains the queue) — the custom
+// shared-memory queues the paper describes, built on the lock-free SPSC ring.
+// A queue may be configured to wake up a (blocked) agent when a message is
+// produced (CONFIG_QUEUE_WAKEUP); spinning agents instead get poked through
+// the enclave's poll-waiter list.
+#ifndef GHOST_SIM_SRC_GHOST_MESSAGE_QUEUE_H_
+#define GHOST_SIM_SRC_GHOST_MESSAGE_QUEUE_H_
+
+#include <optional>
+
+#include "src/base/spsc_ring.h"
+#include "src/ghost/message.h"
+
+namespace gs {
+
+class Task;
+
+class MessageQueue {
+ public:
+  MessageQueue(int id, size_t capacity) : id_(id), ring_(capacity) {}
+
+  int id() const { return id_; }
+
+  bool Push(const Message& msg) { return ring_.TryPush(msg); }
+  std::optional<Message> Pop() { return ring_.TryPop(); }
+  const Message* Peek() const { return ring_.Peek(); }
+  size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
+  size_t capacity() const { return ring_.capacity(); }
+
+  // CONFIG_QUEUE_WAKEUP target: agent woken when a message lands while it is
+  // blocked. nullptr = no wakeup (polled queue).
+  Task* wakeup_agent() const { return wakeup_agent_; }
+  void set_wakeup_agent(Task* agent) { wakeup_agent_ = agent; }
+
+ private:
+  const int id_;
+  SpscRing<Message> ring_;
+  Task* wakeup_agent_ = nullptr;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_MESSAGE_QUEUE_H_

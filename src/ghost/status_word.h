@@ -1,0 +1,34 @@
+// Status words: per-thread and per-agent state shared with userspace (§3.1).
+//
+// "ghOSt allows agents to efficiently poll auxiliary information about thread
+// and CPU state through status words, mapped into the agent's address space."
+// In the reproduction these are plain structs owned by the kernel-side ghOSt
+// module; agents read them through AgentContext, which charges the
+// (tiny) polling cost. The fields mirror the real uAPI: sequence numbers for
+// staleness detection, on-cpu state, and accumulated runtime.
+#ifndef GHOST_SIM_SRC_GHOST_STATUS_WORD_H_
+#define GHOST_SIM_SRC_GHOST_STATUS_WORD_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+
+namespace gs {
+
+struct TaskStatusWord {
+  uint32_t tseq = 0;     // thread sequence number
+  bool on_cpu = false;   // currently executing
+  bool runnable = false; // wants a CPU
+  int cpu = -1;          // where it runs (valid when on_cpu)
+  Duration runtime = 0;  // total accumulated CPU time
+};
+
+struct AgentStatusWord {
+  uint32_t aseq = 0;  // incremented per message posted to this agent's queue
+  int cpu = -1;       // the agent's home CPU
+  bool active = false;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_STATUS_WORD_H_

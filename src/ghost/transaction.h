@@ -1,0 +1,57 @@
+// Transactions: the agent -> kernel scheduling interface (§3.2).
+//
+// An agent opens a transaction naming (thread, target CPU), optionally with
+// the sequence number its decision was based on, and commits one or many via
+// TXNS_COMMIT. Group commits amortize syscall and IPI costs (batch
+// interrupts). Synchronized groups (sync_group >= 0) commit atomically —
+// either every member latches or none do — which is what the secure-VM
+// core-scheduling policy uses to schedule both hyperthreads of a physical
+// core at once (§4.5).
+#ifndef GHOST_SIM_SRC_GHOST_TRANSACTION_H_
+#define GHOST_SIM_SRC_GHOST_TRANSACTION_H_
+
+#include <cstdint>
+#include <optional>
+
+namespace gs {
+
+enum class TxnStatus : uint8_t {
+  kPending,      // created, not yet committed
+  kCommitted,    // latched; the kernel will switch the target CPU
+  kEStale,       // sequence-number mismatch (ESTALE, §3.2/§3.3)
+  kENotRunnable, // target thread blocked/dead/already running
+  kECpuBusy,     // target CPU held by a higher-priority sched class
+  kETxnPending,  // another transaction is already latched on the target CPU
+  kEInvalid,     // malformed (unknown thread, CPU outside the enclave, ...)
+  kEAborted,     // a sibling in a synchronized group failed
+  kENoAgent,     // committing agent is not attached to the enclave
+};
+
+const char* ToString(TxnStatus status);
+
+struct Transaction {
+  int64_t tid = 0;
+  int target_cpu = -1;
+
+  // Centralized model (§3.3): fail with kEStale unless the thread's Tseq
+  // still equals this value at commit time.
+  std::optional<uint32_t> expected_tseq;
+  // Per-CPU model (§3.2): fail with kEStale unless the committing agent's
+  // Aseq still equals this value (i.e. no new messages arrived).
+  std::optional<uint32_t> expected_aseq;
+
+  // Transactions sharing a non-negative sync_group commit atomically.
+  int sync_group = -1;
+
+  // An idle marker: schedule nothing on target_cpu (used by core scheduling
+  // to force a sibling idle; tid must be 0).
+  bool idle = false;
+
+  TxnStatus status = TxnStatus::kPending;
+
+  bool committed() const { return status == TxnStatus::kCommitted; }
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_GHOST_TRANSACTION_H_

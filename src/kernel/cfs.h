@@ -1,0 +1,92 @@
+// CFS: a faithful-in-spirit model of Linux's Completely Fair Scheduler.
+//
+// This is both the default class that ghOSt co-exists with (§3.4: ghOSt
+// threads are preempted by CFS threads; crashed enclaves fall back to CFS)
+// and the baseline scheduler for the Fig 6 (CFS-Shinjuku), Fig 8 (Google
+// Search) and Table 4 comparisons. It implements the behaviours those
+// experiments depend on:
+//
+//  * per-CPU vruntime runqueues with the standard nice->weight table,
+//  * sleeper credit on wakeup and wakeup preemption,
+//  * slice expiry on the 1 ms tick (sched_latency / nr_running),
+//  * topology-aware wake placement (prev CPU -> sibling -> CCX -> NUMA),
+//  * idle balancing (pull on idle) and *periodic* load balancing at
+//    millisecond scale — the slow rebalancing the paper contrasts with a
+//    spinning global agent (§4.4).
+#ifndef GHOST_SIM_SRC_KERNEL_CFS_H_
+#define GHOST_SIM_SRC_KERNEL_CFS_H_
+
+#include <set>
+#include <vector>
+
+#include "src/kernel/sched_class.h"
+
+namespace gs {
+
+class CfsClass : public SchedClass {
+ public:
+  struct Params {
+    Duration sched_latency = Milliseconds(6);
+    Duration min_granularity = Microseconds(750);
+    Duration wakeup_granularity = Milliseconds(1);
+    // Periodic load balance interval, in ticks (Linux: O(ms), scaled by
+    // domain size; 4 ms is representative for one socket).
+    int balance_interval_ticks = 4;
+  };
+
+  CfsClass();
+  explicit CfsClass(Params params);
+
+  const char* name() const override { return "cfs"; }
+  void Attach(Kernel* kernel) override;
+  void TaskNew(Task* task) override;
+  void TaskDeparted(Task* task) override;
+  void EnqueueWake(Task* task) override;
+  void PutPrev(Task* task, int cpu, PutPrevReason reason) override;
+  Task* PickNext(int cpu) override;
+  void TaskTick(int cpu, Task* current) override;
+  void IdleTick(int cpu) override;
+  void AffinityChanged(Task* task) override;
+  bool HasQueuedWork(int cpu) const override;
+
+  // Statistics.
+  uint64_t steals() const { return steals_; }
+  int QueueDepth(int cpu) const { return static_cast<int>(rqs_[cpu].queue.size()); }
+
+  static int64_t NiceToWeight(int nice);
+
+ private:
+  struct Rq {
+    // Ordered by (vruntime, tid) — leftmost is next.
+    std::set<std::pair<int64_t, Task*>> queue;
+    int64_t min_vruntime = 0;
+    int ticks_since_balance = 0;
+  };
+
+  void Enqueue(int cpu, Task* task);
+  void Dequeue(int cpu, Task* task);
+  // Picks a CPU for a waking task: previous CPU if available, then outward
+  // through the topology, else the least-loaded allowed runqueue.
+  int SelectCpu(Task* task) const;
+  // Charges vruntime for runtime accumulated since the task was picked.
+  void ChargeVruntime(Task* task, int cpu);
+  // Pulls one stealable task from the most loaded runqueue into `cpu`'s.
+  // Returns the pulled task or nullptr.
+  Task* PullOne(int cpu);
+  // Active balance (migration_cpu_stop): when a whole core idles while
+  // another core runs tasks on both hyperthreads, preempt one of them and
+  // steer it here. Returns true if a migration was initiated.
+  bool ActiveBalance(int idle_cpu);
+  void CheckWakeupPreemption(int cpu, Task* waking);
+
+  Params params_;
+  std::vector<Rq> rqs_;
+  // Pending active-balance destination per source CPU (-1 = none): the next
+  // PutPrev(kPreempted) on that CPU enqueues onto the destination instead.
+  std::vector<int> pull_to_;
+  uint64_t steals_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_KERNEL_CFS_H_

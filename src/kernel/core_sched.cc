@@ -1,0 +1,254 @@
+#include "src/kernel/core_sched.h"
+
+#include <algorithm>
+
+#include "src/kernel/kernel.h"
+
+namespace gs {
+
+void CoreSchedClass::Attach(Kernel* kernel) {
+  SchedClass::Attach(kernel);
+  const int cores = kernel->topology().num_cores();
+  core_cookie_.assign(cores, 0);
+  core_since_.assign(cores, 0);
+  core_rotate_.assign(cores, false);
+}
+
+int CoreSchedClass::CoreOf(int cpu) const { return kernel_->topology().cpu(cpu).core; }
+
+int CoreSchedClass::OccupantsOnCore(int core) const {
+  // Counts this class's tasks running *or mid-switch* on the core's CPUs —
+  // a task picked for a sibling but still context-switching already owns the
+  // cookie, so the core must not be handed to another domain.
+  int count = 0;
+  const CpuMask cpus = kernel_->topology().CoreMask(core);
+  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+    const CpuState& cs = kernel_->cpu_state(cpu);
+    const Task* occupant = cs.switching ? cs.switching_to : cs.current;
+    if (occupant != nullptr && occupant->sched_class() == this) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void CoreSchedClass::SetCookie(Task* task, int64_t cookie) {
+  CHECK_NE(cookie, 0);
+  task->core_sched().cookie = cookie;
+}
+
+void CoreSchedClass::TaskDeparted(Task* task) {
+  CoreSchedTaskState& st = task->core_sched();
+  if (st.queued) {
+    Group& group = groups_[st.cookie];
+    auto it = std::find(group.runnable.begin(), group.runnable.end(), task);
+    CHECK(it != group.runnable.end());
+    group.runnable.erase(it);
+    st.queued = false;
+  }
+}
+
+void CoreSchedClass::EnqueueWake(Task* task) {
+  CoreSchedTaskState& st = task->core_sched();
+  CHECK_NE(st.cookie, 0) << task->name() << " woken without a cookie";
+  CHECK(!st.queued);
+  st.queued = true;
+  groups_[st.cookie].runnable.push_back(task);
+
+  // Kick a CPU that could legally run it: a core already owned by this
+  // cookie with a free sibling, else a fully free core.
+  const Topology& topo = kernel_->topology();
+  int free_core = -1;
+  for (int core = 0; core < topo.num_cores(); ++core) {
+    const CpuMask cpus = topo.CoreMask(core) & task->affinity();
+    if (cpus.Empty()) {
+      continue;
+    }
+    if (core_cookie_[core] == st.cookie) {
+      for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+        if (kernel_->CpuAvailableFor(cpu, this)) {
+          kernel_->ReschedCpu(cpu);
+          return;
+        }
+      }
+    }
+    if (free_core < 0 && core_cookie_[core] == 0) {
+      bool all_available = true;
+      for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+        all_available &= kernel_->CpuAvailableFor(cpu, this);
+      }
+      if (all_available) {
+        free_core = core;
+      }
+    }
+  }
+  if (free_core >= 0) {
+    KickCore(free_core);
+  }
+  // Otherwise the task waits for a slice rotation.
+}
+
+void CoreSchedClass::KickCore(int core) {
+  const CpuMask cpus = kernel_->topology().CoreMask(core);
+  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+    kernel_->ReschedCpu(cpu);
+  }
+}
+
+Task* CoreSchedClass::PickNext(int cpu) {
+  const int core = CoreOf(cpu);
+  if (core_rotate_[core]) {
+    // A rotation is in progress: the core must fully drain its old cookie
+    // before adopting a new one (otherwise two domains would overlap).
+    if (OccupantsOnCore(core) > 0) {
+      return nullptr;
+    }
+    core_rotate_[core] = false;
+    core_cookie_[core] = 0;
+  }
+  int64_t cookie = core_cookie_[core];
+
+  if (cookie != 0 && groups_[cookie].runnable.empty()) {
+    if (OccupantsOnCore(core) == 0) {
+      core_cookie_[core] = 0;  // the domain drained; the core is up for grabs
+      cookie = 0;
+    } else {
+      return nullptr;  // sibling still runs (or switches to) this cookie
+    }
+  }
+  if (cookie == 0) {
+    // Adopt the next cookie with work (round-robin for inter-VM fairness).
+    cookie = NextCookie(last_adopted_);
+    if (cookie == 0) {
+      return nullptr;
+    }
+    core_cookie_[core] = cookie;
+    core_since_[core] = kernel_->now();
+    last_adopted_ = cookie;
+    // Bring the sibling in for the rest of the domain's runnable threads.
+    const int sibling = kernel_->topology().cpu(cpu).sibling;
+    if (sibling >= 0) {
+      kernel_->ReschedCpu(sibling);
+    }
+  }
+
+  Group& group = groups_[cookie];
+  for (auto it = group.runnable.begin(); it != group.runnable.end(); ++it) {
+    Task* task = *it;
+    if (!task->affinity().IsSet(cpu)) {
+      continue;
+    }
+    group.runnable.erase(it);
+    task->core_sched().queued = false;
+    return task;
+  }
+  return nullptr;
+}
+
+int64_t CoreSchedClass::NextCookie(int64_t after) const {
+  // First cookie strictly after `after` (wrapping) with runnable work that no
+  // core currently owns: a VM is scheduled at core granularity (both vCPUs
+  // on one core, §4.5), never split across half-idle cores.
+  auto owned = [this](int64_t cookie) {
+    for (int64_t c : core_cookie_) {
+      if (c == cookie) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto start = groups_.upper_bound(after);
+  for (auto it = start; it != groups_.end(); ++it) {
+    if (!it->second.runnable.empty() && !owned(it->first)) {
+      return it->first;
+    }
+  }
+  for (auto it = groups_.begin(); it != start; ++it) {
+    if (!it->second.runnable.empty() && !owned(it->first)) {
+      return it->first;
+    }
+  }
+  return 0;
+}
+
+bool CoreSchedClass::AnyOtherCookieWaiting(int64_t current) const {
+  for (const auto& [cookie, group] : groups_) {
+    if (cookie != current && !group.runnable.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CoreSchedClass::TaskStarted(int cpu, Task* task) {
+  // Security monitor: the sibling must be idle or running the same cookie.
+  const int sibling = kernel_->topology().cpu(cpu).sibling;
+  if (sibling >= 0) {
+    const Task* other = kernel_->current(sibling);
+    if (other != nullptr && other->sched_class() == this &&
+        other->core_sched().cookie != task->core_sched().cookie) {
+      ++violations_;
+      LOG(ERROR) << "core-sched violation: " << task->name() << " vs " << other->name();
+    }
+  }
+}
+
+void CoreSchedClass::PutPrev(Task* task, int cpu, PutPrevReason reason) {
+  const int core = CoreOf(cpu);
+  if (reason == PutPrevReason::kPreempted || reason == PutPrevReason::kYielded) {
+    CoreSchedTaskState& st = task->core_sched();
+    st.queued = true;
+    groups_[st.cookie].runnable.push_back(task);
+  }
+  if (OccupantsOnCore(core) == 0) {
+    if (core_rotate_[core]) {
+      KickCore(core);  // drained: both CPUs may adopt the next cookie
+    } else if (core_cookie_[core] != 0 && groups_[core_cookie_[core]].runnable.empty()) {
+      core_cookie_[core] = 0;
+    }
+  }
+}
+
+void CoreSchedClass::TaskTick(int cpu, Task* current) {
+  const int core = CoreOf(cpu);
+  if (kernel_->now() - core_since_[core] < params_.slice) {
+    return;
+  }
+  if (!AnyOtherCookieWaiting(core_cookie_[core])) {
+    core_since_[core] = kernel_->now();  // nothing to rotate to; renew
+    return;
+  }
+  // Slice expired with other domains waiting: rotate the whole core. Both
+  // siblings are preempted; once drained, the core adopts the next cookie.
+  ++rotations_;
+  core_rotate_[core] = true;
+  core_since_[core] = kernel_->now();
+  KickCore(core);
+}
+
+void CoreSchedClass::IdleTick(int cpu) {
+  if (!kernel_->CpuAvailableFor(cpu, this)) {
+    return;
+  }
+  // Runnable work in the core's own domain, or an adoptable (unowned)
+  // domain elsewhere — either way this idle CPU should re-pick.
+  const int64_t own = core_cookie_[CoreOf(cpu)];
+  if (own != 0 && !groups_[own].runnable.empty()) {
+    kernel_->ReschedCpu(cpu);
+    return;
+  }
+  if (NextCookie(last_adopted_) != 0) {
+    kernel_->ReschedCpu(cpu);
+  }
+}
+
+bool CoreSchedClass::HasQueuedWork(int cpu) const {
+  for (const auto& [cookie, group] : groups_) {
+    if (!group.runnable.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gs

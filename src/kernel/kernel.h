@@ -1,0 +1,208 @@
+// The simulated kernel: CPUs, context switches, the scheduling-class
+// hierarchy, timer ticks, IPIs and task lifecycle "syscalls".
+//
+// This is the substrate the ghOSt scheduling class (src/ghost) plugs into,
+// standing in for the paper's patched Linux 4.15. It reproduces the pieces of
+// the Linux scheduling machinery that ghOSt's design interacts with:
+//
+//  * strict class priority (agents ≈ RT > CFS > ghOSt, §3.3/§3.4),
+//  * pick_next_task semantics (put_prev then pick, per class in order),
+//  * context-switch and IPI costs (CostModel, calibrated from Table 3),
+//  * per-CPU 1 ms timer ticks,
+//  * SMT sibling contention and cache-warmth placement penalties,
+//  * task states and the transitions that generate ghOSt messages.
+//
+// Execution model: tasks run "bursts" (see task.h). The kernel tracks exact
+// progress under preemption and CPU-speed changes (e.g. a sibling hyperthread
+// becoming busy re-rates the current burst, which is how Fig 5's ❷ regime
+// emerges).
+#ifndef GHOST_SIM_SRC_KERNEL_KERNEL_H_
+#define GHOST_SIM_SRC_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/cpumask.h"
+#include "src/base/time.h"
+#include "src/kernel/cost_model.h"
+#include "src/kernel/sched_class.h"
+#include "src/kernel/task.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/trace.h"
+#include "src/topology/topology.h"
+
+namespace gs {
+
+// Per-CPU scheduler state (≈ struct rq).
+struct CpuState {
+  int id = -1;
+
+  Task* current = nullptr;  // nullptr => idle (or switching)
+  bool switching = false;
+  Task* switching_to = nullptr;
+  bool resched_pending = false;   // resched requested while switching
+  bool resched_scheduled = false; // a zero-delay resched event is queued
+  bool yielded = false;           // current called Yield()
+
+  EventId completion_event = kInvalidEventId;
+  EventId switch_event = kInvalidEventId;
+  Time run_start = 0;   // when `current` last started progressing
+  double speed = 1.0;   // current execution speed factor
+  Time pick_time = 0;   // when `current` was last picked (slice accounting)
+
+  // Statistics.
+  uint64_t context_switches = 0;
+  Duration busy_ns = 0;
+  Time busy_since = 0;
+  bool busy = false;
+};
+
+class Kernel {
+ public:
+  Kernel(EventLoop* loop, Topology topology, CostModel cost = CostModel());
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // Installs scheduling classes in strict priority order (index 0 highest).
+  // `default_index` designates the fallback class for plain tasks (CFS).
+  void InstallClasses(std::vector<std::unique_ptr<SchedClass>> classes, int default_index);
+
+  EventLoop* loop() { return loop_; }
+  Time now() const { return loop_->now(); }
+  const Topology& topology() const { return topology_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& mutable_cost() { return cost_; }
+
+  SchedClass* default_class() { return classes_[default_index_].get(); }
+  SchedClass* sched_class_at(int priority_index) { return classes_[priority_index].get(); }
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+  // Priority index of a class (0 = highest). CHECK-fails for foreign classes.
+  int ClassIndex(const SchedClass* cls) const;
+  // True if `cpu` is idle or running something of strictly lower priority
+  // than `cls` (i.e. a wakeup into `cls` could take the CPU immediately).
+  bool CpuAvailableFor(int cpu, const SchedClass* cls) const;
+
+  // ---- Task lifecycle --------------------------------------------------------
+  // Creates a task in `cls` (nullptr => default class). The task starts in
+  // kCreated; call Wake() (after setting a burst or an on-scheduled hook) to
+  // make it runnable.
+  Task* CreateTask(const std::string& name, SchedClass* cls = nullptr);
+
+  // Marks `task` as an agent thread (scheduled with the cheaper agent
+  // context-switch path and agent SMT factor).
+  void MarkAgent(Task* task) { agent_tasks_.insert(task); }
+  bool IsAgent(const Task* task) const { return agent_tasks_.count(const_cast<Task*>(task)) > 0; }
+
+  // Installs a hook invoked every time `task` is placed on a CPU, before its
+  // burst is armed. Agents use this to run their scheduling loop.
+  void SetOnScheduled(Task* task, std::function<void(Task*)> hook);
+
+  // Sets/extends the task's pending CPU demand and arms completion if the
+  // task is currently running.
+  void StartBurst(Task* task, Duration duration, Task::BurstDoneFn on_done);
+
+  // ---- "Syscalls" -------------------------------------------------------------
+  void Wake(Task* task);
+  void Block(Task* task);  // task must be running
+  void Exit(Task* task);   // task must be running
+  void Yield(Task* task);  // task must be running
+  // Forcefully terminates a task in any state (SIGKILL analog; used when an
+  // enclave is destroyed and its agents must die).
+  void Kill(Task* task);
+  void SetAffinity(Task* task, const CpuMask& mask);
+  void SetNice(Task* task, int nice);
+  // Moves a task between scheduling classes (sched_setscheduler).
+  void SetSchedClass(Task* task, SchedClass* cls);
+
+  // ---- Scheduler machinery (used by sched classes and the ghOSt module) ------
+  // Requests a pick_next_task pass on `cpu` (coalesced, zero virtual delay).
+  void ReschedCpu(int cpu);
+
+  // Delivers `fn` on `to_cpu` after IPI flight + handling costs.
+  // `cross_numa` adds the cross-socket flight penalty.
+  void SendIpi(int to_cpu, bool cross_numa, std::function<void()> fn);
+
+  // Accounted runtime of the current task on `cpu` since it was last picked.
+  Duration CurrentElapsed(int cpu) const;
+
+  // Tick-less operation (§5): with ticks disabled a CPU receives no timer
+  // interrupt — no slice enforcement, no TIMER_TICK messages, and no
+  // tick_cost (VM-exit) charged to the running task. A spinning global agent
+  // makes the ticks redundant for ghOSt-managed CPUs.
+  void SetTickEnabled(int cpu, bool enabled) { tick_enabled_[cpu] = enabled; }
+  bool tick_enabled(int cpu) const { return tick_enabled_[cpu]; }
+  uint64_t ticks_delivered(int cpu) const { return ticks_delivered_[cpu]; }
+
+  CpuState& cpu_state(int cpu);
+  const CpuState& cpu_state(int cpu) const;
+  Task* current(int cpu) const { return cpus_[cpu].current; }
+  // Idle = not running anything and not context-switching.
+  bool CpuIdle(int cpu) const;
+  CpuMask IdleCpus() const;
+
+  // Listener invoked on busy<->idle transitions (ghOSt enclaves use this to
+  // wake polling agents). `idle` is the new state. Returns a handle for
+  // RemoveIdleListener.
+  using IdleListener = std::function<void(int cpu, bool idle)>;
+  int AddIdleListener(IdleListener listener);
+  void RemoveIdleListener(int handle);
+
+  // ---- Statistics ---------------------------------------------------------------
+  uint64_t total_context_switches() const;
+  // Busy time including a currently running span.
+  Duration CpuBusyTime(int cpu) const;
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  Task* FindTask(int64_t tid) const;
+
+  // Scheduling trace (sched_switch/sched_wakeup-style introspection).
+  // Disabled by default; Enable() it in tests/tools that need it.
+  Trace& trace() { return trace_; }
+
+ private:
+  void ReschedNow(int cpu);
+  void FinishSwitch(int cpu);
+  void StartRunning(int cpu, Task* task, bool fresh_placement);
+  // Account `current`'s progress up to now and restart the progress clock.
+  void UpdateProgress(int cpu);
+  void ArmCompletion(int cpu);
+  void CancelCompletion(int cpu);
+  void BurstComplete(int cpu);
+  void OnTick(int cpu);
+  double SpeedFactor(const Task& task, int cpu) const;
+  // Re-rates the sibling CPU's current burst after this CPU's busy state
+  // changed.
+  void RerateSibling(int cpu);
+  void SetBusy(int cpu, bool busy);
+  double WarmthFactor(const Task& task, int cpu) const;
+
+  EventLoop* loop_;
+  Topology topology_;
+  CostModel cost_;
+
+  std::vector<std::unique_ptr<SchedClass>> classes_;
+  int default_index_ = -1;
+
+  std::vector<CpuState> cpus_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  int64_t next_tid_ = 1;
+
+  std::unordered_map<Task*, std::function<void(Task*)>> on_scheduled_;
+  std::unordered_set<Task*> agent_tasks_;
+  std::map<int, IdleListener> idle_listeners_;
+  int next_listener_id_ = 1;
+  std::vector<bool> tick_enabled_;
+  std::vector<uint64_t> ticks_delivered_;
+  Trace trace_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,229 @@
+#include "src/kernel/microquanta.h"
+
+#include <algorithm>
+
+#include "src/kernel/kernel.h"
+
+namespace gs {
+
+void MicroQuantaClass::Attach(Kernel* kernel) {
+  SchedClass::Attach(kernel);
+  rqs_.resize(kernel->topology().num_cpus());
+  throttle_events_.assign(kernel->topology().num_cpus(), kInvalidEventId);
+}
+
+void MicroQuantaClass::TaskNew(Task* task) {
+  task->mq() = MicroQuantaTaskState();
+  task->mq().period = params_.period;
+  task->mq().quanta = params_.quanta;
+  task->mq().window_start = kernel_->now();
+}
+
+void MicroQuantaClass::TaskDeparted(Task* task) {
+  DequeueIfQueued(task);
+  MicroQuantaTaskState& st = task->mq();
+  if (st.unthrottle_event != kInvalidEventId) {
+    kernel_->loop()->Cancel(st.unthrottle_event);
+    st.unthrottle_event = kInvalidEventId;
+  }
+  st.throttled = false;
+}
+
+void MicroQuantaClass::Enqueue(int cpu, Task* task) {
+  MicroQuantaTaskState& st = task->mq();
+  CHECK(!st.queued) << task->name();
+  st.queued = true;
+  st.rq_cpu = cpu;
+  rqs_[cpu].push_back(task);
+}
+
+void MicroQuantaClass::DequeueIfQueued(Task* task) {
+  MicroQuantaTaskState& st = task->mq();
+  if (!st.queued) {
+    return;
+  }
+  auto& rq = rqs_[st.rq_cpu];
+  auto it = std::find(rq.begin(), rq.end(), task);
+  CHECK(it != rq.end());
+  rq.erase(it);
+  st.queued = false;
+  st.rq_cpu = -1;
+}
+
+int MicroQuantaClass::SelectCpu(Task* task) const {
+  const CpuMask& affinity = task->affinity();
+  const int num_cpus = kernel_->topology().num_cpus();
+
+  auto usable = [&](int cpu) {
+    return cpu >= 0 && cpu < num_cpus && affinity.IsSet(cpu) &&
+           kernel_->CpuAvailableFor(cpu, this) && rqs_[cpu].empty();
+  };
+
+  if (usable(task->last_cpu())) {
+    return task->last_cpu();
+  }
+  for (int cpu = affinity.First(); cpu >= 0 && cpu < num_cpus; cpu = affinity.NextAfter(cpu)) {
+    if (usable(cpu)) {
+      return cpu;
+    }
+  }
+  // Everyone busy with >= our priority: shortest queue.
+  int best = -1;
+  size_t best_depth = SIZE_MAX;
+  for (int cpu = affinity.First(); cpu >= 0 && cpu < num_cpus; cpu = affinity.NextAfter(cpu)) {
+    if (rqs_[cpu].size() < best_depth) {
+      best_depth = rqs_[cpu].size();
+      best = cpu;
+    }
+  }
+  CHECK_GE(best, 0) << "no allowed CPU for " << task->name();
+  return best;
+}
+
+void MicroQuantaClass::MaybeRollWindow(Task* task) {
+  MicroQuantaTaskState& st = task->mq();
+  if (kernel_->now() - st.window_start >= st.period) {
+    st.window_start = kernel_->now();
+    st.used_in_window = 0;
+  }
+}
+
+void MicroQuantaClass::EnqueueWake(Task* task) {
+  MaybeRollWindow(task);
+  MicroQuantaTaskState& st = task->mq();
+  if (st.throttled) {
+    return;  // joins at the unthrottle boundary
+  }
+  const int cpu = SelectCpu(task);
+  Enqueue(cpu, task);
+  if (kernel_->CpuAvailableFor(cpu, this)) {
+    kernel_->ReschedCpu(cpu);
+  }
+}
+
+void MicroQuantaClass::TaskStarted(int cpu, Task* task) {
+  MaybeRollWindow(task);
+  MicroQuantaTaskState& st = task->mq();
+  st.run_begin = kernel_->now();
+  const Duration remaining = std::max<Duration>(0, st.quanta - st.used_in_window);
+  CancelThrottleTimer(task);
+  throttle_events_[cpu] = kernel_->loop()->ScheduleAfter(remaining, [this, cpu, task] {
+    throttle_events_[cpu] = kInvalidEventId;
+    if (kernel_->current(cpu) != task) {
+      return;  // stale
+    }
+    MaybeRollWindow(task);
+    MicroQuantaTaskState& state = task->mq();
+    if (state.used_in_window + (kernel_->now() - state.run_begin) < state.quanta) {
+      // The window rolled while running: re-arm via another TaskStarted-style
+      // charge point.
+      TaskStarted(cpu, task);
+      return;
+    }
+    Throttle(task);
+    kernel_->ReschedCpu(cpu);
+  });
+}
+
+void MicroQuantaClass::CancelThrottleTimer(Task* task) {
+  const int cpu = task->cpu();
+  if (cpu >= 0 && throttle_events_[cpu] != kInvalidEventId) {
+    kernel_->loop()->Cancel(throttle_events_[cpu]);
+    throttle_events_[cpu] = kInvalidEventId;
+  }
+}
+
+void MicroQuantaClass::Throttle(Task* task) {
+  MicroQuantaTaskState& st = task->mq();
+  CHECK(!st.throttled);
+  st.throttled = true;
+  ++throttle_count_;
+  const Time boundary = st.window_start + st.period;
+  const Duration delay = std::max<Duration>(0, boundary - kernel_->now());
+  st.unthrottle_event = kernel_->loop()->ScheduleAfter(delay, [this, task] { Unthrottle(task); });
+}
+
+void MicroQuantaClass::Unthrottle(Task* task) {
+  MicroQuantaTaskState& st = task->mq();
+  st.unthrottle_event = kInvalidEventId;
+  st.throttled = false;
+  st.window_start = kernel_->now();
+  st.used_in_window = 0;
+  if (task->state() == TaskState::kRunnable && !st.queued) {
+    const int cpu = SelectCpu(task);
+    Enqueue(cpu, task);
+    if (kernel_->CpuAvailableFor(cpu, this)) {
+      kernel_->ReschedCpu(cpu);
+    }
+  }
+}
+
+void MicroQuantaClass::IdleTick(int cpu) {
+  // This CPU could run MicroQuanta work but has none queued: migrate a task
+  // stranded on a runqueue whose CPU is monopolized by a higher class (e.g.
+  // a spinning agent).
+  if (!kernel_->CpuAvailableFor(cpu, this) || !rqs_[cpu].empty()) {
+    if (!rqs_[cpu].empty() && kernel_->CpuAvailableFor(cpu, this)) {
+      kernel_->ReschedCpu(cpu);
+    }
+    return;
+  }
+  for (int other = 0; other < static_cast<int>(rqs_.size()); ++other) {
+    if (other == cpu || rqs_[other].empty() || kernel_->CpuAvailableFor(other, this)) {
+      continue;
+    }
+    for (Task* task : rqs_[other]) {
+      if (task->affinity().IsSet(cpu)) {
+        DequeueIfQueued(task);
+        Enqueue(cpu, task);
+        kernel_->ReschedCpu(cpu);
+        return;
+      }
+    }
+  }
+}
+
+void MicroQuantaClass::PutPrev(Task* task, int cpu, PutPrevReason reason) {
+  MicroQuantaTaskState& st = task->mq();
+  if (throttle_events_[cpu] != kInvalidEventId) {
+    kernel_->loop()->Cancel(throttle_events_[cpu]);
+    throttle_events_[cpu] = kInvalidEventId;
+  }
+  st.used_in_window += kernel_->now() - st.run_begin;
+  st.run_begin = kernel_->now();
+  if (reason == PutPrevReason::kBlocked || reason == PutPrevReason::kExited) {
+    return;
+  }
+  if (st.throttled) {
+    return;  // rejoins at the window boundary
+  }
+  if (st.used_in_window >= st.quanta) {
+    Throttle(task);
+    return;
+  }
+  Enqueue(cpu, task);
+}
+
+Task* MicroQuantaClass::PickNext(int cpu) {
+  auto& rq = rqs_[cpu];
+  if (rq.empty()) {
+    return nullptr;
+  }
+  Task* task = rq.front();
+  rq.pop_front();
+  task->mq().queued = false;
+  task->mq().rq_cpu = -1;
+  return task;
+}
+
+void MicroQuantaClass::AffinityChanged(Task* task) {
+  MicroQuantaTaskState& st = task->mq();
+  if (st.queued && !task->affinity().IsSet(st.rq_cpu)) {
+    DequeueIfQueued(task);
+    const int cpu = SelectCpu(task);
+    Enqueue(cpu, task);
+    kernel_->ReschedCpu(cpu);
+  }
+}
+
+}  // namespace gs

@@ -1,0 +1,73 @@
+// Scheduling-class interface, mirroring Linux's struct sched_class.
+//
+// Classes are consulted in strict priority order by Kernel::PickNext (§2 of
+// the paper): the agent class sits on top (like SCHED_FIFO), then optional
+// experiment classes (MicroQuanta, core scheduling), then CFS, and the ghOSt
+// class at the bottom so that "most threads in the system will preempt ghOSt
+// threads" (§3.4).
+#ifndef GHOST_SIM_SRC_KERNEL_SCHED_CLASS_H_
+#define GHOST_SIM_SRC_KERNEL_SCHED_CLASS_H_
+
+#include <string>
+
+#include "src/kernel/task.h"
+
+namespace gs {
+
+class Kernel;
+
+class SchedClass {
+ public:
+  virtual ~SchedClass() = default;
+
+  virtual const char* name() const = 0;
+
+  // Called once when the class is installed.
+  virtual void Attach(Kernel* kernel) { kernel_ = kernel; }
+
+  // A task was assigned to this class (creation or setscheduler).
+  virtual void TaskNew(Task* task) = 0;
+
+  // A task left this class (setscheduler away) or died. The task is not
+  // running and not queued when this is called.
+  virtual void TaskDeparted(Task* task) = 0;
+
+  // The task became runnable (wakeup). The class may select a CPU and request
+  // a resched via Kernel::ReschedCpu().
+  virtual void EnqueueWake(Task* task) = 0;
+
+  // `task` is coming off `cpu`. If the reason leaves it runnable
+  // (kPreempted/kYielded) the class must requeue it; for kBlocked/kExited it
+  // must forget it. Always called before PickNext for that CPU.
+  virtual void PutPrev(Task* task, int cpu, PutPrevReason reason) = 0;
+
+  // Returns the task this class wants on `cpu` now (possibly the task just
+  // passed to PutPrev), or nullptr. The class removes the returned task from
+  // its queues before returning it.
+  virtual Task* PickNext(int cpu) = 0;
+
+  // The task actually started running on `cpu` (after any context-switch
+  // delay). Classes that enforce budgets (MicroQuanta) arm timers here.
+  virtual void TaskStarted(int cpu, Task* task) {}
+
+  // Periodic timer tick while `current` (owned by this class) runs on `cpu`.
+  virtual void TaskTick(int cpu, Task* current) {}
+
+  // Tick on an idle CPU (used for load balancing / TIMER_TICK messages).
+  virtual void IdleTick(int cpu) {}
+
+  // The task's affinity changed (sched_setaffinity). Task may be queued,
+  // running, or blocked; the class must make its queues consistent.
+  virtual void AffinityChanged(Task* task) {}
+
+  // True if this class has any runnable (queued) task that `cpu` could run.
+  // Used by the kernel to decide whether an idle CPU should look further.
+  virtual bool HasQueuedWork(int cpu) const { return false; }
+
+ protected:
+  Kernel* kernel_ = nullptr;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_KERNEL_SCHED_CLASS_H_

@@ -1,0 +1,272 @@
+#include "src/policies/centralized_fifo.h"
+
+#include "src/agent/agent_process.h"
+
+#include <algorithm>
+
+namespace gs {
+
+CentralizedFifoPolicy::CentralizedFifoPolicy(Options options) : options_(std::move(options)) {
+  if (!options_.tier_of) {
+    options_.tier_of = [](int64_t) { return 0; };
+  }
+}
+
+void CentralizedFifoPolicy::Attached(AgentProcess* process, Enclave* enclave,
+                                     Kernel* kernel) {
+  enclave_ = enclave;
+  process_ = process;
+  global_cpu_ = options_.global_cpu >= 0 ? options_.global_cpu : enclave->cpus().First();
+  if (options_.use_fastpath) {
+    enclave->InstallFastPath(RingFastPath::Global(kernel->topology().num_cpus()));
+  }
+}
+
+void CentralizedFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  for (const Enclave::TaskInfo& info : dump) {
+    // Route future messages to this policy's (default) queue, regardless of
+    // what the previous agent had configured.
+    CHECK(enclave_->AssociateQueue(info.tid, enclave_->default_queue()));
+    PolicyTask* task = table_.Add(info.tid);
+    task->tseq = info.tseq;
+    task->affinity = info.affinity;
+    task->tier = options_.tier_of(info.tid);
+    task->runnable = info.runnable;
+    if (info.on_cpu) {
+      task->assigned_cpu = info.cpu;
+      running_[info.cpu] = Running{task, 0};
+    } else if (info.runnable) {
+      Enqueue(task, /*front=*/false);
+    }
+  }
+}
+
+void CentralizedFifoPolicy::Enqueue(PolicyTask* task, bool front) {
+  CHECK(!task->queued);
+  task->queued = true;
+  if (front) {
+    fifo_[task->tier].PushFront(task);
+  } else {
+    fifo_[task->tier].Push(task);
+  }
+  // Publish to the fast-path ring: if a CPU idles before the agent's next
+  // loop iteration, its pick_next_task hook runs this thread immediately.
+  if (options_.use_fastpath && task->tier == 0 && enclave_->fastpath() != nullptr) {
+    enclave_->fastpath()->Publish(0, task->tid);
+  }
+}
+
+void CentralizedFifoPolicy::DequeueFromRunqueue(PolicyTask* task) {
+  if (task->queued) {
+    CHECK(fifo_[task->tier].Remove(task));
+    task->queued = false;
+  }
+}
+
+PolicyTask* CentralizedFifoPolicy::PopTier(int tier) {
+  PolicyTask* task = fifo_[tier].Pop();
+  if (task != nullptr) {
+    task->queued = false;
+  }
+  return task;
+}
+
+PolicyTask* CentralizedFifoPolicy::PopNext() {
+  PolicyTask* task = PopTier(0);
+  return task != nullptr ? task : PopTier(1);
+}
+
+void CentralizedFifoPolicy::ClearRunning(PolicyTask* task) {
+  if (task->assigned_cpu >= 0) {
+    auto it = running_.find(task->assigned_cpu);
+    if (it != running_.end() && it->second.task == task) {
+      running_.erase(it);
+    }
+  }
+}
+
+void CentralizedFifoPolicy::HandleMessage(const Message& msg) {
+  // Snapshot the pre-apply assignment: Apply() clears it.
+  PolicyTask* prior = table_.Find(msg.tid);
+  const int prior_cpu = prior != nullptr ? prior->assigned_cpu : -1;
+
+  PolicyTask* task = nullptr;
+  switch (table_.Apply(msg, &task)) {
+    case TaskTable::Event::kNew:
+      task->tier = options_.tier_of(task->tid);
+      if (task->runnable && !task->queued) {
+        Enqueue(task, /*front=*/false);
+      }
+      break;
+    case TaskTable::Event::kRunnable:
+      if (prior_cpu >= 0) {
+        auto it = running_.find(prior_cpu);
+        if (it != running_.end() && it->second.task == task) {
+          running_.erase(it);
+        }
+      }
+      if (!task->queued) {
+        // Preempted / expired requests rejoin at the back (Shinjuku FIFO).
+        Enqueue(task, /*front=*/false);
+      }
+      break;
+    case TaskTable::Event::kBlocked:
+      if (prior_cpu >= 0) {
+        auto it = running_.find(prior_cpu);
+        if (it != running_.end() && it->second.task == task) {
+          running_.erase(it);
+        }
+      }
+      DequeueFromRunqueue(task);
+      break;
+    case TaskTable::Event::kDead:
+      ClearRunning(task);
+      DequeueFromRunqueue(task);
+      table_.Remove(msg.tid);
+      break;
+    case TaskTable::Event::kAffinity:
+    case TaskTable::Event::kNone:
+      break;
+  }
+}
+
+AgentAction CentralizedFifoPolicy::RunAgent(AgentContext& ctx) {
+  if (ctx.agent_cpu() != global_cpu_) {
+    return AgentAction::kBlock;  // inactive agent (Fig 2)
+  }
+  bool progress = false;
+  ctx.Charge(options_.extra_loop_cost);
+
+  // Hot handoff (§3.3): if the kernel wants to run a non-ghOSt thread on
+  // this CPU, wake the inactive agent on an idle CPU to become the new
+  // global agent, then vacate. Policy state is shared process memory, so the
+  // successor resumes seamlessly.
+  if (ctx.HigherClassWaitersOn(global_cpu_)) {
+    const CpuMask idle = ctx.AvailableCpus();
+    for (int cpu = idle.First(); cpu >= 0; cpu = idle.NextAfter(cpu)) {
+      Task* successor = process_->agent_on(cpu);
+      if (successor == nullptr || successor->state() != TaskState::kBlocked) {
+        continue;
+      }
+      global_cpu_ = cpu;
+      ++hot_handoffs_;
+      ctx.Charge(ctx.kernel()->cost().syscall + ctx.kernel()->cost().agent_wakeup);
+      ctx.kernel()->Wake(successor);
+      // Yield (not block): the waiting CFS thread takes this CPU, and the
+      // old agent re-blocks as a normal inactive agent on its next run.
+      return AgentAction::kYield;
+    }
+    // No idle CPU to hand off to: keep scheduling (the kernel thread waits,
+    // exactly as when all CPUs are busy).
+  }
+
+  // 1. Drain the global queue (Fig 4: DrainMessageQueue()).
+  scratch_msgs_.clear();
+  if (ctx.Drain(enclave_->default_queue(), &scratch_msgs_) > 0) {
+    progress = true;
+  }
+  for (const Message& msg : scratch_msgs_) {
+    HandleMessage(msg);
+  }
+
+  std::vector<std::pair<int, PolicyTask*>> assignments;
+
+  // 2. Timeslice rotation (Shinjuku: preempt after the allotted slice and
+  // move the request to the back of the FIFO).
+  const Duration slice = options_.preemption_timeslice;
+  if (slice > 0) {
+    for (auto& [cpu, run] : running_) {
+      if (ctx.start() - run.since < slice) {
+        continue;
+      }
+      // Rotate only if someone of the same-or-higher priority is waiting.
+      PolicyTask* next = nullptr;
+      if (!fifo_[0].empty()) {
+        next = PopTier(0);
+      } else if (run.task->tier == 1 && !fifo_[1].empty()) {
+        next = PopTier(1);
+      }
+      if (next != nullptr) {
+        assignments.emplace_back(cpu, next);
+        ++preemptions_;
+      }
+    }
+  }
+
+  // 3. Latency-critical wakeups preempt batch threads immediately.
+  if (!fifo_[0].empty()) {
+    for (auto& [cpu, run] : running_) {
+      if (fifo_[0].empty()) {
+        break;
+      }
+      if (run.task->tier == 1 &&
+          std::none_of(assignments.begin(), assignments.end(),
+                       [cpu = cpu](const auto& a) { return a.first == cpu; })) {
+        assignments.emplace_back(cpu, PopTier(0));
+        ++preemptions_;
+      }
+    }
+  }
+
+  // 4. Fill available CPUs (Fig 4: GetIdleCPUs()).
+  const CpuMask avail = ctx.AvailableCpus();
+  for (int cpu = avail.First(); cpu >= 0; cpu = avail.NextAfter(cpu)) {
+    PolicyTask* next = PopNext();
+    if (next == nullptr) {
+      break;
+    }
+    ctx.Charge(ctx.kernel()->cost().agent_per_task_scan);
+    assignments.emplace_back(cpu, next);
+  }
+
+  // 5. Group-commit all assignments (Fig 4: Schedule()), split into chunks
+  // of at most max_group_commit transactions per syscall.
+  if (!assignments.empty()) {
+    std::vector<Transaction> storage(assignments.size());
+    std::vector<Transaction*> txns(assignments.size());
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      storage[i] = AgentContext::MakeTxn(assignments[i].second->tid, assignments[i].first);
+      if (options_.use_tseq) {
+        storage[i].expected_tseq = assignments[i].second->tseq;
+      }
+      txns[i] = &storage[i];
+    }
+    const size_t chunk = static_cast<size_t>(options_.max_group_commit);
+    for (size_t off = 0; off < txns.size(); off += chunk) {
+      ctx.Commit(std::span<Transaction*>(txns).subspan(off, std::min(chunk, txns.size() - off)));
+    }
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      auto [cpu, task] = assignments[i];
+      if (storage[i].committed()) {
+        task->assigned_cpu = cpu;
+        task->last_cpu = cpu;
+        running_[cpu] = Running{task, ctx.start() + ctx.cost()};
+        ++scheduled_;
+        progress = true;
+      } else {
+        ++txn_failures_;
+        // Transaction failed: re-enqueue and retry next loop (Fig 4).
+        if (task->runnable && !task->queued) {
+          Enqueue(task, /*front=*/true);
+        }
+      }
+    }
+  }
+
+  // 6. Arm the next slice-expiry wakeup so preemption is punctual even when
+  // no messages arrive. Pointless (and livelock-prone) unless someone is
+  // actually waiting to rotate in.
+  if (slice > 0 && queue_depth() > 0) {
+    Time earliest = kTimeNever;
+    for (const auto& [cpu, run] : running_) {
+      earliest = std::min(earliest, run.since + slice);
+    }
+    if (earliest != kTimeNever) {
+      ctx.RequestWakeupAt(std::max(earliest, ctx.start() + ctx.cost()));
+    }
+  }
+
+  return progress ? AgentAction::kRunAgain : AgentAction::kPollWait;
+}
+
+}  // namespace gs

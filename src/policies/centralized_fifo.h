@@ -1,0 +1,98 @@
+// Centralized FIFO policy: one spinning global agent schedules every CPU in
+// the enclave (Fig 4 of the paper).
+//
+// This single policy, parameterized, covers three of the paper's five
+// evaluation policies:
+//
+//  * Fig 5's round-robin scalability policy ("manages all threads in a FIFO
+//    runqueue, scheduling them on CPUs as soon as CPUs become idle", grouping
+//    as many transactions as possible per commit);
+//  * the Shinjuku policy (§4.2): 30 µs preemption timeslice, requests
+//    rotate to the back of the FIFO;
+//  * the Shinjuku+Shenango and Snap policies (§4.2/§4.3): a second, batch
+//    tier that only gets CPUs when the latency-critical tier leaves them
+//    idle, and that latency-critical wakeups preempt immediately.
+#ifndef GHOST_SIM_SRC_POLICIES_CENTRALIZED_FIFO_H_
+#define GHOST_SIM_SRC_POLICIES_CENTRALIZED_FIFO_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/agent/agent_context.h"
+#include "src/agent/policy.h"
+#include "src/agent/runqueue.h"
+#include "src/agent/task_table.h"
+
+namespace gs {
+
+class CentralizedFifoPolicy : public Policy {
+ public:
+  struct Options {
+    // CPU hosting the global agent. -1 = first enclave CPU.
+    int global_cpu = -1;
+    // 0 disables preemption (run to completion, like CFS-Shinjuku).
+    Duration preemption_timeslice = 0;
+    // Maps tid -> tier (0 latency-critical, 1 batch). Default: everything 0.
+    std::function<int(int64_t)> tier_of;
+    // Tag transactions with expected_tseq (§3.3 staleness detection).
+    bool use_tseq = true;
+    // Install the BPF-analog fast path (§3.2/§5): overflow runnable threads
+    // are published to a shared ring that idle CPUs pop from pick_next_task.
+    bool use_fastpath = false;
+    // Extra per-iteration policy cost (models heavyweight scheduling loops;
+    // the §5 discussion's 30 us loop). Used by the fast-path ablation.
+    Duration extra_loop_cost = 0;
+    // Cap on transactions per TXNS_COMMIT (group-commit ablation).
+    int max_group_commit = INT32_MAX;
+  };
+
+  CentralizedFifoPolicy() : CentralizedFifoPolicy(Options()) {}
+  explicit CentralizedFifoPolicy(Options options);
+
+  const char* name() const override { return "centralized-fifo"; }
+  void Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) override;
+  void Restore(const std::vector<Enclave::TaskInfo>& dump) override;
+  AgentAction RunAgent(AgentContext& ctx) override;
+
+  // Statistics.
+  uint64_t scheduled() const { return scheduled_; }
+  uint64_t preemptions() const { return preemptions_; }
+  uint64_t txn_failures() const { return txn_failures_; }
+  uint64_t hot_handoffs() const { return hot_handoffs_; }
+  int global_cpu() const { return global_cpu_; }
+  size_t queue_depth() const { return fifo_[0].size() + fifo_[1].size(); }
+  const TaskTable& table() const { return table_; }
+
+ private:
+  struct Running {
+    PolicyTask* task = nullptr;
+    Time since = 0;
+  };
+
+  void HandleMessage(const Message& msg);
+  void Enqueue(PolicyTask* task, bool front);
+  void DequeueFromRunqueue(PolicyTask* task);
+  PolicyTask* PopNext();       // high tier first
+  PolicyTask* PopTier(int tier);
+  void ClearRunning(PolicyTask* task);
+
+  Options options_;
+  Enclave* enclave_ = nullptr;
+  int global_cpu_ = -1;
+
+  TaskTable table_;
+  FifoRunqueue fifo_[2];
+  std::map<int, Running> running_;  // cpu -> policy belief
+  std::vector<Message> scratch_msgs_;
+
+  AgentProcess* process_ = nullptr;
+  uint64_t scheduled_ = 0;
+  uint64_t preemptions_ = 0;
+  uint64_t txn_failures_ = 0;
+  uint64_t hot_handoffs_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_POLICIES_CENTRALIZED_FIFO_H_

@@ -1,0 +1,210 @@
+#include "src/policies/per_cpu_fifo.h"
+
+namespace gs {
+
+void PerCpuFifoPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) {
+  enclave_ = enclave;
+  process_ = process;
+  const CpuMask& cpus = enclave->cpus();
+  boss_cpu_ = cpus.First();
+  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+    CpuSched& cs = cpus_[cpu];
+    cs.queue = enclave->CreateQueue();
+    enclave->ConfigQueueWakeup(cs.queue, process->agent_on(cpu));
+    enclave->SetCpuQueue(cpu, cs.queue);
+    cpu_list_.push_back(cpu);
+  }
+  // New-thread announcements land on the default queue; the boss agent
+  // drains it and spreads threads round-robin via ASSOCIATE_QUEUE.
+  enclave->ConfigQueueWakeup(enclave->default_queue(), process->agent_on(boss_cpu_));
+}
+
+void PerCpuFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  for (const Enclave::TaskInfo& info : dump) {
+    PolicyTask* task = table_.Add(info.tid);
+    task->tseq = info.tseq;
+    task->affinity = info.affinity;
+    task->runnable = info.runnable;
+    const int home = NextHomeCpu();
+    home_cpu_[info.tid] = home;
+    enclave_->AssociateQueue(info.tid, cpus_[home].queue);
+    if (info.runnable && !info.on_cpu) {
+      task->queued = true;
+      cpus_[home].runqueue.Push(task);
+    }
+  }
+}
+
+size_t PerCpuFifoPolicy::QueueDepth(int cpu) const {
+  auto it = cpus_.find(cpu);
+  return it == cpus_.end() ? 0 : it->second.runqueue.size();
+}
+
+int PerCpuFifoPolicy::NextHomeCpu() {
+  const int cpu = cpu_list_[rr_next_ % cpu_list_.size()];
+  ++rr_next_;
+  return cpu;
+}
+
+void PerCpuFifoPolicy::HandleMessage(AgentContext& ctx, int cpu, const Message& msg) {
+  if (msg.type == MessageType::kTimerTick) {
+    return;  // rotation decision is made by the caller
+  }
+  PolicyTask* task = nullptr;
+  const TaskTable::Event event = table_.Apply(msg, &task);
+  switch (event) {
+    case TaskTable::Event::kNew: {
+      const int home = NextHomeCpu();
+      home_cpu_[msg.tid] = home;
+      ctx.Charge(ctx.kernel()->cost().syscall);
+      // May fail if more messages are pending on the default queue for this
+      // thread; retried when they are drained.
+      enclave_->AssociateQueue(msg.tid, cpus_[home].queue);
+      if (task->runnable && !task->queued) {
+        task->queued = true;
+        cpus_[home].runqueue.Push(task);
+        NotifyAgent(ctx, home);
+      }
+      break;
+    }
+    case TaskTable::Event::kRunnable: {
+      const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
+      if (!task->queued) {
+        task->queued = true;
+        if (msg.type == MessageType::kTaskPreempted) {
+          cpus_[home].runqueue.PushFront(task);  // resume after the interruption
+        } else {
+          cpus_[home].runqueue.Push(task);
+        }
+        NotifyAgent(ctx, home);
+      }
+      break;
+    }
+    case TaskTable::Event::kBlocked:
+      if (task->queued) {
+        const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
+        cpus_[home].runqueue.Remove(task);
+        task->queued = false;
+      }
+      break;
+    case TaskTable::Event::kDead: {
+      if (task->queued) {
+        const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
+        cpus_[home].runqueue.Remove(task);
+      }
+      home_cpu_.erase(msg.tid);
+      table_.Remove(msg.tid);
+      break;
+    }
+    case TaskTable::Event::kAffinity: {
+      // sched_setaffinity may have excluded the task's home CPU: re-home it
+      // to an allowed enclave CPU (and move any queued entry along).
+      const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
+      if (!task->affinity.IsSet(home)) {
+        int new_home = -1;
+        for (int candidate : cpu_list_) {
+          if (task->affinity.IsSet(candidate)) {
+            new_home = candidate;
+            break;
+          }
+        }
+        if (new_home >= 0) {
+          if (task->queued) {
+            cpus_[home].runqueue.Remove(task);
+            cpus_[new_home].runqueue.Push(task);
+          }
+          home_cpu_[msg.tid] = new_home;
+          ctx.Charge(ctx.kernel()->cost().syscall);
+          enclave_->AssociateQueue(msg.tid, cpus_[new_home].queue);
+          NotifyAgent(ctx, new_home);
+        }
+      }
+      break;
+    }
+    case TaskTable::Event::kNone:
+      break;
+  }
+}
+
+void PerCpuFifoPolicy::NotifyAgent(AgentContext& ctx, int cpu) {
+  if (cpu == ctx.agent_cpu()) {
+    return;
+  }
+  // Userspace cross-agent notification (futex-style): wake the sibling agent
+  // so it schedules the work we just queued for it.
+  Task* agent = process_->agent_on(cpu);
+  if (agent != nullptr && agent->state() == TaskState::kBlocked) {
+    ctx.Charge(ctx.kernel()->cost().syscall + ctx.kernel()->cost().agent_wakeup);
+    ctx.kernel()->Wake(agent);
+  }
+}
+
+AgentAction PerCpuFifoPolicy::RunAgent(AgentContext& ctx) {
+  const int cpu = ctx.agent_cpu();
+  CpuSched& cs = cpus_[cpu];
+  const uint32_t aseq = ctx.ReadAseq();
+
+  bool rotate = false;
+  scratch_msgs_.clear();
+  if (cpu == boss_cpu_) {
+    ctx.Drain(enclave_->default_queue(), &scratch_msgs_);
+  }
+  ctx.Drain(cs.queue, &scratch_msgs_);
+  for (const Message& msg : scratch_msgs_) {
+    if (msg.type == MessageType::kTimerTick) {
+      rotate = true;
+    }
+    HandleMessage(ctx, cpu, msg);
+  }
+
+  if (cs.runqueue.empty()) {
+    return AgentAction::kBlock;
+  }
+  // Round-robin on timer ticks: rotate the interrupted thread to the back.
+  if (rotate && cs.runqueue.size() >= 2) {
+    PolicyTask* front = cs.runqueue.Pop();
+    cs.runqueue.Push(front);
+  }
+
+  PolicyTask* next = cs.runqueue.Pop();
+  next->queued = false;
+  Transaction txn = AgentContext::MakeTxn(next->tid, cpu);
+  txn.expected_aseq = aseq;
+  Transaction* ptr = &txn;
+  ctx.Commit(ptr);
+  if (txn.committed()) {
+    next->assigned_cpu = cpu;
+    next->last_cpu = cpu;
+    ++scheduled_;
+    // Fig 3: the local commit takes effect when the agent vacates its CPU.
+    return AgentAction::kYield;
+  }
+  if (txn.status == TxnStatus::kEStale) {
+    ++estale_failures_;
+    next->queued = true;
+    cs.runqueue.PushFront(next);
+    return AgentAction::kRunAgain;  // drain the newer messages and retry
+  }
+  // Other failure: if the thread may no longer run here, re-home it;
+  // otherwise push to the back and retry next time around.
+  if (next->runnable) {
+    next->queued = true;
+    if (!next->affinity.IsSet(cpu)) {
+      int new_home = cpu;
+      for (int candidate : cpu_list_) {
+        if (next->affinity.IsSet(candidate)) {
+          new_home = candidate;
+          break;
+        }
+      }
+      home_cpu_[next->tid] = new_home;
+      cpus_[new_home].runqueue.Push(next);
+      NotifyAgent(ctx, new_home);
+    } else {
+      cs.runqueue.Push(next);
+    }
+  }
+  return AgentAction::kRunAgain;
+}
+
+}  // namespace gs

@@ -1,0 +1,62 @@
+// Per-CPU FIFO policy: the paper's Fig 3 pattern.
+//
+// Each CPU's local agent owns a message queue and a FIFO runqueue. New
+// threads (announced on the default queue, drained by the agent of the first
+// enclave CPU) are assigned round-robin to per-CPU queues via
+// ASSOCIATE_QUEUE. An agent iteration drains its queue, dequeues the next
+// thread, commits a local transaction tagged with its Aseq, and yields; an
+// ESTALE failure sends it back around the loop, exactly as in Fig 3.
+#ifndef GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_
+#define GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_
+
+#include <map>
+#include <vector>
+
+#include "src/agent/agent_context.h"
+#include "src/agent/agent_process.h"
+#include "src/agent/policy.h"
+#include "src/agent/runqueue.h"
+#include "src/agent/task_table.h"
+
+namespace gs {
+
+class PerCpuFifoPolicy : public Policy {
+ public:
+  const char* name() const override { return "per-cpu-fifo"; }
+  void Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) override;
+  void Restore(const std::vector<Enclave::TaskInfo>& dump) override;
+  AgentAction RunAgent(AgentContext& ctx) override;
+
+  uint64_t scheduled() const { return scheduled_; }
+  uint64_t estale_failures() const { return estale_failures_; }
+  size_t QueueDepth(int cpu) const;
+
+ private:
+  struct CpuSched {
+    MessageQueue* queue = nullptr;
+    FifoRunqueue runqueue;
+  };
+
+  void HandleMessage(AgentContext& ctx, int cpu, const Message& msg);
+  // Wakes the (blocked) agent of `cpu` so it notices freshly queued work.
+  void NotifyAgent(AgentContext& ctx, int cpu);
+  // Round-robin target for newly arrived threads.
+  int NextHomeCpu();
+
+  Enclave* enclave_ = nullptr;
+  AgentProcess* process_ = nullptr;
+  TaskTable table_;
+  std::map<int, CpuSched> cpus_;
+  std::map<int64_t, int> home_cpu_;  // tid -> owning CPU
+  std::vector<int> cpu_list_;
+  size_t rr_next_ = 0;
+  int boss_cpu_ = -1;  // drains the default queue (new-thread announcements)
+  std::vector<Message> scratch_msgs_;
+
+  uint64_t scheduled_ = 0;
+  uint64_t estale_failures_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_

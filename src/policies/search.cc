@@ -1,0 +1,210 @@
+#include "src/policies/search.h"
+
+#include <algorithm>
+
+namespace gs {
+
+SearchPolicy::SearchPolicy(Options options) : options_(options) {}
+
+void SearchPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) {
+  enclave_ = enclave;
+  kernel_ = kernel;
+  global_cpu_ = options_.global_cpu >= 0 ? options_.global_cpu : enclave->cpus().First();
+}
+
+void SearchPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  for (const Enclave::TaskInfo& info : dump) {
+    enclave_->AssociateQueue(info.tid, enclave_->default_queue());
+    PolicyTask* task = table_.Add(info.tid);
+    task->tseq = info.tseq;
+    task->affinity = info.affinity;
+    task->runnable = info.runnable;
+    if (info.on_cpu) {
+      task->assigned_cpu = info.cpu;
+    } else if (info.runnable) {
+      task->queued = true;
+      runqueue_.Push(task, 0);
+    }
+  }
+}
+
+void SearchPolicy::EnqueueRunnable(AgentContext& ctx, PolicyTask* task) {
+  if (task->queued) {
+    return;
+  }
+  // Min-heap key: elapsed runtime, read from the thread's status word.
+  // A sleeper floor (as in CFS's min_vruntime placement) bounds how much
+  // credit a rarely-running thread can carry, so long-living workers
+  // (query type C) are not starved behind a stream of short-runtime wakers.
+  const TaskStatusWord* status = ctx.ReadStatus(task->tid);
+  int64_t runtime = status != nullptr ? status->runtime : 0;
+  max_runtime_seen_ = std::max(max_runtime_seen_, runtime);
+  runtime = std::max(runtime, max_runtime_seen_ - sleeper_window_);
+  task->queued = true;
+  runqueue_.Push(task, runtime);
+}
+
+void SearchPolicy::HandleMessage(AgentContext& ctx, const Message& msg) {
+  PolicyTask* task = nullptr;
+  switch (table_.Apply(msg, &task)) {
+    case TaskTable::Event::kNew:
+      if (task->runnable) {
+        EnqueueRunnable(ctx, task);
+      }
+      break;
+    case TaskTable::Event::kRunnable:
+      EnqueueRunnable(ctx, task);
+      break;
+    case TaskTable::Event::kBlocked:
+      if (task->queued) {
+        runqueue_.Remove(task);
+        task->queued = false;
+      }
+      break;
+    case TaskTable::Event::kDead:
+      if (task->queued) {
+        runqueue_.Remove(task);
+      }
+      table_.Remove(msg.tid);
+      break;
+    case TaskTable::Event::kAffinity:
+    case TaskTable::Event::kNone:
+      break;
+  }
+}
+
+int SearchPolicy::PickFromTier(const CpuMask& tier) const {
+  // Prefer a CPU whose SMT sibling is idle (a whole idle core), like the
+  // kernel's select_idle_core(); otherwise take any CPU in the tier.
+  const Topology& topo = kernel_->topology();
+  for (int cpu = tier.First(); cpu >= 0; cpu = tier.NextAfter(cpu)) {
+    const int sibling = topo.cpu(cpu).sibling;
+    if (sibling < 0 || kernel_->CpuIdle(sibling)) {
+      return cpu;
+    }
+  }
+  return tier.First();
+}
+
+int SearchPolicy::PickPlacement(AgentContext& ctx, const PolicyTask& task,
+                                const CpuMask& candidates) {
+  if (!options_.ccx_aware || task.last_cpu < 0) {
+    return PickFromTier(candidates);
+  }
+  const Topology& topo = kernel_->topology();
+  const CpuInfo& last = topo.cpu(task.last_cpu);
+  ctx.Charge(kernel_->cost().agent_per_task_scan);  // the 57-line heuristic
+
+  // Tier 1: same physical core (warm L1/L2).
+  CpuMask tier = candidates & topo.CoreMask(last.core);
+  if (!tier.Empty()) {
+    return tier.First();
+  }
+  // Tier 2: same CCX (warm L3).
+  tier = candidates & topo.CcxMask(last.ccx);
+  if (!tier.Empty()) {
+    return PickFromTier(tier);
+  }
+  // Tier 3: nearest-neighbour CCXs on the same socket (fan-out search).
+  const int ccxs_per_numa = topo.num_ccxs() / topo.num_numa_nodes();
+  const int numa_first_ccx = (last.ccx / ccxs_per_numa) * ccxs_per_numa;
+  for (int distance = 1; distance < ccxs_per_numa; ++distance) {
+    for (int sign : {+1, -1}) {
+      const int ccx = last.ccx + sign * distance;
+      if (ccx < numa_first_ccx || ccx >= numa_first_ccx + ccxs_per_numa) {
+        continue;
+      }
+      tier = candidates & topo.CcxMask(ccx);
+      if (!tier.Empty()) {
+        // §4.4's bespoke optimization: prefer waiting up to 100 us for the
+        // home CCX over an immediate cross-CCX migration.
+        if (ctx.start() - task.became_runnable < options_.max_pending_before_migrate) {
+          ++deferred_;
+          return -1;
+        }
+        return PickFromTier(tier);
+      }
+    }
+  }
+  // Anywhere allowed (cross-socket only if the cpumask permits it).
+  if (ctx.start() - task.became_runnable < options_.max_pending_before_migrate) {
+    ++deferred_;
+    return -1;
+  }
+  return PickFromTier(candidates);
+}
+
+AgentAction SearchPolicy::RunAgent(AgentContext& ctx) {
+  if (ctx.agent_cpu() != global_cpu_) {
+    return AgentAction::kBlock;
+  }
+  bool progress = false;
+
+  scratch_msgs_.clear();
+  if (ctx.Drain(enclave_->default_queue(), &scratch_msgs_) > 0) {
+    progress = true;
+  }
+  for (const Message& msg : scratch_msgs_) {
+    HandleMessage(ctx, msg);
+  }
+
+  CpuMask avail = ctx.AvailableCpus();
+  std::vector<std::pair<int, PolicyTask*>> assignments;
+  // Walk the min-heap in runtime order; skip threads whose preferred CPUs
+  // are busy and revisit them on the next loop iteration (§4.4).
+  std::vector<std::pair<int64_t, PolicyTask*>> ordered(runqueue_.begin(), runqueue_.end());
+  for (auto& [key, task] : ordered) {
+    if (avail.Empty()) {
+      break;
+    }
+    ctx.Charge(kernel_->cost().agent_per_task_scan);
+    const CpuMask candidates = avail & task->affinity;
+    if (candidates.Empty()) {
+      continue;  // revisit next iteration
+    }
+    const int cpu = PickPlacement(ctx, *task, candidates);
+    if (cpu < 0) {
+      continue;  // deferred for cache warmth
+    }
+    avail.Clear(cpu);
+    runqueue_.Remove(task);
+    task->queued = false;
+    assignments.emplace_back(cpu, task);
+  }
+
+  if (!assignments.empty()) {
+    std::vector<Transaction> storage(assignments.size());
+    std::vector<Transaction*> txns(assignments.size());
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      storage[i] = AgentContext::MakeTxn(assignments[i].second->tid, assignments[i].first);
+      if (options_.use_tseq) {
+        storage[i].expected_tseq = assignments[i].second->tseq;
+      }
+      txns[i] = &storage[i];
+    }
+    ctx.Commit(txns);
+    for (size_t i = 0; i < assignments.size(); ++i) {
+      auto [cpu, task] = assignments[i];
+      if (storage[i].committed()) {
+        task->assigned_cpu = cpu;
+        task->last_cpu = cpu;
+        ++scheduled_;
+        progress = true;
+      } else {
+        ++txn_failures_;
+        if (task->runnable && !task->queued) {
+          task->queued = true;
+          runqueue_.Push(task, 0);  // retry promptly
+        }
+      }
+    }
+  }
+
+  // Deferred-for-warmth threads need a timed revisit even if nothing pokes.
+  if (!runqueue_.empty() && options_.max_pending_before_migrate > 0) {
+    ctx.RequestWakeupAt(ctx.start() + options_.max_pending_before_migrate);
+  }
+  return progress ? AgentAction::kRunAgain : AgentAction::kPollWait;
+}
+
+}  // namespace gs

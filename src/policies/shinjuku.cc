@@ -1,0 +1,31 @@
+#include "src/policies/shinjuku.h"
+
+namespace gs {
+
+std::unique_ptr<CentralizedFifoPolicy> MakeShinjukuPolicy(Duration timeslice,
+                                                          int global_cpu) {
+  CentralizedFifoPolicy::Options options;
+  options.global_cpu = global_cpu;
+  options.preemption_timeslice = timeslice;
+  return std::make_unique<CentralizedFifoPolicy>(options);
+}
+
+std::unique_ptr<CentralizedFifoPolicy> MakeShinjukuShenangoPolicy(
+    Duration timeslice, std::function<int(int64_t)> tier_of, int global_cpu) {
+  CentralizedFifoPolicy::Options options;
+  options.global_cpu = global_cpu;
+  options.preemption_timeslice = timeslice;
+  options.tier_of = std::move(tier_of);
+  return std::make_unique<CentralizedFifoPolicy>(options);
+}
+
+std::unique_ptr<CentralizedFifoPolicy> MakeSnapPolicy(
+    std::function<int(int64_t)> tier_of, int global_cpu) {
+  CentralizedFifoPolicy::Options options;
+  options.global_cpu = global_cpu;
+  options.preemption_timeslice = 0;
+  options.tier_of = std::move(tier_of);
+  return std::make_unique<CentralizedFifoPolicy>(options);
+}
+
+}  // namespace gs

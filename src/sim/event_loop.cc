@@ -1,0 +1,73 @@
+#include "src/sim/event_loop.h"
+
+#include <utility>
+
+namespace gs {
+
+EventId EventLoop::ScheduleAt(Time when, std::function<void()> fn) {
+  CHECK_GE(when, now_) << "cannot schedule into the past";
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  ++pending_count_;
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  // Only live (scheduled, unfired) events can be cancelled; a fired or
+  // already-cancelled id is a no-op.
+  if (live_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_.insert(id);  // tombstone: skipped when it surfaces in the heap
+  --pending_count_;
+  return true;
+}
+
+void EventLoop::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventLoop::RunOne() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  // Move the closure out before popping so the event may schedule/cancel.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  CHECK_GE(event.when, now_);
+  now_ = event.when;
+  live_.erase(event.id);
+  --pending_count_;
+  ++executed_count_;
+  event.fn();
+  return true;
+}
+
+void EventLoop::RunUntil(Time deadline) {
+  for (;;) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.top().when > deadline) {
+      break;
+    }
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void EventLoop::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace gs

@@ -1,0 +1,97 @@
+// Discrete-event simulation engine.
+//
+// The entire machine model runs on one virtual clock: every hardware and
+// kernel action (timer tick, IPI delivery, context-switch completion, burst
+// completion, watchdog scan) is an event. Events at equal timestamps fire in
+// schedule order (stable FIFO), which together with seeded RNGs makes every
+// experiment bit-for-bit reproducible.
+#ifndef GHOST_SIM_SRC_SIM_EVENT_LOOP_H_
+#define GHOST_SIM_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/time.h"
+
+namespace gs {
+
+// Opaque handle for cancelling a scheduled event. 0 is never a valid id.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (must be >= now()).
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  EventId ScheduleAfter(Duration delay, std::function<void()> fn) {
+    CHECK_GE(delay, 0);
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending event. Returns true if the event existed and had not
+  // yet fired; false (and no effect) for already-fired, already-cancelled,
+  // or unknown ids.
+  bool Cancel(EventId id);
+
+  // Runs the next pending event, advancing the clock. Returns false if idle.
+  bool RunOne();
+
+  // Runs until the clock reaches `deadline` (events at exactly `deadline`
+  // included) or the queue drains.
+  void RunUntil(Time deadline);
+
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  // Runs events until the queue is empty.
+  void RunUntilIdle();
+
+  bool empty() const { return pending_count_ == 0; }
+  size_t pending_count() const { return pending_count_; }
+  uint64_t executed_count() const { return executed_count_; }
+
+ private:
+  struct Event {
+    Time when;
+    uint64_t seq;  // tiebreaker: FIFO among equal timestamps
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops tombstoned (cancelled) events off the top of the heap.
+  void SkipCancelled();
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t pending_count_ = 0;  // live (non-cancelled) events
+  uint64_t executed_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;  // scheduled and not yet fired/cancelled
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SIM_EVENT_LOOP_H_

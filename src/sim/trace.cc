@@ -1,0 +1,68 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace gs {
+
+const char* ToString(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSwitchIn:
+      return "switch_in";
+    case TraceEventType::kSwitchOut:
+      return "switch_out";
+    case TraceEventType::kWakeup:
+      return "wakeup";
+    case TraceEventType::kBlock:
+      return "block";
+    case TraceEventType::kExit:
+      return "exit";
+    case TraceEventType::kMessage:
+      return "message";
+    case TraceEventType::kTxnCommit:
+      return "txn_commit";
+    case TraceEventType::kTxnFail:
+      return "txn_fail";
+    case TraceEventType::kAgentIter:
+      return "agent_iter";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Trace::Filter(TraceEventType type) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Trace::ForTask(int64_t tid) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.tid == tid) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string Trace::Dump(size_t max_lines) const {
+  std::string out;
+  const size_t start = events_.size() > max_lines ? events_.size() - max_lines : 0;
+  for (size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    char line[128];
+    std::snprintf(line, sizeof(line), "%12.3fus cpu%-3d tid%-6lld %-11s arg=%lld\n",
+                  ToMicros(e.when), e.cpu, static_cast<long long>(e.tid),
+                  ToString(e.type), static_cast<long long>(e.arg));
+    out += line;
+  }
+  if (dropped_ > 0) {
+    out += "(" + std::to_string(dropped_) + " earlier events dropped)\n";
+  }
+  return out;
+}
+
+}  // namespace gs

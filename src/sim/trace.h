@@ -1,0 +1,91 @@
+// Scheduling trace: tracepoint-style event recording for the simulated
+// machine.
+//
+// The paper's §2 complaint is that kernel schedulers "cannot be introspected
+// with popular debugging tools"; agents, living in userspace, can. This
+// module provides the equivalent of sched_switch/sched_wakeup tracepoints
+// for the simulator plus ghOSt-specific events (messages, commits), recorded
+// into a bounded ring and dumpable as text — the first tool to reach for
+// when a policy misbehaves in a test.
+#ifndef GHOST_SIM_SRC_SIM_TRACE_H_
+#define GHOST_SIM_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace gs {
+
+enum class TraceEventType : uint8_t {
+  kSwitchIn,    // task started running on cpu
+  kSwitchOut,   // task descheduled (arg: PutPrevReason as int)
+  kWakeup,      // task became runnable
+  kBlock,       // task blocked
+  kExit,        // task died
+  kMessage,     // ghOSt message posted (arg: MessageType as int)
+  kTxnCommit,   // transaction latched (arg: target cpu)
+  kTxnFail,     // transaction failed (arg: TxnStatus as int)
+  kAgentIter,   // agent loop iteration (arg: accrued cost in ns)
+};
+
+const char* ToString(TraceEventType type);
+
+struct TraceEvent {
+  Time when = 0;
+  TraceEventType type = TraceEventType::kSwitchIn;
+  int cpu = -1;
+  int64_t tid = 0;
+  int64_t arg = 0;
+};
+
+// Bounded in-memory trace buffer. Disabled (zero overhead beyond a branch)
+// until Enable() is called.
+class Trace {
+ public:
+  explicit Trace(size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Record(Time when, TraceEventType type, int cpu, int64_t tid, int64_t arg = 0) {
+    if (!enabled_) {
+      return;
+    }
+    if (events_.size() >= capacity_) {
+      events_.pop_front();
+      ++dropped_;
+    }
+    events_.push_back(TraceEvent{when, type, cpu, tid, arg});
+  }
+
+  size_t size() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  // Events of one type (for assertions in tests).
+  std::vector<TraceEvent> Filter(TraceEventType type) const;
+  // Events touching one tid, in order.
+  std::vector<TraceEvent> ForTask(int64_t tid) const;
+
+  // Human-readable dump of the last `max_lines` events.
+  std::string Dump(size_t max_lines = 100) const;
+
+ private:
+  size_t capacity_;
+  bool enabled_ = false;
+  std::deque<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SIM_TRACE_H_

@@ -1,0 +1,45 @@
+#include "src/workloads/batch.h"
+
+#include <memory>
+
+namespace gs {
+
+BatchApp::BatchApp(Kernel* kernel, Options options) : kernel_(kernel), options_(options) {
+  threads_.reserve(options_.num_threads);
+  for (int i = 0; i < options_.num_threads; ++i) {
+    threads_.push_back(
+        kernel_->CreateTask(options_.name_prefix + "/" + std::to_string(i)));
+  }
+}
+
+void BatchApp::Start() {
+  for (Task* thread : threads_) {
+    auto loop = std::make_shared<std::function<void(Task*)>>();
+    Kernel* kernel = kernel_;
+    const Duration chunk = options_.chunk;
+    *loop = [kernel, chunk, loop](Task* t) { kernel->StartBurst(t, chunk, *loop); };
+    kernel_->StartBurst(thread, options_.chunk, *loop);
+    kernel_->Wake(thread);
+  }
+}
+
+Duration BatchApp::TotalRuntime() const {
+  Duration total = 0;
+  for (const Task* thread : threads_) {
+    total += thread->total_runtime();
+  }
+  return total;
+}
+
+double BatchApp::CpuShare(Time since, Time now, int num_cpus) const {
+  const Duration window = now - since;
+  if (window <= 0 || num_cpus <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(RuntimeSinceMark()) /
+         static_cast<double>(window * num_cpus);
+}
+
+void BatchApp::MarkWindow() { marked_runtime_ = TotalRuntime(); }
+
+}  // namespace gs

@@ -1,0 +1,53 @@
+// Batch / antagonist application: best-effort CPU hogs.
+//
+// §4.2's "batch app" co-located with RocksDB and §4.3's "40 antagonist
+// threads" are threads that soak up whatever CPU the scheduler gives them.
+// BatchApp tracks aggregate attained CPU time so benchmarks can report the
+// batch CPU *share* (Fig 6c).
+#ifndef GHOST_SIM_SRC_WORKLOADS_BATCH_H_
+#define GHOST_SIM_SRC_WORKLOADS_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace gs {
+
+class BatchApp {
+ public:
+  struct Options {
+    int num_threads = 4;
+    std::string name_prefix = "batch";
+    // Work chunk between voluntary re-checks (infinite loop granularity).
+    Duration chunk = Microseconds(500);
+  };
+
+  BatchApp(Kernel* kernel, Options options);
+
+  // The threads, for placement (CFS nice value, enclave tier, affinity).
+  const std::vector<Task*>& threads() const { return threads_; }
+
+  // Starts all threads spinning.
+  void Start();
+
+  // Aggregate CPU time attained so far.
+  Duration TotalRuntime() const;
+
+  // Attained share of `num_cpus` over the window [since, now].
+  double CpuShare(Time since, Time now, int num_cpus) const;
+
+  // Call at the start of a measurement window.
+  void MarkWindow();
+  Duration RuntimeSinceMark() const { return TotalRuntime() - marked_runtime_; }
+
+ private:
+  Kernel* kernel_;
+  Options options_;
+  std::vector<Task*> threads_;
+  Duration marked_runtime_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_WORKLOADS_BATCH_H_

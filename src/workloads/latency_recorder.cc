@@ -1,0 +1,3 @@
+#include "src/workloads/latency_recorder.h"
+
+// Header-only logic; this TU anchors the library target.

@@ -1,0 +1,74 @@
+// Latency recording: whole-run histograms plus windowed time series.
+//
+// LatencyRecorder backs the tail-latency curves (Fig 6, Fig 7);
+// WindowedSeries backs the per-second QPS / p99 time series of Fig 8.
+#ifndef GHOST_SIM_SRC_WORKLOADS_LATENCY_RECORDER_H_
+#define GHOST_SIM_SRC_WORKLOADS_LATENCY_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/time.h"
+
+namespace gs {
+
+class LatencyRecorder {
+ public:
+  void Add(Duration latency) { hist_.Add(latency); }
+  int64_t count() const { return hist_.count(); }
+  double MeanUs() const { return hist_.Mean() / 1e3; }
+  double PercentileUs(double p) const {
+    return static_cast<double>(hist_.Percentile(p)) / 1e3;
+  }
+  std::string Summary() const { return hist_.Summary(1000, "us"); }
+  const Histogram& histogram() const { return hist_; }
+  void Reset() { hist_.Reset(); }
+
+ private:
+  Histogram hist_;
+};
+
+// Fixed-width time windows, each with its own histogram and count.
+class WindowedSeries {
+ public:
+  explicit WindowedSeries(Duration window) : window_(window) {}
+
+  void Add(Time now, Duration value) {
+    Window& w = WindowAt(now);
+    ++w.count;
+    w.hist.Add(value);
+  }
+
+  void AddCount(Time now) { ++WindowAt(now).count; }
+
+  int num_windows() const { return static_cast<int>(windows_.size()); }
+  int64_t CountAt(int i) const { return windows_[i].count; }
+  double RateAt(int i) const {
+    return static_cast<double>(windows_[i].count) / ToSeconds(window_);
+  }
+  double PercentileUsAt(int i, double p) const {
+    return static_cast<double>(windows_[i].hist.Percentile(p)) / 1e3;
+  }
+
+ private:
+  struct Window {
+    int64_t count = 0;
+    Histogram hist;
+  };
+
+  Window& WindowAt(Time now) {
+    const size_t index = static_cast<size_t>(now / window_);
+    while (windows_.size() <= index) {
+      windows_.emplace_back();
+    }
+    return windows_[index];
+  }
+
+  Duration window_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_WORKLOADS_LATENCY_RECORDER_H_

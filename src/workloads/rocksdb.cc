@@ -1,0 +1,67 @@
+#include "src/workloads/rocksdb.h"
+
+#include <cstdio>
+
+namespace gs {
+
+uint64_t MiniRocks::Put(const std::string& key, std::string value) {
+  ++stats_.puts;
+  Entry& entry = table_[key];
+  entry.value = std::move(value);
+  entry.sequence = ++sequence_;
+  entry.tombstone = false;
+  return entry.sequence;
+}
+
+std::optional<std::string> MiniRocks::Get(const std::string& key) {
+  ++stats_.gets;
+  auto it = table_.find(key);
+  if (it == table_.end() || it->second.tombstone) {
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.value;
+}
+
+bool MiniRocks::Delete(const std::string& key) {
+  ++stats_.deletes;
+  auto it = table_.find(key);
+  if (it == table_.end() || it->second.tombstone) {
+    return false;
+  }
+  it->second.tombstone = true;
+  it->second.sequence = ++sequence_;
+  return true;
+}
+
+std::vector<std::pair<std::string, std::string>> MiniRocks::Scan(const std::string& start,
+                                                                 const std::string& end,
+                                                                 size_t limit) {
+  ++stats_.scans;
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto it = table_.lower_bound(start); it != table_.end() && it->first < end; ++it) {
+    if (it->second.tombstone) {
+      continue;
+    }
+    out.emplace_back(it->first, it->second.value);
+    if (out.size() >= limit) {
+      break;
+    }
+  }
+  return out;
+}
+
+void MiniRocks::LoadSyntheticKeys(size_t n, size_t value_bytes) {
+  const std::string value(value_bytes, 'v');
+  for (size_t i = 0; i < n; ++i) {
+    Put(KeyFor(i), value);
+  }
+}
+
+std::string MiniRocks::KeyFor(uint64_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%012llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+}  // namespace gs

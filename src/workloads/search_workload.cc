@@ -1,0 +1,184 @@
+#include "src/workloads/search_workload.h"
+
+namespace gs {
+
+SearchWorkload::SearchWorkload(Kernel* kernel, Options options)
+    : kernel_(kernel), options_(options), rng_(options.seed) {
+  const Topology& topo = kernel_->topology();
+  const int sockets = topo.num_numa_nodes();
+  free_a_.resize(sockets);
+  pending_.resize(3);
+
+  auto add_worker = [&](QueryType type, const std::string& name, int socket) {
+    Worker w;
+    w.task = kernel_->CreateTask(name);
+    w.type = type;
+    w.socket = socket;
+    const int index = static_cast<int>(workers_.size());
+    workers_.push_back(w);
+    all_workers_.push_back(w.task);
+    return index;
+  };
+
+  // A-workers: tied to the socket holding their query data (§4.4: the
+  // cpumask travels in the THREAD_CREATED message).
+  for (int socket = 0; socket < sockets; ++socket) {
+    for (int i = 0; i < options_.a_workers_per_socket; ++i) {
+      const int index = add_worker(
+          kA, "search-a/" + std::to_string(socket) + "/" + std::to_string(i), socket);
+      kernel_->SetAffinity(workers_[index].task, topo.NumaMask(socket));
+      free_a_[socket].push_back(index);
+    }
+  }
+  for (int i = 0; i < options_.b_workers; ++i) {
+    free_b_.push_back(add_worker(kB, "search-b/" + std::to_string(i), -1));
+  }
+  for (int i = 0; i < options_.c_workers; ++i) {
+    free_c_.push_back(add_worker(kC, "search-c/" + std::to_string(i), -1));
+  }
+}
+
+void SearchWorkload::Start(Time until) {
+  until_ = until;
+  ScheduleArrival(kA);
+  ScheduleArrival(kB);
+  ScheduleArrival(kC);
+}
+
+void SearchWorkload::ScheduleArrival(QueryType type) {
+  const double qps =
+      type == kA ? options_.qps_a : (type == kB ? options_.qps_b : options_.qps_c);
+  const auto gap =
+      std::max<Duration>(1, static_cast<Duration>(rng_.NextExponential(1e9 / qps)));
+  if (kernel_->now() + gap > until_) {
+    return;
+  }
+  kernel_->loop()->ScheduleAfter(gap, [this, type] {
+    ++offered_[type];
+    int socket = -1;
+    if (type == kA) {
+      socket = next_socket_;
+      next_socket_ = (next_socket_ + 1) % static_cast<int>(free_a_.size());
+    }
+    Dispatch(type, kernel_->now(), socket);
+    ScheduleArrival(type);
+  });
+}
+
+void SearchWorkload::Dispatch(QueryType type, Time arrival, int socket) {
+  std::vector<int>* pool = nullptr;
+  switch (type) {
+    case kA:
+      pool = &free_a_[socket];
+      break;
+    case kB:
+      pool = &free_b_;
+      break;
+    case kC:
+      pool = &free_c_;
+      break;
+  }
+  if (pool->empty()) {
+    pending_[type].push_back({arrival, socket});
+    return;
+  }
+  const int index = pool->back();
+  pool->pop_back();
+  AssignQuery(index, arrival);
+}
+
+void SearchWorkload::AssignQuery(int worker_index, Time arrival) {
+  Worker& w = workers_[worker_index];
+  w.query_arrival = arrival;
+  switch (w.type) {
+    case kA:
+      w.subqueries_left = options_.a_subqueries - 1;
+      kernel_->StartBurst(w.task, options_.a_burst,
+                          [this, worker_index](Task*) { AWorkerHop(worker_index); });
+      break;
+    case kB:
+      kernel_->StartBurst(w.task, options_.b_compute,
+                          [this, worker_index](Task*) { BWorkerSsd(worker_index); });
+      break;
+    case kC:
+      kernel_->StartBurst(w.task, options_.c_burst,
+                          [this, worker_index](Task*) { FinishQuery(worker_index); });
+      break;
+  }
+  kernel_->Wake(w.task);
+}
+
+void SearchWorkload::AWorkerHop(int worker_index) {
+  Worker& w = workers_[worker_index];
+  if (w.subqueries_left <= 0) {
+    FinishQuery(worker_index);
+    return;
+  }
+  --w.subqueries_left;
+  // Brief IPC gap (result exchange with the parent server thread), then the
+  // next sub-query burst — a fresh wakeup the scheduler must place.
+  kernel_->Block(w.task);
+  kernel_->loop()->ScheduleAfter(options_.a_gap, [this, worker_index] {
+    Worker& worker = workers_[worker_index];
+    kernel_->StartBurst(worker.task, options_.a_burst,
+                        [this, worker_index](Task*) { AWorkerHop(worker_index); });
+    kernel_->Wake(worker.task);
+  });
+}
+
+void SearchWorkload::BWorkerSsd(int worker_index) {
+  Worker& w = workers_[worker_index];
+  // Block for the SSD access, then the post-processing burst.
+  kernel_->Block(w.task);
+  kernel_->loop()->ScheduleAfter(options_.b_ssd, [this, worker_index] {
+    Worker& worker = workers_[worker_index];
+    kernel_->StartBurst(worker.task, options_.b_compute,
+                        [this, worker_index](Task*) { FinishQuery(worker_index); });
+    kernel_->Wake(worker.task);
+  });
+}
+
+void SearchWorkload::FinishQuery(int worker_index) {
+  Worker& w = workers_[worker_index];
+  const Duration latency = kernel_->now() - w.query_arrival;
+  latency_[w.type].Add(latency);
+  series_[w.type].Add(kernel_->now(), latency);
+  ++completed_[w.type];
+  kernel_->Block(w.task);
+
+  auto& backlog = pending_[w.type];
+  if (!backlog.empty()) {
+    // A-workers can only take queries for their own socket.
+    if (w.type != kA) {
+      auto [arrival, socket] = backlog.front();
+      backlog.pop_front();
+      kernel_->loop()->ScheduleAfter(Nanoseconds(500), [this, worker_index, arrival] {
+        AssignQuery(worker_index, arrival);
+      });
+      return;
+    }
+    for (auto it = backlog.begin(); it != backlog.end(); ++it) {
+      if (it->second == w.socket) {
+        const Time arrival = it->first;
+        backlog.erase(it);
+        kernel_->loop()->ScheduleAfter(Nanoseconds(500), [this, worker_index, arrival] {
+          AssignQuery(worker_index, arrival);
+        });
+        return;
+      }
+    }
+  }
+  switch (w.type) {
+    case kA:
+      free_a_[w.socket].push_back(worker_index);
+      break;
+    case kB:
+      free_b_.push_back(worker_index);
+      break;
+    case kC:
+      free_c_.push_back(worker_index);
+      break;
+  }
+}
+
+}  // namespace gs

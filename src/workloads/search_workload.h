@@ -1,0 +1,109 @@
+// Google Search workload model (§4.4 / Fig 8).
+//
+// Three query classes served by worker-thread pools on the 256-CPU AMD Rome
+// machine:
+//   A: CPU- and memory-intensive, served by workers woken as needed, with
+//      sub-queries tied to the NUMA socket holding their data
+//      (sched_setaffinity -> THREAD_CREATED cpumask, as in the paper);
+//   B: little computation but an SSD access, served by short-lived workers
+//      (compute, block on the SSD, compute, respond);
+//   C: CPU-intensive, served by long-living workers.
+//
+// Queries arrive open-loop (Poisson) per class and occupy one pool worker
+// each; per-second QPS and latency series feed the Fig 8 panels. The
+// machine runs with realistic cache-warmth penalties (CostModel::
+// WithCacheWarmth), so placement quality — the thing the ghOSt Search policy
+// optimizes — affects service times.
+#ifndef GHOST_SIM_SRC_WORKLOADS_SEARCH_WORKLOAD_H_
+#define GHOST_SIM_SRC_WORKLOADS_SEARCH_WORKLOAD_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/kernel/kernel.h"
+#include "src/workloads/latency_recorder.h"
+
+namespace gs {
+
+class SearchWorkload {
+ public:
+  enum QueryType { kA = 0, kB = 1, kC = 2 };
+
+  struct Options {
+    // ~80% machine utilization including SMT-contention inflation — the
+    // regime where placement and rebalancing quality shows up in the tails.
+    double qps_a = 24'000;
+    double qps_b = 65'000;
+    double qps_c = 4'500;
+    // Type A queries fan into sequential sub-queries (leaf lookups) with
+    // brief IPC gaps — each hop is a fresh scheduling decision.
+    int a_subqueries = 3;
+    Duration a_burst = Milliseconds(1);
+    Duration a_gap = Microseconds(100);
+    Duration b_compute = Microseconds(200);  // twice: before and after the SSD
+    Duration b_ssd = Milliseconds(2);
+    Duration c_burst = Milliseconds(8);
+    int a_workers_per_socket = 150;
+    int b_workers = 420;
+    int c_workers = 150;
+    Duration series_window = Seconds(1);
+    uint64_t seed = 1;
+  };
+
+  SearchWorkload(Kernel* kernel, Options options);
+
+  // All worker threads, for enclave placement. A-workers already carry their
+  // socket cpumask (set via SetAffinity at construction).
+  const std::vector<Task*>& workers() const { return all_workers_; }
+
+  void Start(Time until);
+
+  WindowedSeries& series(QueryType type) { return series_[type]; }
+  LatencyRecorder& latency(QueryType type) { return latency_[type]; }
+  int64_t completed(QueryType type) const { return completed_[type]; }
+  int64_t offered(QueryType type) const { return offered_[type]; }
+
+ private:
+  struct Worker {
+    Task* task = nullptr;
+    QueryType type = kA;
+    int socket = -1;  // A-workers only
+    Time query_arrival = 0;
+    int subqueries_left = 0;  // A-workers only
+  };
+
+  void ScheduleArrival(QueryType type);
+  void Dispatch(QueryType type, Time arrival, int socket);
+  void AssignQuery(int worker_index, Time arrival);
+  void FinishQuery(int worker_index);
+  // B-workers: first compute burst done -> block on SSD -> second burst.
+  void BWorkerSsd(int worker_index);
+  // A-workers: next sub-query hop (block briefly, then another burst).
+  void AWorkerHop(int worker_index);
+
+  Kernel* kernel_;
+  Options options_;
+  Rng rng_;
+  Time until_ = 0;
+
+  std::vector<Worker> workers_;
+  std::vector<Task*> all_workers_;
+  // Free worker indices: per socket for A, global for B and C.
+  std::vector<std::vector<int>> free_a_;  // [socket]
+  std::vector<int> free_b_;
+  std::vector<int> free_c_;
+  // Pending queries when the pool is exhausted.
+  std::vector<std::deque<std::pair<Time, int>>> pending_;  // [type] -> (arrival, socket)
+
+  WindowedSeries series_[3] = {WindowedSeries(Seconds(1)), WindowedSeries(Seconds(1)),
+                               WindowedSeries(Seconds(1))};
+  LatencyRecorder latency_[3];
+  int64_t completed_[3] = {0, 0, 0};
+  int64_t offered_[3] = {0, 0, 0};
+  int next_socket_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_WORKLOADS_SEARCH_WORKLOAD_H_

@@ -1,0 +1,133 @@
+#include "src/workloads/snap.h"
+
+namespace gs {
+
+SnapSystem::SnapSystem(Kernel* kernel, Options options)
+    : kernel_(kernel), options_(options), rng_(options.seed) {
+  engines_.resize(options_.num_engines);
+  for (int e = 0; e < options_.num_engines; ++e) {
+    engines_[e].task = kernel_->CreateTask("snap-engine/" + std::to_string(e));
+    engines_tasks_.push_back(engines_[e].task);
+  }
+  const int num_flows = options_.num_small_flows + options_.num_large_flows;
+  flows_.resize(num_flows);
+  for (int f = 0; f < num_flows; ++f) {
+    flows_[f].small = f < options_.num_small_flows;
+    // Engine 0 polls the latency-sensitive small flows; copy-heavy large
+    // flows share the remaining engines (Snap steers flows to engines by
+    // load class). Concentrating the large flows is what pushes an engine
+    // toward its MicroQuanta budget under bursts.
+    if (flows_[f].small || options_.num_engines == 1) {
+      flows_[f].engine = 0;
+    } else {
+      flows_[f].engine = 1 + (f - options_.num_small_flows) % (options_.num_engines - 1);
+    }
+    flows_[f].server = kernel_->CreateTask("snap-server/" + std::to_string(f));
+    server_tasks_.push_back(flows_[f].server);
+  }
+}
+
+void SnapSystem::Start(Time until) {
+  until_ = until;
+  for (int f = 0; f < static_cast<int>(flows_.size()); ++f) {
+    ScheduleNextArrival(f);
+  }
+}
+
+void SnapSystem::ScheduleNextArrival(int flow) {
+  const double mean_gap = 1e9 / options_.msgs_per_sec_per_flow;
+  const auto gap = std::max<Duration>(1, static_cast<Duration>(rng_.NextExponential(mean_gap)));
+  if (kernel_->now() + gap > until_) {
+    return;
+  }
+  kernel_->loop()->ScheduleAfter(gap, [this, flow] {
+    Packet packet;
+    packet.arrival = kernel_->now();
+    packet.flow = flow;
+    packet.reply = false;
+    EnqueueToEngine(flows_[flow].engine, packet);
+    ScheduleNextArrival(flow);
+  });
+}
+
+void SnapSystem::EnqueueToEngine(int engine, Packet packet) {
+  Engine& eng = engines_[engine];
+  eng.queue.push_back(packet);
+  if (eng.active) {
+    return;  // the running chain will drain it
+  }
+  eng.active = true;
+  const Packet& front = eng.queue.front();
+  const Flow& flow = flows_[front.flow];
+  const Duration cost = flow.small
+                            ? (front.reply ? options_.small_tx : options_.small_rx)
+                            : (front.reply ? options_.large_tx : options_.large_rx);
+  kernel_->StartBurst(eng.task, cost, [this, engine](Task*) { EngineStep(engine); });
+  kernel_->Wake(eng.task);
+}
+
+void SnapSystem::EngineStep(int engine) {
+  Engine& eng = engines_[engine];
+  CHECK(!eng.queue.empty());
+  const Packet done = eng.queue.front();
+  eng.queue.pop_front();
+  if (done.reply) {
+    Complete(done);
+  } else {
+    DeliverToServer(done);
+  }
+
+  if (eng.queue.empty()) {
+    eng.active = false;
+    kernel_->Block(eng.task);
+    return;
+  }
+  const Packet& front = eng.queue.front();
+  const Flow& flow = flows_[front.flow];
+  const Duration cost = flow.small
+                            ? (front.reply ? options_.small_tx : options_.small_rx)
+                            : (front.reply ? options_.large_tx : options_.large_rx);
+  kernel_->StartBurst(eng.task, cost, [this, engine](Task*) { EngineStep(engine); });
+}
+
+void SnapSystem::DeliverToServer(Packet packet) {
+  Flow& flow = flows_[packet.flow];
+  flow.inbox.push_back(packet);
+  if (flow.server_active) {
+    return;
+  }
+  flow.server_active = true;
+  const Duration cost = flow.small ? options_.small_app : options_.large_app;
+  const int f = packet.flow;
+  kernel_->StartBurst(flow.server, cost, [this, f](Task*) { ServerStep(f); });
+  kernel_->Wake(flow.server);
+}
+
+void SnapSystem::ServerStep(int f) {
+  Flow& flow = flows_[f];
+  CHECK(!flow.inbox.empty());
+  Packet packet = flow.inbox.front();
+  flow.inbox.pop_front();
+  packet.reply = true;
+  EnqueueToEngine(flow.engine, packet);
+
+  if (flow.inbox.empty()) {
+    flow.server_active = false;
+    kernel_->Block(flow.server);
+    return;
+  }
+  const Duration cost = flow.small ? options_.small_app : options_.large_app;
+  kernel_->StartBurst(flow.server, cost, [this, f](Task*) { ServerStep(f); });
+}
+
+void SnapSystem::Complete(const Packet& packet) {
+  const Duration rtt = kernel_->now() - packet.arrival + options_.wire_rtt;
+  if (flows_[packet.flow].small) {
+    small_latency_.Add(rtt);
+  } else {
+    large_latency_.Add(rtt);
+  }
+  ++completed_;
+}
+
+}  // namespace gs

@@ -1,0 +1,90 @@
+#include "src/workloads/vm_workload.h"
+
+#include <algorithm>
+
+namespace gs {
+
+VmWorkload::VmWorkload(Kernel* kernel, Options options)
+    : kernel_(kernel), options_(options) {
+  for (int vm = 0; vm < options_.num_vms; ++vm) {
+    for (int v = 0; v < options_.vcpus_per_vm; ++v) {
+      Task* task = kernel_->CreateTask("vm" + std::to_string(vm) + "/vcpu" +
+                                       std::to_string(v));
+      vcpus_.push_back(task);
+      remaining_.push_back(options_.work_per_vcpu);
+      completions_.push_back(0);
+    }
+  }
+}
+
+int64_t VmWorkload::CookieOf(int64_t tid) const {
+  for (size_t i = 0; i < vcpus_.size(); ++i) {
+    if (vcpus_[i]->tid() == tid) {
+      return static_cast<int64_t>(i) / options_.vcpus_per_vm + 1;
+    }
+  }
+  return 0;
+}
+
+void VmWorkload::Start() {
+  for (int i = 0; i < static_cast<int>(vcpus_.size()); ++i) {
+    RunChunk(i);
+    kernel_->Wake(vcpus_[i]);
+  }
+}
+
+void VmWorkload::RunChunk(int index) {
+  const Duration chunk = std::min(options_.chunk, remaining_[index]);
+  kernel_->StartBurst(vcpus_[index], chunk, [this, index, chunk](Task* task) {
+    remaining_[index] -= chunk;
+    if (remaining_[index] <= 0) {
+      ++completed_;
+      completions_[index] = kernel_->now();
+      finish_time_ = std::max(finish_time_, kernel_->now());
+      kernel_->Exit(task);
+      return;
+    }
+    RunChunk(index);
+  });
+}
+
+bool VmWorkload::AllDone() const {
+  return completed_ == static_cast<int>(vcpus_.size());
+}
+
+void VmWorkload::StartSecuritySampler(Duration period) {
+  sampler_period_ = period;
+  kernel_->loop()->ScheduleAfter(period, [this] { Sample(); });
+}
+
+void VmWorkload::Sample() {
+  const Topology& topo = kernel_->topology();
+  for (int core = 0; core < topo.num_cores(); ++core) {
+    const CpuMask cpus = topo.CoreMask(core);
+    int64_t cookie = 0;
+    bool conflict = false;
+    for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+      const Task* current = kernel_->current(cpu);
+      if (current == nullptr) {
+        continue;
+      }
+      const int64_t c = CookieOf(current->tid());
+      if (c == 0) {
+        continue;  // not a vCPU
+      }
+      if (cookie == 0) {
+        cookie = c;
+      } else if (c != cookie) {
+        conflict = true;
+      }
+    }
+    if (conflict) {
+      ++violations_;
+    }
+  }
+  if (!AllDone()) {
+    kernel_->loop()->ScheduleAfter(sampler_period_, [this] { Sample(); });
+  }
+}
+
+}  // namespace gs

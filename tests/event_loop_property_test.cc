@@ -1,0 +1,100 @@
+// Property test: EventLoop vs a naive reference implementation under random
+// schedule/cancel/run interleavings.
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/sim/event_loop.h"
+
+namespace gs {
+namespace {
+
+// Reference model: a sorted multimap of (time, insertion order) -> id.
+class ReferenceLoop {
+ public:
+  uint64_t Schedule(Time when) {
+    const uint64_t id = next_id_++;
+    events_[{when, seq_++}] = id;
+    return id;
+  }
+
+  bool Cancel(uint64_t id) {
+    for (auto it = events_.begin(); it != events_.end(); ++it) {
+      if (it->second == id) {
+        events_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Runs everything up to `deadline`, appending fired ids to `order`.
+  void RunUntil(Time deadline, std::vector<uint64_t>* order) {
+    while (!events_.empty() && events_.begin()->first.first <= deadline) {
+      order->push_back(events_.begin()->second);
+      events_.erase(events_.begin());
+    }
+    now_ = std::max(now_, deadline);
+  }
+
+  Time now() const { return now_; }
+  size_t pending() const { return events_.size(); }
+
+ private:
+  std::map<std::pair<Time, uint64_t>, uint64_t> events_;
+  uint64_t next_id_ = 1;
+  uint64_t seq_ = 0;
+  Time now_ = 0;
+};
+
+class EventLoopPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EventLoopPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  EventLoop loop;
+  ReferenceLoop reference;
+  std::vector<uint64_t> loop_order, reference_order;
+  // Map from reference id -> EventLoop id so cancels target the same event.
+  std::map<uint64_t, EventId> id_map;
+  std::vector<uint64_t> live_ids;
+
+  for (int op = 0; op < 2000; ++op) {
+    const uint64_t dice = rng.NextBounded(10);
+    if (dice < 6) {
+      // Schedule at a random future time.
+      const Time when = loop.now() + static_cast<Duration>(rng.NextBounded(1000));
+      const uint64_t ref_id = reference.Schedule(when);
+      id_map[ref_id] = loop.ScheduleAt(when, [&loop_order, ref_id] {
+        loop_order.push_back(ref_id);
+      });
+      live_ids.push_back(ref_id);
+    } else if (dice < 8 && !live_ids.empty()) {
+      // Cancel a random (possibly already-fired) event.
+      const uint64_t victim = live_ids[rng.NextBounded(live_ids.size())];
+      const bool ref_ok = reference.Cancel(victim);
+      const bool loop_ok = loop.Cancel(id_map[victim]);
+      EXPECT_EQ(ref_ok, loop_ok) << "cancel disagreement for id " << victim;
+    } else {
+      // Advance time.
+      const Time deadline = loop.now() + static_cast<Duration>(rng.NextBounded(500));
+      reference.RunUntil(deadline, &reference_order);
+      loop.RunUntil(deadline);
+      ASSERT_EQ(loop_order, reference_order) << "divergence at op " << op;
+      EXPECT_EQ(loop.now(), reference.now());
+    }
+  }
+  // Drain.
+  reference.RunUntil(kTimeNever - 1, &reference_order);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop_order, reference_order);
+  EXPECT_EQ(loop.pending_count(), reference.pending());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventLoopPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,110 @@
+// Unit tests for the discrete-event engine.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+
+namespace gs {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(30, [&] { order.push_back(3); });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(20, [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, EqualTimesFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const EventId id = loop.ScheduleAt(10, [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id)) << "double cancel is a no-op";
+  loop.RunUntilIdle();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoopTest, CancelInvalidId) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(kInvalidEventId));
+  EXPECT_FALSE(loop.Cancel(12345));
+}
+
+TEST(EventLoopTest, EventsMayScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      loop.ScheduleAfter(10, recurse);
+    }
+  };
+  loop.ScheduleAfter(0, recurse);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 40);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  for (Time t = 10; t <= 100; t += 10) {
+    loop.ScheduleAt(t, [&] { ++count; });
+  }
+  loop.RunUntil(50);
+  EXPECT_EQ(count, 5) << "events at exactly the deadline are included";
+  EXPECT_EQ(loop.now(), 50);
+  loop.RunUntil(200);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(loop.now(), 200) << "clock advances to the deadline even when idle";
+}
+
+TEST(EventLoopTest, RunOneReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.RunOne());
+  loop.ScheduleAfter(1, [] {});
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopTest, CancelDuringExecution) {
+  EventLoop loop;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  loop.ScheduleAt(10, [&] { loop.Cancel(second); });
+  second = loop.ScheduleAt(20, [&] { second_ran = true; });
+  loop.RunUntilIdle();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoopTest, PendingCountTracksLiveEvents) {
+  EventLoop loop;
+  const EventId a = loop.ScheduleAfter(10, [] {});
+  loop.ScheduleAfter(20, [] {});
+  EXPECT_EQ(loop.pending_count(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending_count(), 1u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.pending_count(), 0u);
+  EXPECT_EQ(loop.executed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,70 @@
+// Precision sweep for the HDR-style histogram (regression guard for the
+// bucket-reconstruction bug found during Fig 6 bring-up, where percentiles
+// were overstated ~2.6x).
+#include <gtest/gtest.h>
+
+#include "src/base/histogram.h"
+#include "src/base/rng.h"
+
+namespace gs {
+namespace {
+
+class HistogramPrecisionTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramPrecisionTest, SingleValueReconstructsWithin4Percent) {
+  const int64_t value = GetParam();
+  Histogram h;
+  h.Add(value);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    const int64_t got = h.Percentile(p);
+    EXPECT_GE(got, value - 1) << "p" << p << " value " << value
+                              << " (never under-report)";
+    EXPECT_LE(got, value + value / 25 + 1) << "p" << p << " value " << value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramPrecisionTest,
+                         ::testing::Values(0, 1, 5, 63, 64, 100, 1000, 10'150, 123'456,
+                                           1'000'000, 123'456'789, 10'000'000'000LL,
+                                           4'000'000'000'000LL));
+
+TEST(HistogramPrecisionTest, UniformPercentilesTrackTruth) {
+  // 100k uniform samples in [0, 1e6): pX should be ~X * 1e4 within bucket
+  // error (~4%).
+  Histogram h;
+  Rng rng(77);
+  for (int i = 0; i < 100'000; ++i) {
+    h.Add(static_cast<int64_t>(rng.NextBounded(1'000'000)));
+  }
+  for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    const double truth = p / 100.0 * 1e6;
+    const double got = static_cast<double>(h.Percentile(p));
+    EXPECT_NEAR(got / truth, 1.0, 0.05) << "p" << p;
+  }
+}
+
+TEST(HistogramPrecisionTest, BimodalTailSeparation) {
+  // The Fig 6 workload shape: p99 must sit in the short mode, p99.9 in the
+  // long mode.
+  Histogram h;
+  Rng rng(78);
+  for (int i = 0; i < 200'000; ++i) {
+    h.Add(rng.NextBernoulli(0.005) ? 10'000'000 : 10'000);
+  }
+  EXPECT_LT(h.Percentile(99), 20'000);
+  EXPECT_GT(h.Percentile(99.9), 9'000'000);
+}
+
+TEST(HistogramPrecisionTest, MeanIsExact) {
+  Histogram h;
+  int64_t sum = 0;
+  for (int64_t v : {5, 100, 100'000, 123'456'789}) {
+    h.Add(v);
+    sum += v;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), static_cast<double>(sum) / 4.0)
+      << "mean uses the exact sum, not bucket values";
+}
+
+}  // namespace
+}  // namespace gs

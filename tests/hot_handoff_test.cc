@@ -1,0 +1,98 @@
+// Tests for the §3.3 hot handoff: "Whenever a non-ghOSt thread needs to run
+// on the global agent's CPU, the global agent performs a 'hot handoff' to an
+// inactive agent on another CPU."
+#include <gtest/gtest.h>
+
+#include "src/agent/agent_process.h"
+#include "src/ghost/machine.h"
+#include "src/policies/centralized_fifo.h"
+#include "tests/test_util.h"
+
+namespace gs {
+namespace {
+
+Task* GhostWorker(Machine& m, Enclave& enclave, const std::string& name, Duration burst,
+                  int repeats) {
+  Task* t = m.kernel().CreateTask(name);
+  enclave.AddTask(t);
+  Kernel* kernel = &m.kernel();
+  EventLoop* loop_ptr = &m.loop();
+  auto remaining = std::make_shared<int>(repeats);
+  auto loop = std::make_shared<std::function<void(Task*)>>();
+  *loop = [kernel, loop_ptr, remaining, burst, loop](Task* task) {
+    if (--*remaining <= 0) {
+      kernel->Exit(task);
+      return;
+    }
+    kernel->Block(task);
+    loop_ptr->ScheduleAfter(Microseconds(50), [kernel, task, burst, loop] {
+      kernel->StartBurst(task, burst, *loop);
+      kernel->Wake(task);
+    });
+  };
+  kernel->StartBurst(t, burst, *loop);
+  kernel->Wake(t);
+  return t;
+}
+
+TEST(HotHandoffTest, PinnedCfsThreadEvictsGlobalAgent) {
+  Machine m(Topology::Make("t", 1, 4, 1, 4));
+  auto enclave = m.CreateEnclave(CpuMask::AllUpTo(4));
+  CentralizedFifoPolicy::Options options;
+  options.global_cpu = 0;
+  auto policy = std::make_unique<CentralizedFifoPolicy>(options);
+  CentralizedFifoPolicy* policy_ptr = policy.get();
+  AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
+  process.Start();
+
+  // Keep the agent busy with ghOSt work so it is actually spinning.
+  Task* worker = GhostWorker(m, *enclave, "w", Microseconds(100), 300);
+  m.RunFor(Milliseconds(2));
+  ASSERT_EQ(policy_ptr->global_cpu(), 0);
+
+  // A kernel daemon pinned to CPU 0 (the paper's per-CPU worker-thread
+  // example) needs the agent's CPU.
+  Task* daemon = m.kernel().CreateTask("kworker");
+  m.kernel().SetAffinity(daemon, CpuMask::Single(0));
+  Time daemon_done = -1;
+  m.kernel().StartBurst(daemon, Milliseconds(1), [&](Task* t) {
+    daemon_done = m.now();
+    m.kernel().Exit(t);
+  });
+  const Time woke = m.now();
+  m.kernel().Wake(daemon);
+  m.RunFor(Milliseconds(10));
+
+  // The agent handed its CPU over and kept scheduling from a new home.
+  EXPECT_GE(daemon_done, 0) << "pinned CFS daemon must run";
+  EXPECT_LT(daemon_done - woke, Milliseconds(3)) << "handoff must be prompt";
+  EXPECT_GT(policy_ptr->hot_handoffs(), 0u);
+  EXPECT_NE(policy_ptr->global_cpu(), 0);
+  // ghOSt work keeps flowing across the handoff (300 x ~150us ~ 45 ms).
+  m.RunFor(Milliseconds(80));
+  EXPECT_EQ(worker->state(), TaskState::kDead);
+  EXPECT_EQ(worker->total_runtime(), Microseconds(100) * 300);
+}
+
+TEST(HotHandoffTest, NoIdleCpuMeansNoHandoff) {
+  // Single-CPU enclave: nowhere to hand off to; the agent keeps scheduling
+  // and the pinned CFS thread waits, as on a fully busy machine.
+  Machine m(Topology::Make("t", 1, 2, 1, 2));
+  auto enclave = m.CreateEnclave(CpuMask::Single(0));
+  CentralizedFifoPolicy::Options options;
+  options.global_cpu = 0;
+  auto policy = std::make_unique<CentralizedFifoPolicy>(options);
+  CentralizedFifoPolicy* policy_ptr = policy.get();
+  AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
+  process.Start();
+  Task* daemon = m.kernel().CreateTask("kworker");
+  m.kernel().SetAffinity(daemon, CpuMask::Single(0));
+  m.kernel().StartBurst(daemon, Microseconds(100), [&m](Task* t) { m.kernel().Exit(t); });
+  m.kernel().Wake(daemon);
+  m.RunFor(Milliseconds(5));
+  EXPECT_EQ(policy_ptr->hot_handoffs(), 0u);
+  EXPECT_EQ(policy_ptr->global_cpu(), 0);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,186 @@
+// Edge-case tests for the transaction latch (the ghOSt class's only per-CPU
+// state) and commit validation interleavings.
+#include <gtest/gtest.h>
+
+#include "src/ghost/machine.h"
+#include "tests/test_util.h"
+
+namespace gs {
+namespace {
+
+class LatchTest : public ::testing::Test {
+ protected:
+  void Build(int cores) {
+    machine_ = std::make_unique<Machine>(Topology::Make("t", 1, cores, 1, cores));
+    enclave_ = machine_->CreateEnclave(CpuMask::AllUpTo(cores));
+  }
+
+  Task* GhostTask_(const std::string& name, Duration burst) {
+    Task* task = machine_->kernel().CreateTask(name);
+    enclave_->AddTask(task);
+    machine_->kernel().StartBurst(burst > 0 ? task : task, burst,
+                                  [this](Task* t) { machine_->kernel().Exit(t); });
+    return task;
+  }
+
+  TxnStatus CommitOne(int64_t tid, int cpu) {
+    Transaction txn;
+    txn.tid = tid;
+    txn.target_cpu = cpu;
+    Transaction* ptr = &txn;
+    enclave_->TxnsCommit(std::span<Transaction*>(&ptr, 1), nullptr,
+                         [](int) { return Duration{0}; });
+    return txn.status;
+  }
+
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Enclave> enclave_;
+};
+
+TEST_F(LatchTest, TaskCannotBeLatchedOnTwoCpus) {
+  Build(3);
+  Task* task = GhostTask_("w", Microseconds(50));
+  machine_->kernel().Wake(task);
+  machine_->RunFor(Microseconds(1));
+  EXPECT_EQ(CommitOne(task->tid(), 1), TxnStatus::kCommitted);
+  // While the first commit's IPI is in flight, a second commit for the same
+  // thread elsewhere must fail.
+  EXPECT_EQ(CommitOne(task->tid(), 2), TxnStatus::kENotRunnable);
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(task->state(), TaskState::kDead);
+  EXPECT_EQ(task->last_cpu(), 1);
+}
+
+TEST_F(LatchTest, LatchSurvivesWhilePickDisabled) {
+  Build(2);
+  Task* task = GhostTask_("w", Microseconds(50));
+  machine_->kernel().Wake(task);
+  machine_->RunFor(Microseconds(1));
+  ASSERT_EQ(CommitOne(task->tid(), 1), TxnStatus::kCommitted);
+  EXPECT_TRUE(machine_->ghost_class()->HasLatch(1));
+  // Before the IPI lands the latch is pending but not pickable; after, gone
+  // (consumed by the pick).
+  machine_->RunFor(Microseconds(10));
+  EXPECT_FALSE(machine_->ghost_class()->HasLatch(1));
+  EXPECT_EQ(task->state(), TaskState::kRunning);
+}
+
+TEST_F(LatchTest, RunningTaskCannotBeCommittedAgain) {
+  Build(2);
+  Task* task = GhostTask_("w", Milliseconds(5));
+  machine_->kernel().Wake(task);
+  machine_->RunFor(Microseconds(1));
+  ASSERT_EQ(CommitOne(task->tid(), 1), TxnStatus::kCommitted);
+  machine_->RunFor(Milliseconds(1));
+  ASSERT_EQ(task->state(), TaskState::kRunning);
+  EXPECT_EQ(CommitOne(task->tid(), 1), TxnStatus::kENotRunnable);
+}
+
+TEST_F(LatchTest, DeadTaskDefeatsPendingLatch) {
+  Build(3);
+  Task* a = GhostTask_("a", Microseconds(5));
+  Task* b = GhostTask_("b", Microseconds(5));
+  machine_->kernel().Wake(a);
+  machine_->kernel().Wake(b);
+  machine_->RunFor(Microseconds(1));
+  // Run `a` on cpu 1 to completion.
+  ASSERT_EQ(CommitOne(a->tid(), 1), TxnStatus::kCommitted);
+  machine_->RunFor(Milliseconds(1));
+  ASSERT_EQ(a->state(), TaskState::kDead);
+  // A commit for the dead thread is invalid; the CPU stays usable for b.
+  EXPECT_EQ(CommitOne(a->tid(), 1), TxnStatus::kEInvalid);
+  EXPECT_EQ(CommitOne(b->tid(), 1), TxnStatus::kCommitted);
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(b->state(), TaskState::kDead);
+}
+
+TEST_F(LatchTest, EnclaveDestroyClearsLatches) {
+  Build(2);
+  Task* task = GhostTask_("w", Microseconds(50));
+  machine_->kernel().Wake(task);
+  machine_->RunFor(Microseconds(1));
+  ASSERT_EQ(CommitOne(task->tid(), 1), TxnStatus::kCommitted);
+  ASSERT_TRUE(machine_->ghost_class()->HasLatch(1));
+  enclave_->Destroy();
+  EXPECT_FALSE(machine_->ghost_class()->HasLatch(1));
+  // The thread finishes under CFS.
+  machine_->RunFor(Milliseconds(2));
+  EXPECT_EQ(task->state(), TaskState::kDead);
+}
+
+TEST_F(LatchTest, MixedGroupPartialFailureIsPerTxn) {
+  // Without sync_group, failures are independent: one bad transaction in a
+  // group doesn't poison the others (unlike synchronized groups).
+  Build(4);
+  Task* a = GhostTask_("a", Microseconds(5));
+  Task* b = GhostTask_("b", Microseconds(5));  // never woken
+  machine_->kernel().Wake(a);
+  machine_->RunFor(Microseconds(1));
+  Transaction ta;
+  ta.tid = a->tid();
+  ta.target_cpu = 1;
+  Transaction tb;
+  tb.tid = b->tid();
+  tb.target_cpu = 2;
+  std::vector<Transaction*> txns = {&ta, &tb};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(ta.status, TxnStatus::kCommitted);
+  EXPECT_EQ(tb.status, TxnStatus::kENotRunnable);
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(a->state(), TaskState::kDead);
+  EXPECT_EQ(b->state(), TaskState::kCreated);
+}
+
+TEST_F(LatchTest, SyncGroupRejectsDuplicateTargets) {
+  // Malformed synchronized groups must fail cleanly, not crash: two members
+  // naming the same CPU, or the same thread twice.
+  Build(4);
+  Task* a = GhostTask_("a", Microseconds(5));
+  Task* b = GhostTask_("b", Microseconds(5));
+  machine_->kernel().Wake(a);
+  machine_->kernel().Wake(b);
+  machine_->RunFor(Microseconds(1));
+
+  Transaction t1;
+  t1.tid = a->tid();
+  t1.target_cpu = 1;
+  t1.sync_group = 3;
+  Transaction t2;
+  t2.tid = b->tid();
+  t2.target_cpu = 1;  // duplicate CPU
+  t2.sync_group = 3;
+  std::vector<Transaction*> txns = {&t1, &t2};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(t1.status, TxnStatus::kEAborted);
+  EXPECT_EQ(t2.status, TxnStatus::kETxnPending);
+
+  Transaction t3;
+  t3.tid = a->tid();
+  t3.target_cpu = 1;
+  t3.sync_group = 4;
+  Transaction t4;
+  t4.tid = a->tid();  // duplicate thread
+  t4.target_cpu = 2;
+  t4.sync_group = 4;
+  txns = {&t3, &t4};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(t3.status, TxnStatus::kEAborted);
+  EXPECT_EQ(t4.status, TxnStatus::kENotRunnable);
+
+  // A well-formed group on the same CPUs still commits afterwards.
+  Transaction t5;
+  t5.tid = a->tid();
+  t5.target_cpu = 1;
+  t5.sync_group = 5;
+  Transaction t6;
+  t6.tid = b->tid();
+  t6.target_cpu = 2;
+  t6.sync_group = 5;
+  txns = {&t5, &t6};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(t5.status, TxnStatus::kCommitted);
+  EXPECT_EQ(t6.status, TxnStatus::kCommitted);
+}
+
+}  // namespace
+}  // namespace gs

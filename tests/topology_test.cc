@@ -1,0 +1,87 @@
+// Unit tests for the topology model, including the paper's machine presets.
+#include <gtest/gtest.h>
+
+#include "src/topology/topology.h"
+
+namespace gs {
+namespace {
+
+TEST(TopologyTest, Skylake112Shape) {
+  const Topology topo = Topology::IntelSkylake112();
+  EXPECT_EQ(topo.num_cpus(), 112);
+  EXPECT_EQ(topo.num_cores(), 56);
+  EXPECT_EQ(topo.num_numa_nodes(), 2);
+  EXPECT_EQ(topo.num_ccxs(), 2) << "one L3 per socket";
+}
+
+TEST(TopologyTest, SiblingEnumerationLinuxStyle) {
+  const Topology topo = Topology::IntelSkylake112();
+  // CPU i and i + num_cores are SMT siblings on core i.
+  EXPECT_EQ(topo.cpu(0).sibling, 56);
+  EXPECT_EQ(topo.cpu(56).sibling, 0);
+  EXPECT_EQ(topo.cpu(0).core, topo.cpu(56).core);
+  EXPECT_EQ(topo.cpu(27).numa, 0);
+  EXPECT_EQ(topo.cpu(28).numa, 1);
+  EXPECT_EQ(topo.cpu(83).numa, 0) << "second hyperthreads of socket 0";
+  EXPECT_EQ(topo.cpu(84).numa, 1);
+}
+
+TEST(TopologyTest, Rome256Ccxs) {
+  const Topology topo = Topology::AmdRome256();
+  EXPECT_EQ(topo.num_cpus(), 256);
+  EXPECT_EQ(topo.num_ccxs(), 32) << "64 cores/socket in 4-core CCXs, 2 sockets";
+  // CCX mask: 4 cores x 2 threads = 8 CPUs.
+  EXPECT_EQ(topo.CcxMask(0).Count(), 8);
+  EXPECT_EQ(topo.NumaMask(0).Count(), 128);
+  // Cores 0-3 share a CCX; core 4 does not.
+  EXPECT_EQ(topo.cpu(0).ccx, topo.cpu(3).ccx);
+  EXPECT_NE(topo.cpu(0).ccx, topo.cpu(4).ccx);
+}
+
+TEST(TopologyTest, E5SingleSocket) {
+  const Topology topo = Topology::IntelE5_24();
+  EXPECT_EQ(topo.num_cpus(), 24);
+  EXPECT_EQ(topo.num_numa_nodes(), 1);
+}
+
+TEST(TopologyTest, Haswell72) {
+  const Topology topo = Topology::IntelHaswell72();
+  EXPECT_EQ(topo.num_cpus(), 72);
+  EXPECT_EQ(topo.num_cores(), 36);
+}
+
+TEST(TopologyTest, DistanceLattice) {
+  const Topology topo = Topology::AmdRome256();
+  EXPECT_EQ(topo.Distance(0, 0), PlacementDistance::kSameCpu);
+  EXPECT_EQ(topo.Distance(0, 128), PlacementDistance::kSameCore);
+  EXPECT_EQ(topo.Distance(0, 3), PlacementDistance::kSameCcx);
+  EXPECT_EQ(topo.Distance(0, 4), PlacementDistance::kSameNuma);
+  EXPECT_EQ(topo.Distance(0, 64), PlacementDistance::kCrossNuma);
+}
+
+TEST(TopologyTest, MasksPartitionMachine) {
+  const Topology topo = Topology::AmdRome256();
+  int total = 0;
+  for (int ccx = 0; ccx < topo.num_ccxs(); ++ccx) {
+    total += topo.CcxMask(ccx).Count();
+  }
+  EXPECT_EQ(total, topo.num_cpus());
+  EXPECT_EQ((topo.NumaMask(0) & topo.NumaMask(1)).Count(), 0);
+}
+
+TEST(TopologyTest, SmtOffHasNoSiblings) {
+  const Topology topo = Topology::Make("smt1", 1, 4, /*smt=*/1, 4);
+  EXPECT_EQ(topo.num_cpus(), 4);
+  for (const CpuInfo& cpu : topo.cpus()) {
+    EXPECT_EQ(cpu.sibling, -1);
+  }
+}
+
+TEST(TopologyTest, NumaDistanceSlit) {
+  const Topology topo = Topology::IntelSkylake112();
+  EXPECT_EQ(topo.NumaDistance(0, 0), 10);
+  EXPECT_EQ(topo.NumaDistance(0, 1), 21);
+}
+
+}  // namespace
+}  // namespace gs
