@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_group_commit.dir/ablation_group_commit.cc.o"
+  "CMakeFiles/ablation_group_commit.dir/ablation_group_commit.cc.o.d"
+  "ablation_group_commit"
+  "ablation_group_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

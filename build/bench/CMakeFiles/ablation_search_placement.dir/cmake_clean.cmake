@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_search_placement.dir/ablation_search_placement.cc.o"
+  "CMakeFiles/ablation_search_placement.dir/ablation_search_placement.cc.o.d"
+  "ablation_search_placement"
+  "ablation_search_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_search_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

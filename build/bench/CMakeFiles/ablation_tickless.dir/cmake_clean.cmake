@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tickless.dir/ablation_tickless.cc.o"
+  "CMakeFiles/ablation_tickless.dir/ablation_tickless.cc.o.d"
+  "ablation_tickless"
+  "ablation_tickless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tickless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

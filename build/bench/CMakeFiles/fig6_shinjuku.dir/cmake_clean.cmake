@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_shinjuku.dir/fig6_shinjuku.cc.o"
+  "CMakeFiles/fig6_shinjuku.dir/fig6_shinjuku.cc.o.d"
+  "fig6_shinjuku"
+  "fig6_shinjuku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_shinjuku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_snap.dir/fig7_snap.cc.o"
+  "CMakeFiles/fig7_snap.dir/fig7_snap.cc.o.d"
+  "fig7_snap"
+  "fig7_snap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_snap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_search.dir/fig8_search.cc.o"
+  "CMakeFiles/fig8_search.dir/fig8_search.cc.o.d"
+  "fig8_search"
+  "fig8_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_host.dir/table3_host.cc.o"
+  "CMakeFiles/table3_host.dir/table3_host.cc.o.d"
+  "table3_host"
+  "table3_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

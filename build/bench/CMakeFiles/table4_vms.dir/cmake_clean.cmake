@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_vms.dir/table4_vms.cc.o"
+  "CMakeFiles/table4_vms.dir/table4_vms.cc.o.d"
+  "table4_vms"
+  "table4_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_upgrade.dir/agent_upgrade.cc.o"
+  "CMakeFiles/agent_upgrade.dir/agent_upgrade.cc.o.d"
+  "agent_upgrade"
+  "agent_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksdb_server.dir/rocksdb_server.cc.o"
+  "CMakeFiles/rocksdb_server.dir/rocksdb_server.cc.o.d"
+  "rocksdb_server"
+  "rocksdb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksdb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_vms.dir/secure_vms.cc.o"
+  "CMakeFiles/secure_vms.dir/secure_vms.cc.o.d"
+  "secure_vms"
+  "secure_vms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_vms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_agent.dir/agent/agent_context.cc.o"
+  "CMakeFiles/gs_agent.dir/agent/agent_context.cc.o.d"
+  "CMakeFiles/gs_agent.dir/agent/agent_process.cc.o"
+  "CMakeFiles/gs_agent.dir/agent/agent_process.cc.o.d"
+  "CMakeFiles/gs_agent.dir/agent/task_table.cc.o"
+  "CMakeFiles/gs_agent.dir/agent/task_table.cc.o.d"
+  "libgs_agent.a"
+  "libgs_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

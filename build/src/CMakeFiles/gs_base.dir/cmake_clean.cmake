@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_base.dir/base/histogram.cc.o"
+  "CMakeFiles/gs_base.dir/base/histogram.cc.o.d"
+  "CMakeFiles/gs_base.dir/base/logging.cc.o"
+  "CMakeFiles/gs_base.dir/base/logging.cc.o.d"
+  "libgs_base.a"
+  "libgs_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_baselines.dir/baselines/shinjuku_dataplane.cc.o"
+  "CMakeFiles/gs_baselines.dir/baselines/shinjuku_dataplane.cc.o.d"
+  "libgs_baselines.a"
+  "libgs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

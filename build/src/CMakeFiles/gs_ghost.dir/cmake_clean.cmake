@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_ghost.dir/ghost/enclave.cc.o"
+  "CMakeFiles/gs_ghost.dir/ghost/enclave.cc.o.d"
+  "CMakeFiles/gs_ghost.dir/ghost/ghost_class.cc.o"
+  "CMakeFiles/gs_ghost.dir/ghost/ghost_class.cc.o.d"
+  "libgs_ghost.a"
+  "libgs_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

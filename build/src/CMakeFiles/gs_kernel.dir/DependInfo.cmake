@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/agent_class.cc" "src/CMakeFiles/gs_kernel.dir/kernel/agent_class.cc.o" "gcc" "src/CMakeFiles/gs_kernel.dir/kernel/agent_class.cc.o.d"
+  "/root/repo/src/kernel/cfs.cc" "src/CMakeFiles/gs_kernel.dir/kernel/cfs.cc.o" "gcc" "src/CMakeFiles/gs_kernel.dir/kernel/cfs.cc.o.d"
+  "/root/repo/src/kernel/core_sched.cc" "src/CMakeFiles/gs_kernel.dir/kernel/core_sched.cc.o" "gcc" "src/CMakeFiles/gs_kernel.dir/kernel/core_sched.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/gs_kernel.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/gs_kernel.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/microquanta.cc" "src/CMakeFiles/gs_kernel.dir/kernel/microquanta.cc.o" "gcc" "src/CMakeFiles/gs_kernel.dir/kernel/microquanta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

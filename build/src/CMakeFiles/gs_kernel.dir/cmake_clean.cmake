@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_kernel.dir/kernel/agent_class.cc.o"
+  "CMakeFiles/gs_kernel.dir/kernel/agent_class.cc.o.d"
+  "CMakeFiles/gs_kernel.dir/kernel/cfs.cc.o"
+  "CMakeFiles/gs_kernel.dir/kernel/cfs.cc.o.d"
+  "CMakeFiles/gs_kernel.dir/kernel/core_sched.cc.o"
+  "CMakeFiles/gs_kernel.dir/kernel/core_sched.cc.o.d"
+  "CMakeFiles/gs_kernel.dir/kernel/kernel.cc.o"
+  "CMakeFiles/gs_kernel.dir/kernel/kernel.cc.o.d"
+  "CMakeFiles/gs_kernel.dir/kernel/microquanta.cc.o"
+  "CMakeFiles/gs_kernel.dir/kernel/microquanta.cc.o.d"
+  "libgs_kernel.a"
+  "libgs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

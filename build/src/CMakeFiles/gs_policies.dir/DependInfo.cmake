@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/centralized_fifo.cc" "src/CMakeFiles/gs_policies.dir/policies/centralized_fifo.cc.o" "gcc" "src/CMakeFiles/gs_policies.dir/policies/centralized_fifo.cc.o.d"
+  "/root/repo/src/policies/per_cpu_fifo.cc" "src/CMakeFiles/gs_policies.dir/policies/per_cpu_fifo.cc.o" "gcc" "src/CMakeFiles/gs_policies.dir/policies/per_cpu_fifo.cc.o.d"
+  "/root/repo/src/policies/search.cc" "src/CMakeFiles/gs_policies.dir/policies/search.cc.o" "gcc" "src/CMakeFiles/gs_policies.dir/policies/search.cc.o.d"
+  "/root/repo/src/policies/shinjuku.cc" "src/CMakeFiles/gs_policies.dir/policies/shinjuku.cc.o" "gcc" "src/CMakeFiles/gs_policies.dir/policies/shinjuku.cc.o.d"
+  "/root/repo/src/policies/vm_core_sched.cc" "src/CMakeFiles/gs_policies.dir/policies/vm_core_sched.cc.o" "gcc" "src/CMakeFiles/gs_policies.dir/policies/vm_core_sched.cc.o.d"
+  "/root/repo/src/policies/work_stealing.cc" "src/CMakeFiles/gs_policies.dir/policies/work_stealing.cc.o" "gcc" "src/CMakeFiles/gs_policies.dir/policies/work_stealing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_policies.dir/policies/centralized_fifo.cc.o"
+  "CMakeFiles/gs_policies.dir/policies/centralized_fifo.cc.o.d"
+  "CMakeFiles/gs_policies.dir/policies/per_cpu_fifo.cc.o"
+  "CMakeFiles/gs_policies.dir/policies/per_cpu_fifo.cc.o.d"
+  "CMakeFiles/gs_policies.dir/policies/search.cc.o"
+  "CMakeFiles/gs_policies.dir/policies/search.cc.o.d"
+  "CMakeFiles/gs_policies.dir/policies/shinjuku.cc.o"
+  "CMakeFiles/gs_policies.dir/policies/shinjuku.cc.o.d"
+  "CMakeFiles/gs_policies.dir/policies/vm_core_sched.cc.o"
+  "CMakeFiles/gs_policies.dir/policies/vm_core_sched.cc.o.d"
+  "CMakeFiles/gs_policies.dir/policies/work_stealing.cc.o"
+  "CMakeFiles/gs_policies.dir/policies/work_stealing.cc.o.d"
+  "libgs_policies.a"
+  "libgs_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

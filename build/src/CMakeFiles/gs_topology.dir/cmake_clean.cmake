@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_topology.dir/topology/topology.cc.o"
+  "CMakeFiles/gs_topology.dir/topology/topology.cc.o.d"
+  "libgs_topology.a"
+  "libgs_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/batch.cc" "src/CMakeFiles/gs_workloads.dir/workloads/batch.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/batch.cc.o.d"
+  "/root/repo/src/workloads/latency_recorder.cc" "src/CMakeFiles/gs_workloads.dir/workloads/latency_recorder.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/latency_recorder.cc.o.d"
+  "/root/repo/src/workloads/request_service.cc" "src/CMakeFiles/gs_workloads.dir/workloads/request_service.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/request_service.cc.o.d"
+  "/root/repo/src/workloads/rocksdb.cc" "src/CMakeFiles/gs_workloads.dir/workloads/rocksdb.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/rocksdb.cc.o.d"
+  "/root/repo/src/workloads/search_workload.cc" "src/CMakeFiles/gs_workloads.dir/workloads/search_workload.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/search_workload.cc.o.d"
+  "/root/repo/src/workloads/snap.cc" "src/CMakeFiles/gs_workloads.dir/workloads/snap.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/snap.cc.o.d"
+  "/root/repo/src/workloads/vm_workload.cc" "src/CMakeFiles/gs_workloads.dir/workloads/vm_workload.cc.o" "gcc" "src/CMakeFiles/gs_workloads.dir/workloads/vm_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

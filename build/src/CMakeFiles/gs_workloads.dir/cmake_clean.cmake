@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_workloads.dir/workloads/batch.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/batch.cc.o.d"
+  "CMakeFiles/gs_workloads.dir/workloads/latency_recorder.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/latency_recorder.cc.o.d"
+  "CMakeFiles/gs_workloads.dir/workloads/request_service.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/request_service.cc.o.d"
+  "CMakeFiles/gs_workloads.dir/workloads/rocksdb.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/rocksdb.cc.o.d"
+  "CMakeFiles/gs_workloads.dir/workloads/search_workload.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/search_workload.cc.o.d"
+  "CMakeFiles/gs_workloads.dir/workloads/snap.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/snap.cc.o.d"
+  "CMakeFiles/gs_workloads.dir/workloads/vm_workload.cc.o"
+  "CMakeFiles/gs_workloads.dir/workloads/vm_workload.cc.o.d"
+  "libgs_workloads.a"
+  "libgs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_precision_test.dir/histogram_precision_test.cc.o"
+  "CMakeFiles/histogram_precision_test.dir/histogram_precision_test.cc.o.d"
+  "histogram_precision_test"
+  "histogram_precision_test.pdb"
+  "histogram_precision_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_precision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_handoff_test.dir/hot_handoff_test.cc.o"
+  "CMakeFiles/hot_handoff_test.dir/hot_handoff_test.cc.o.d"
+  "hot_handoff_test"
+  "hot_handoff_test.pdb"
+  "hot_handoff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_handoff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microquanta_test.dir/microquanta_test.cc.o"
+  "CMakeFiles/microquanta_test.dir/microquanta_test.cc.o.d"
+  "microquanta_test"
+  "microquanta_test.pdb"
+  "microquanta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microquanta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

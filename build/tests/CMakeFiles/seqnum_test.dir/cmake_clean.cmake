@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqnum_test.dir/seqnum_test.cc.o"
+  "CMakeFiles/seqnum_test.dir/seqnum_test.cc.o.d"
+  "seqnum_test"
+  "seqnum_test.pdb"
+  "seqnum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqnum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/ghost_test[1]_include.cmake")
+include("/root/repo/build/tests/agent_test[1]_include.cmake")
+include("/root/repo/build/tests/cfs_test[1]_include.cmake")
+include("/root/repo/build/tests/core_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/policy_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/work_stealing_test[1]_include.cmake")
+include("/root/repo/build/tests/event_loop_property_test[1]_include.cmake")
+include("/root/repo/build/tests/mechanism_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/hot_handoff_test[1]_include.cmake")
+include("/root/repo/build/tests/latch_test[1]_include.cmake")
+include("/root/repo/build/tests/microquanta_test[1]_include.cmake")
+include("/root/repo/build/tests/histogram_precision_test[1]_include.cmake")
+include("/root/repo/build/tests/seqnum_test[1]_include.cmake")
