@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/event_loop.cc" "src/CMakeFiles/gs_sim.dir/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/event_loop.cc.o.d"
+  "/root/repo/src/sim/fault_injector.cc" "src/CMakeFiles/gs_sim.dir/sim/fault_injector.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/fault_injector.cc.o.d"
   "/root/repo/src/sim/trace.cc" "src/CMakeFiles/gs_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/gs_sim.dir/sim/trace.cc.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/gs_sim.dir/sim/event_loop.cc.o"
   "CMakeFiles/gs_sim.dir/sim/event_loop.cc.o.d"
+  "CMakeFiles/gs_sim.dir/sim/fault_injector.cc.o"
+  "CMakeFiles/gs_sim.dir/sim/fault_injector.cc.o.d"
   "CMakeFiles/gs_sim.dir/sim/trace.cc.o"
   "CMakeFiles/gs_sim.dir/sim/trace.cc.o.d"
   "libgs_sim.a"

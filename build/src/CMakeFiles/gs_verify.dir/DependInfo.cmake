@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/invariants.cc" "src/CMakeFiles/gs_verify.dir/verify/invariants.cc.o" "gcc" "src/CMakeFiles/gs_verify.dir/verify/invariants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_verify.dir/verify/invariants.cc.o"
+  "CMakeFiles/gs_verify.dir/verify/invariants.cc.o.d"
+  "libgs_verify.a"
+  "libgs_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

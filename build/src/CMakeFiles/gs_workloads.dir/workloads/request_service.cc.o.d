@@ -246,7 +246,7 @@ src/CMakeFiles/gs_workloads.dir/workloads/request_service.cc.o: \
  /root/repo/src/base/time.h /root/repo/src/kernel/cost_model.h \
  /root/repo/src/kernel/sched_class.h /root/repo/src/kernel/task.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
- /root/repo/src/topology/topology.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/fault_injector.h \
+ /root/repo/src/sim/trace.h /root/repo/src/topology/topology.h \
  /root/repo/src/workloads/latency_recorder.h \
  /root/repo/src/base/histogram.h

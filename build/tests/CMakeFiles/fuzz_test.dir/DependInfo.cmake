@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gs_policies.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gs_agent.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/gs_ghost.dir/DependInfo.cmake"

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replay_test.cc" "tests/CMakeFiles/replay_test.dir/replay_test.cc.o" "gcc" "tests/CMakeFiles/replay_test.dir/replay_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gs_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_ghost.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gs_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

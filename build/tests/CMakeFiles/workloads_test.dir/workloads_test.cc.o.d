@@ -307,13 +307,8 @@ tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o: \
  /root/repo/src/kernel/task.h /root/repo/src/sim/event_loop.h \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/trace.h \
- /root/repo/src/topology/topology.h /root/repo/src/ghost/ghost_class.h \
- /root/repo/src/kernel/agent_class.h /root/repo/src/kernel/cfs.h \
- /root/repo/src/kernel/core_sched.h /root/repo/src/kernel/microquanta.h \
- /root/repo/src/workloads/batch.h \
- /root/repo/src/workloads/request_service.h /root/repo/src/base/rng.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/fault_injector.h \
+ /root/repo/src/base/rng.h /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -334,7 +329,12 @@ tests/CMakeFiles/workloads_test.dir/workloads_test.cc.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/sim/trace.h \
+ /root/repo/src/topology/topology.h /root/repo/src/ghost/ghost_class.h \
+ /root/repo/src/kernel/agent_class.h /root/repo/src/kernel/cfs.h \
+ /root/repo/src/kernel/core_sched.h /root/repo/src/kernel/microquanta.h \
+ /root/repo/src/workloads/batch.h \
+ /root/repo/src/workloads/request_service.h \
  /root/repo/src/workloads/latency_recorder.h \
  /root/repo/src/workloads/rocksdb.h /root/repo/src/workloads/snap.h \
  /root/repo/src/workloads/vm_workload.h /root/repo/tests/test_util.h

@@ -26,3 +26,6 @@ include("/root/repo/build/tests/latch_test[1]_include.cmake")
 include("/root/repo/build/tests/microquanta_test[1]_include.cmake")
 include("/root/repo/build/tests/histogram_precision_test[1]_include.cmake")
 include("/root/repo/build/tests/seqnum_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/overflow_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")

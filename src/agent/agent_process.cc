@@ -15,6 +15,7 @@ AgentProcess::~AgentProcess() {
   if (alive_ && !enclave_->destroyed()) {
     Shutdown();
   }
+  *gone_ = true;
 }
 
 void AgentProcess::Start() {
@@ -32,7 +33,12 @@ void AgentProcess::Start() {
     Task* agent = kernel_->CreateTask("agent/" + std::to_string(cpu), agent_class);
     agents_[cpu] = agent;
     enclave_->RegisterAgentTask(cpu, agent);
-    kernel_->SetOnScheduled(agent, [this](Task* task) { OnAgentScheduled(task); });
+    std::shared_ptr<bool> gone = gone_;
+    kernel_->SetOnScheduled(agent, [this, gone](Task* task) {
+      if (!*gone) {
+        OnAgentScheduled(task);
+      }
+    });
   }
 
   policy_->Attached(this, enclave_, kernel_);
@@ -48,8 +54,15 @@ void AgentProcess::Start() {
     kernel_->Wake(agent);
   }
 
-  // If the enclave dies out from under us (watchdog), stop driving.
-  enclave_->SetDestroyListener([this] { alive_ = false; });
+  // If the enclave dies out from under us (watchdog), stop driving. The
+  // listener can fire after this process is gone (a later process or the
+  // enclave's owner may outlive us), hence the liveness guard.
+  std::shared_ptr<bool> gone = gone_;
+  enclave_->SetDestroyListener([this, gone] {
+    if (!*gone) {
+      alive_ = false;
+    }
+  });
 }
 
 void AgentProcess::Shutdown() {
@@ -75,24 +88,63 @@ void AgentProcess::OnAgentScheduled(Task* agent) {
   BeginIteration(agent);
 }
 
+// Running agents fall into the stall path at their next burst completion;
+// blocked or poll-waiting agents fall into it at their next wakeup/poke.
+void AgentProcess::SetStalled(bool stalled) { stalled_ = stalled; }
+
 void AgentProcess::BeginIteration(Task* agent) {
   if (!alive_ || agent->state() == TaskState::kDead) {
     return;
   }
+  if (stalled_) {
+    // Wedged agent (§3.4): burns CPU in a tight loop without ever consulting
+    // the policy. Runnable ghOSt threads starve; the enclave watchdog is the
+    // recovery mechanism.
+    std::shared_ptr<bool> gone = gone_;
+    kernel_->StartBurst(agent, Microseconds(10), [this, gone](Task* task) {
+      if (!*gone) {
+        BeginIteration(task);
+      }
+    });
+    return;
+  }
   ++iterations_;
+
+  // Message-queue overflow recovery (§3.1/§3.4): a dropped message left the
+  // policy's view of some thread permanently stale. Discard the message
+  // backlog and rebuild the view from the kernel's authoritative dump — the
+  // same machinery an in-place upgrade uses.
+  bool resynced = false;
+  if (enclave_->ConsumeOverflowPending()) {
+    ++resyncs_;
+    enclave_->FlushAllQueues();
+    policy_->Restore(enclave_->TaskDump());
+    resynced = true;
+  }
+
   const uint64_t epoch = enclave_->poke_epoch();
+  const uint32_t aseq = enclave_->agent_status(agent).aseq;
   AgentContext ctx(enclave_, ghost_class_, kernel_, agent);
+  if (resynced) {
+    const CostModel& cost = kernel_->cost();
+    ctx.Charge(cost.syscall * 2 +
+               cost.agent_per_task_scan * enclave_->num_tasks());
+  }
   const AgentAction action = policy_->RunAgent(ctx);
   const Time wakeup_at = ctx.wakeup_at();
   kernel_->trace().Record(kernel_->now(), TraceEventType::kAgentIter, agent->cpu(),
                           agent->tid(), ctx.cost());
-  kernel_->StartBurst(agent, ctx.cost(), [this, action, epoch, wakeup_at](Task* task) {
-    EndIteration(task, action, epoch, wakeup_at);
-  });
+  std::shared_ptr<bool> gone = gone_;
+  kernel_->StartBurst(agent, ctx.cost(),
+                      [this, gone, action, epoch, aseq, wakeup_at](Task* task) {
+                        if (!*gone) {
+                          EndIteration(task, action, epoch, aseq, wakeup_at);
+                        }
+                      });
 }
 
 void AgentProcess::EndIteration(Task* agent, AgentAction action, uint64_t epoch,
-                                Time wakeup_at) {
+                                uint32_t aseq, Time wakeup_at) {
   if (!alive_ || agent->state() == TaskState::kDead) {
     return;
   }
@@ -101,16 +153,35 @@ void AgentProcess::EndIteration(Task* agent, AgentAction action, uint64_t epoch,
     // rather than poll-waiting (avoids a lost wakeup).
     action = AgentAction::kRunAgain;
   }
+  if (action == AgentAction::kBlock &&
+      (enclave_->agent_status(agent).aseq != aseq || enclave_->overflow_pending())) {
+    // Check-then-sleep: a message reached this agent's queue — or a sibling
+    // poked it about freshly queued work — after the iteration had already
+    // decided to block. Enclave::Post only wakes consumers that are blocked
+    // at post time, so going to sleep now would strand the work until the
+    // next incidental message (possibly forever).
+    action = AgentAction::kRunAgain;
+  }
   switch (action) {
     case AgentAction::kRunAgain:
       BeginIteration(agent);
       break;
     case AgentAction::kPollWait: {
       polling_.insert(agent);
-      enclave_->RegisterPollWaiter(agent, [this, agent] { Poke(agent); });
+      std::shared_ptr<bool> gone = gone_;
+      enclave_->RegisterPollWaiter(agent, [this, gone, agent] {
+        if (!*gone) {
+          Poke(agent);
+        }
+      });
       if (wakeup_at != kTimeNever) {
         const Duration delay = std::max<Duration>(0, wakeup_at - kernel_->now());
-        kernel_->loop()->ScheduleAfter(delay, [this, agent] { Poke(agent); });
+        std::shared_ptr<bool> gone = gone_;
+        kernel_->loop()->ScheduleAfter(delay, [this, gone, agent] {
+          if (!*gone) {
+            Poke(agent);
+          }
+        });
       }
       break;
     }
@@ -129,8 +200,13 @@ void AgentProcess::Poke(Task* agent) {
   }
   polling_.erase(agent);
   enclave_->UnregisterPollWaiter(agent);
+  std::shared_ptr<bool> gone = gone_;
   kernel_->StartBurst(agent, kernel_->cost().poll_detect,
-                      [this](Task* task) { BeginIteration(task); });
+                      [this, gone](Task* task) {
+                        if (!*gone) {
+                          BeginIteration(task);
+                        }
+                      });
 }
 
 }  // namespace gs

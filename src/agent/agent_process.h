@@ -40,6 +40,14 @@ class AgentProcess {
   // enclave.
   void Crash() { Shutdown(); }
 
+  // Simulates a wedged agent (infinite loop in policy code, §3.4): the agent
+  // threads stay alive and burn CPU but never run the policy, so runnable
+  // ghOSt threads starve until the enclave watchdog destroys the enclave and
+  // falls everything back to CFS. Reversible for tests that model a
+  // transient stall shorter than the watchdog bound.
+  void SetStalled(bool stalled);
+  bool stalled() const { return stalled_; }
+
   Policy* policy() { return policy_.get(); }
   Enclave* enclave() { return enclave_; }
   Task* agent_on(int cpu) const;
@@ -47,23 +55,33 @@ class AgentProcess {
   bool alive() const { return alive_; }
 
   uint64_t iterations() const { return iterations_; }
+  // Times this process recovered from a message-queue overflow by flushing
+  // all queues and restoring policy state from the kernel's TaskDump.
+  uint64_t resyncs() const { return resyncs_; }
 
  private:
   void OnAgentScheduled(Task* agent);
   void BeginIteration(Task* agent);
-  void EndIteration(Task* agent, AgentAction action, uint64_t epoch, Time wakeup_at);
+  void EndIteration(Task* agent, AgentAction action, uint64_t epoch, uint32_t aseq,
+                    Time wakeup_at);
   // Idempotently kicks a poll-waiting agent into another iteration.
   void Poke(Task* agent);
 
   Kernel* kernel_;
   GhostClass* ghost_class_;
   Enclave* enclave_;
+  // Deferred callbacks (burst completions, timer pokes, the enclave destroy
+  // listener) can outlive this object; each captures this flag and bails if
+  // the process was destroyed in the meantime.
+  std::shared_ptr<bool> gone_ = std::make_shared<bool>(false);
   std::unique_ptr<Policy> policy_;
   std::map<int, Task*> agents_;  // cpu -> agent task
   std::set<Task*> polling_;      // agents in poll-wait
   bool started_ = false;
   bool alive_ = false;
+  bool stalled_ = false;
   uint64_t iterations_ = 0;
+  uint64_t resyncs_ = 0;
 };
 
 }  // namespace gs

@@ -44,6 +44,7 @@ class FifoRunqueue {
 
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
+  void Clear() { queue_.clear(); }
 
   // Rotation support for skip-and-revisit scans (the Search policy skips
   // threads whose preferred CPUs are busy and revisits them next loop).
@@ -87,6 +88,10 @@ class MinRunqueue {
   bool Contains(PolicyTask* task) const { return keys_.count(task) > 0; }
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
+  void Clear() {
+    queue_.clear();
+    keys_.clear();
+  }
 
   // In-order iteration (skip-scan support).
   auto begin() const { return queue_.begin(); }

@@ -55,6 +55,9 @@ class TaskTable {
   PolicyTask* Find(int64_t tid);
   PolicyTask* Add(int64_t tid);  // for Restore() paths
   void Remove(int64_t tid);
+  // Drops every entry (Restore()/resync paths rebuild from a TaskDump).
+  // Callers must first clear any runqueues holding PolicyTask pointers.
+  void Clear() { tasks_.clear(); }
   size_t size() const { return tasks_.size(); }
 
   std::map<int64_t, std::unique_ptr<PolicyTask>>& tasks() { return tasks_; }

@@ -162,6 +162,7 @@ void Enclave::AddTask(Task* task) {
   gt->task = task;
   gt->enclave = this;
   gt->queue = default_queue_;
+  gt->gen = next_task_gen_++;
   task->set_ghost_state(gt.get());
   tasks_[task->tid()] = std::move(gt);
   kernel_->SetSchedClass(task, ghost_class_);
@@ -223,7 +224,11 @@ void Enclave::DestroyQueue(MessageQueue* queue) {
 
 bool Enclave::AssociateQueue(int64_t tid, MessageQueue* queue) {
   GhostTask* gt = Find(tid);
-  CHECK(gt != nullptr) << "unknown tid " << tid;
+  if (gt == nullptr) {
+    // The thread already departed (died or was removed): the agent is acting
+    // on a stale message. An ESRCH-style failure, not a kernel panic.
+    return false;
+  }
   if (gt->queue == queue) {
     return true;
   }
@@ -262,7 +267,15 @@ void Enclave::FlushAllQueues() {
   }
   for (auto& [tid, gt] : tasks_) {
     gt->pending_msgs = 0;
+    gt->resync = false;
   }
+  overflow_pending_ = false;
+}
+
+bool Enclave::ConsumeOverflowPending() {
+  const bool pending = overflow_pending_;
+  overflow_pending_ = false;
+  return pending;
 }
 
 void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
@@ -276,11 +289,12 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
   MessageQueue* queue = default_queue_;
   if (gt != nullptr) {
     msg.tid = gt->task->tid();
+    // Tseq advances whether or not the message survives: a dropped message
+    // leaves a detectable gap, exactly like the real uAPI's sequence numbers.
     msg.tseq = ++gt->tseq;
     gt->status.tseq = gt->tseq;
     msg.affinity = gt->task->affinity();
     msg.runnable = gt->status.runnable;
-    ++gt->pending_msgs;
     queue = gt->queue;
   } else {
     auto it = cpu_queues_.find(cpu);
@@ -288,16 +302,43 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
       queue = it->second;
     }
   }
-  CHECK(queue->Push(msg)) << "message queue " << queue->id() << " overflow ("
-                          << queue->capacity() << " messages)";
-  ++messages_posted_;
-  kernel_->trace().Record(kernel_->now(), TraceEventType::kMessage, cpu,
-                          msg.tid, static_cast<int64_t>(type));
 
-  // Aseq bookkeeping + consumer notification.
+  // Recoverable overflow (§3.1/§3.4): a full queue — or injected overflow
+  // pressure — drops the message instead of CHECK-crashing. The per-task
+  // resync flag and the enclave-wide latch force the agent runtime to
+  // resync from TaskDump() + FlushAllQueues(); the kernel dump supersedes
+  // the lost message history.
+  FaultInjector* injector = kernel_->fault_injector();
+  bool dropped = injector != nullptr && injector->OnMessagePost(queue->id(), msg.tid);
+  if (!dropped) {
+    dropped = !queue->Push(msg);
+  }
+  if (dropped) {
+    queue->NoteOverflow();
+    ++messages_dropped_;
+    overflow_pending_ = true;
+    if (gt != nullptr) {
+      gt->resync = true;
+    }
+    kernel_->trace().Record(kernel_->now(), TraceEventType::kMsgDrop, cpu,
+                            msg.tid, static_cast<int64_t>(type));
+  } else {
+    if (gt != nullptr) {
+      ++gt->pending_msgs;
+    }
+    ++messages_posted_;
+    kernel_->trace().Record(kernel_->now(), TraceEventType::kMessage, cpu,
+                            msg.tid, static_cast<int64_t>(type));
+  }
+
+  // Aseq bookkeeping + consumer notification. A dropped message still wakes
+  // or pokes the consumer: the agent must notice the overflow promptly, not
+  // at its next incidental wakeup.
   Task* agent = queue->wakeup_agent();
   if (agent != nullptr) {
-    ++agent_status_[agent].aseq;
+    if (!dropped) {
+      ++agent_status_[agent].aseq;
+    }
     if (agent->state() == TaskState::kBlocked) {
       const Duration delay = kernel_->cost().msg_produce + kernel_->cost().agent_wakeup;
       Kernel* kernel = kernel_;
@@ -327,6 +368,15 @@ void Enclave::UnregisterAgentTask(int cpu, Task* agent) {
   if (it != agents_.end() && it->second == agent) {
     agents_.erase(it);
     agent_class_->UnregisterAgent(cpu, agent);
+    // The departing agent's in-flight transactions die with it (§3.4): its
+    // txn region is torn down, so a latch it committed but that has not yet
+    // fired must not outlive it. An orphaned latch wedges the CPU — the
+    // latched thread fails every later commit with ENOTRUNNABLE while the
+    // latch waits for a pick that the replacement agent (a higher sched
+    // class) never lets happen. The thread stays runnable in the kernel and
+    // reappears in the successor's TaskDump.
+    ghost_class_->ClearLatch(cpu);
+    ghost_class_->SetForcedIdle(cpu, false);
   }
   UnregisterPollWaiter(agent);
 }
@@ -369,6 +419,12 @@ TxnStatus Enclave::Validate(const Transaction& txn, Task* agent) {
   }
   if (txn.target_cpu < 0 || !cpus_.IsSet(txn.target_cpu)) {
     return TxnStatus::kEInvalid;
+  }
+  // Fault injection: an ESTALE storm models messages racing ahead of the
+  // commit (§3.2/§3.3) — the agent's retry loop must absorb it.
+  FaultInjector* injector = kernel_->fault_injector();
+  if (injector != nullptr && injector->OnTxnValidate(txn.target_cpu, txn.tid)) {
+    return TxnStatus::kEStale;
   }
   if (agent != nullptr && agent_status_.find(agent) == agent_status_.end()) {
     return TxnStatus::kENoAgent;
@@ -516,6 +572,24 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
     kernel_->trace().Record(kernel_->now(), TraceEventType::kTxnCommit,
                             txns[i]->target_cpu, txns[i]->tid);
   }
+}
+
+// ---- Introspection -------------------------------------------------------------------
+
+size_t Enclave::QueuedMessages() const {
+  size_t total = 0;
+  for (const auto& queue : queues_) {
+    total += queue->size();
+  }
+  return total;
+}
+
+int Enclave::PendingTaskMessages() const {
+  int total = 0;
+  for (const auto& [tid, gt] : tasks_) {
+    total += gt->pending_msgs;
+  }
+  return total;
 }
 
 // ---- Hooks from the scheduling class ------------------------------------------------

@@ -56,7 +56,9 @@ class Enclave {
   Enclave& operator=(const Enclave&) = delete;
 
   Kernel* kernel() { return kernel_; }
+  GhostClass* ghost_class() { return ghost_class_; }
   const CpuMask& cpus() const { return cpus_; }
+  const Config& config() const { return config_; }
   bool destroyed() const { return destroyed_; }
 
   // Destroys the enclave: every managed thread moves back to the default
@@ -107,8 +109,26 @@ class Enclave {
   // Discards every undrained message in every queue. Used at agent takeover
   // (§3.4): the kernel's TaskDump() supersedes pre-crash message history, so
   // a replacement agent starts from a clean slate and can re-associate
-  // queues freely.
+  // queues freely. Also clears all overflow/resync state: after a flush the
+  // dump is the authoritative view.
   void FlushAllQueues();
+
+  // ---- Overflow (recoverable, §3.1/§3.4) -------------------------------------
+  // A full (or fault-injected) queue drops the message instead of crashing
+  // the kernel: the per-task resync flag and the enclave-wide overflow latch
+  // are raised, and the consumer is still woken/poked so it notices. The
+  // agent runtime reacts by resyncing from TaskDump() + FlushAllQueues().
+  // True if any message has been dropped since the last flush/consume.
+  bool overflow_pending() const { return overflow_pending_; }
+  // Returns the latch and clears it (the caller owns the resync).
+  bool ConsumeOverflowPending();
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+  // ---- Introspection (invariant checking) ------------------------------------
+  // Total undrained messages across all queues, and the sum of per-task
+  // pending counts (the latter excludes CPU messages, so pending <= queued).
+  size_t QueuedMessages() const;
+  int PendingTaskMessages() const;
 
   // ---- Agents ------------------------------------------------------------------
   // Registers `agent` as the agent thread for `cpu` (pins it, top priority).
@@ -116,6 +136,11 @@ class Enclave {
   void UnregisterAgentTask(int cpu, Task* agent);
   Task* AgentOnCpu(int cpu) const;
   AgentStatusWord& agent_status(Task* agent);
+  // Userspace notification for a *running* sibling agent: bumps its aseq so
+  // the check-then-sleep protocol in the agent runtime sees that work was
+  // queued for it mid-iteration and re-runs instead of blocking. (A blocked
+  // sibling is woken directly; this covers the other half of that race.)
+  void PokeAgent(Task* agent) { ++agent_status_[agent].aseq; }
 
   // A spinning agent with nothing to do registers a single-shot poke,
   // modelling "the global agent notices new state within its poll
@@ -192,6 +217,7 @@ class Enclave {
   std::function<void()> destroy_listener_;
 
   std::map<int64_t, std::unique_ptr<GhostTask>> tasks_;
+  uint64_t next_task_gen_ = 1;
 
   std::vector<std::unique_ptr<MessageQueue>> queues_;
   MessageQueue* default_queue_ = nullptr;
@@ -209,6 +235,8 @@ class Enclave {
   int idle_listener_handle_ = -1;
 
   uint64_t messages_posted_ = 0;
+  uint64_t messages_dropped_ = 0;
+  bool overflow_pending_ = false;
   uint64_t txns_committed_ = 0;
   uint64_t txns_failed_ = 0;
   Histogram sched_latency_;

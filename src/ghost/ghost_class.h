@@ -34,6 +34,7 @@ class GhostClass : public SchedClass {
   void EnableLatch(int cpu);
   void ClearLatch(int cpu);
   bool HasLatch(int cpu) const { return latches_[cpu].task != nullptr; }
+  Task* LatchedTask(int cpu) const { return latches_[cpu].task; }
   // Forced idle (idle transactions from synchronized groups, §4.5): the
   // ghOSt class schedules nothing on the CPU until the next latch.
   void SetForcedIdle(int cpu, bool forced);

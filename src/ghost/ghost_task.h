@@ -21,6 +21,14 @@ struct GhostTask {
   // Messages for this task sitting undrained in `queue` — a queue
   // re-association fails while this is non-zero (§3.1).
   int pending_msgs = 0;
+  // A message about this task was dropped (queue overflow): the agent's view
+  // of the task is stale until it resyncs from a TaskDump. Cleared by
+  // FlushAllQueues (the resync entry point).
+  bool resync = false;
+  // Enclave-membership generation: a removed-and-re-added thread gets a fresh
+  // GhostTask (tseq restarts at 0); the generation lets observers tell a
+  // legitimate restart from a sequence-number regression.
+  uint64_t gen = 0;
   uint32_t tseq = 0;
   // Application-provided scheduling hint (shared memory, §4.3).
   uint64_t hint = 0;

@@ -36,10 +36,17 @@ class MessageQueue {
   Task* wakeup_agent() const { return wakeup_agent_; }
   void set_wakeup_agent(Task* agent) { wakeup_agent_ = agent; }
 
+  // A message aimed at this queue was dropped (ring full or injected
+  // overflow pressure). The consumer's view of the affected threads is now
+  // stale; it must resync from the kernel's TaskDump (§3.1/§3.4).
+  void NoteOverflow() { ++overflows_; }
+  uint64_t overflows() const { return overflows_; }
+
  private:
   const int id_;
   SpscRing<Message> ring_;
   Task* wakeup_agent_ = nullptr;
+  uint64_t overflows_ = 0;
 };
 
 }  // namespace gs

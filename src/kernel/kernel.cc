@@ -199,6 +199,11 @@ void Kernel::SendIpi(int to_cpu, bool cross_numa, std::function<void()> fn) {
   if (cross_numa) {
     delay += cost_.ipi_flight_cross_numa_extra;
   }
+  if (fault_injector_ != nullptr) {
+    // Delayed delivery or a drop recovered by redelivery — either way the
+    // interrupt eventually lands, just later than the cost model promises.
+    delay += fault_injector_->OnIpi(to_cpu);
+  }
   loop_->ScheduleAfter(delay, std::move(fn));
 }
 

@@ -33,6 +33,7 @@
 #include "src/kernel/sched_class.h"
 #include "src/kernel/task.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/trace.h"
 #include "src/topology/topology.h"
 
@@ -166,6 +167,12 @@ class Kernel {
   // Disabled by default; Enable() it in tests/tools that need it.
   Trace& trace() { return trace_; }
 
+  // Fault injection (chaos/robustness testing). When installed, the kernel
+  // and the ghOSt module consult it at their hook sites (IPI send, message
+  // post, transaction validation). nullptr = no faults.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() { return fault_injector_; }
+
  private:
   void ReschedNow(int cpu);
   void FinishSwitch(int cpu);
@@ -201,6 +208,7 @@ class Kernel {
   std::vector<bool> tick_enabled_;
   std::vector<uint64_t> ticks_delivered_;
   Trace trace_;
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace gs

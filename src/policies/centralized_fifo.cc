@@ -23,6 +23,12 @@ void CentralizedFifoPolicy::Attached(AgentProcess* process, Enclave* enclave,
 }
 
 void CentralizedFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  // Restore() is also the overflow-resync path: the dump replaces the whole
+  // view, so stale runqueue/table state must go first.
+  fifo_[0].Clear();
+  fifo_[1].Clear();
+  running_.clear();
+  table_.Clear();
   for (const Enclave::TaskInfo& info : dump) {
     // Route future messages to this policy's (default) queue, regardless of
     // what the previous agent had configured.

@@ -20,6 +20,12 @@ void PerCpuFifoPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel*
 }
 
 void PerCpuFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  // Full view replacement (also the overflow-resync path).
+  for (auto& [cpu, sched] : cpus_) {
+    sched.runqueue.Clear();
+  }
+  home_cpu_.clear();
+  table_.Clear();
   for (const Enclave::TaskInfo& info : dump) {
     PolicyTask* task = table_.Add(info.tid);
     task->tseq = info.tseq;
@@ -133,9 +139,16 @@ void PerCpuFifoPolicy::NotifyAgent(AgentContext& ctx, int cpu) {
   // Userspace cross-agent notification (futex-style): wake the sibling agent
   // so it schedules the work we just queued for it.
   Task* agent = process_->agent_on(cpu);
-  if (agent != nullptr && agent->state() == TaskState::kBlocked) {
+  if (agent == nullptr) {
+    return;
+  }
+  if (agent->state() == TaskState::kBlocked) {
     ctx.Charge(ctx.kernel()->cost().syscall + ctx.kernel()->cost().agent_wakeup);
     ctx.kernel()->Wake(agent);
+  } else {
+    // The sibling is mid-iteration (or queued to run): flag the push so its
+    // check-then-sleep re-runs instead of blocking over a non-empty runqueue.
+    enclave_->PokeAgent(agent);
   }
 }
 

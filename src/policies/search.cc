@@ -13,6 +13,9 @@ void SearchPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel* ker
 }
 
 void SearchPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  // Full view replacement (also the overflow-resync path).
+  runqueue_.Clear();
+  table_.Clear();
   for (const Enclave::TaskInfo& info : dump) {
     enclave_->AssociateQueue(info.tid, enclave_->default_queue());
     PolicyTask* task = table_.Add(info.tid);

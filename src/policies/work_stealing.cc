@@ -18,6 +18,12 @@ void WorkStealingPolicy::Attached(AgentProcess* process, Enclave* enclave, Kerne
 }
 
 void WorkStealingPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  // Full view replacement (also the overflow-resync path).
+  for (auto& [cpu, sched] : cpus_) {
+    sched.runqueue.Clear();
+  }
+  home_cpu_.clear();
+  table_.Clear();
   for (const Enclave::TaskInfo& info : dump) {
     PolicyTask* task = table_.Add(info.tid);
     task->tseq = info.tseq;
@@ -49,9 +55,16 @@ void WorkStealingPolicy::NotifyAgent(AgentContext& ctx, int cpu) {
     return;
   }
   Task* agent = process_->agent_on(cpu);
-  if (agent != nullptr && agent->state() == TaskState::kBlocked) {
+  if (agent == nullptr) {
+    return;
+  }
+  if (agent->state() == TaskState::kBlocked) {
     ctx.Charge(ctx.kernel()->cost().syscall + ctx.kernel()->cost().agent_wakeup);
     ctx.kernel()->Wake(agent);
+  } else {
+    // The sibling is mid-iteration (or queued to run): flag the push so its
+    // check-then-sleep re-runs instead of blocking over a non-empty runqueue.
+    enclave_->PokeAgent(agent);
   }
 }
 

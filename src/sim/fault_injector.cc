@@ -1,0 +1,100 @@
+#include "src/sim/fault_injector.h"
+
+namespace gs {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAgentCrash:
+      return "agent_crash";
+    case FaultKind::kAgentStall:
+      return "agent_stall";
+    case FaultKind::kQueueOverflow:
+      return "queue_overflow";
+    case FaultKind::kIpiDelay:
+      return "ipi_delay";
+    case FaultKind::kIpiDrop:
+      return "ipi_drop";
+    case FaultKind::kEStale:
+      return "estale";
+    case FaultKind::kRemoveTask:
+      return "remove_task";
+    case FaultKind::kEnclaveDestroy:
+      return "enclave_destroy";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed,
+                             Config config)
+    : loop_(loop), trace_(trace), rng_(seed), config_(config) {}
+
+bool FaultInjector::Active() const {
+  const Time now = loop_->now();
+  return now >= config_.window_start && now < config_.window_end;
+}
+
+void FaultInjector::Inject(FaultKind kind, int cpu, int64_t tid) {
+  ++counts_[static_cast<size_t>(kind)];
+  if (trace_ != nullptr) {
+    trace_->Record(loop_->now(), TraceEventType::kFault, cpu, tid,
+                   static_cast<int64_t>(kind));
+  }
+}
+
+Duration FaultInjector::OnIpi(int to_cpu) {
+  if (!Active()) {
+    return 0;
+  }
+  // Sample drop first: a lost interrupt dominates a merely late one.
+  if (config_.ipi_drop_probability > 0 &&
+      rng_.NextBernoulli(config_.ipi_drop_probability)) {
+    Inject(FaultKind::kIpiDrop, to_cpu, 0);
+    return config_.ipi_redeliver_delay;
+  }
+  if (config_.ipi_delay_probability > 0 &&
+      rng_.NextBernoulli(config_.ipi_delay_probability)) {
+    Inject(FaultKind::kIpiDelay, to_cpu, 0);
+    return config_.ipi_extra_delay;
+  }
+  return 0;
+}
+
+bool FaultInjector::OnMessagePost(int queue_id, int64_t tid) {
+  if (!Active() || config_.msg_drop_probability <= 0 ||
+      !rng_.NextBernoulli(config_.msg_drop_probability)) {
+    return false;
+  }
+  Inject(FaultKind::kQueueOverflow, /*cpu=*/queue_id, tid);
+  return true;
+}
+
+bool FaultInjector::OnTxnValidate(int target_cpu, int64_t tid) {
+  if (!Active() || config_.estale_probability <= 0 ||
+      !rng_.NextBernoulli(config_.estale_probability)) {
+    return false;
+  }
+  Inject(FaultKind::kEStale, target_cpu, tid);
+  return true;
+}
+
+EventId FaultInjector::At(Time when, FaultKind kind, std::function<void()> action) {
+  return loop_->ScheduleAt(when, [this, kind, action = std::move(action)] {
+    Inject(kind, -1, 0);
+    action();
+  });
+}
+
+EventId FaultInjector::After(Duration delay, FaultKind kind,
+                             std::function<void()> action) {
+  return At(loop_->now() + delay, kind, std::move(action));
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (const uint64_t count : counts_) {
+    total += count;
+  }
+  return total;
+}
+
+}  // namespace gs

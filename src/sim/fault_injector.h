@@ -1,0 +1,120 @@
+// Fault injector: seeded, schedulable failures for the simulated machine.
+//
+// The paper's robustness story (§3.4) is exactly the set of paths a test
+// suite exercises least: agents crash or wedge, message queues fill up,
+// IPIs arrive late, transactions go stale in storms, enclaves are torn down
+// mid-load. This module makes every one of those failure modes a first-class,
+// deterministic event: probabilistic faults are sampled from a dedicated
+// xoshiro stream at well-defined hook sites (IPI send, message post,
+// transaction validation), and one-shot faults (crash the agent at t=5 ms)
+// are scheduled on the event loop like any other hardware event. Every
+// injection is recorded into the Trace, so a run's fault history is part of
+// its replayable event digest.
+//
+// Layering: this lives in src/sim (below the kernel) and knows nothing about
+// kernels, enclaves, or agents. The kernel and enclave call *into* it at
+// their hook sites; scheduled faults carry their effect as a callback built
+// by the test harness.
+#ifndef GHOST_SIM_SRC_SIM_FAULT_INJECTOR_H_
+#define GHOST_SIM_SRC_SIM_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/trace.h"
+
+namespace gs {
+
+enum class FaultKind : uint8_t {
+  kAgentCrash,      // agent process dies (scheduled)
+  kAgentStall,      // agent wedges: alive but never schedules (scheduled)
+  kQueueOverflow,   // message dropped under queue pressure (hook)
+  kIpiDelay,        // IPI delivery delayed (hook)
+  kIpiDrop,         // IPI lost; redelivered after the resend timeout (hook)
+  kEStale,          // transaction validation forced to ESTALE (hook)
+  kRemoveTask,      // thread yanked from its enclave mid-run (scheduled)
+  kEnclaveDestroy,  // enclave torn down mid-load (scheduled)
+};
+inline constexpr int kNumFaultKinds = 8;
+
+const char* ToString(FaultKind kind);
+
+class FaultInjector {
+ public:
+  struct Config {
+    // Probabilistic faults fire only inside [window_start, window_end).
+    Time window_start = 0;
+    Time window_end = kTimeNever;
+
+    // IPI faults, sampled per SendIpi call.
+    double ipi_delay_probability = 0;
+    Duration ipi_extra_delay = Microseconds(20);
+    double ipi_drop_probability = 0;
+    // A "dropped" IPI is recovered by redelivery after this much extra
+    // latency (modelling the retry/timeout path: interrupts are not silently
+    // lost forever on real hardware either).
+    Duration ipi_redeliver_delay = Microseconds(100);
+
+    // Queue-overflow pressure: probability that a message post is dropped as
+    // if the target queue were full, per Enclave::Post call.
+    double msg_drop_probability = 0;
+
+    // ESTALE storm: probability that a transaction validation is forced to
+    // fail with kEStale, per Validate call.
+    double estale_probability = 0;
+  };
+
+  FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed, Config config);
+  FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed)
+      : FaultInjector(loop, trace, seed, Config()) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  Config& config() { return config_; }
+  const Config& config() const { return config_; }
+
+  // ---- Hook sites (called from kernel/enclave code) --------------------------
+  // An IPI is about to be sent to `to_cpu`: returns the extra virtual-time
+  // delay to add to its flight (0 = no fault).
+  Duration OnIpi(int to_cpu);
+  // A message for `tid` is about to be posted to queue `queue_id`: true =
+  // drop it (simulated overflow pressure).
+  bool OnMessagePost(int queue_id, int64_t tid);
+  // A transaction targeting `target_cpu` for `tid` is being validated:
+  // true = force kEStale.
+  bool OnTxnValidate(int target_cpu, int64_t tid);
+
+  // ---- Scheduled one-shot faults ---------------------------------------------
+  // Arms `action` to fire at `when` / after `delay`, counting and tracing it
+  // as an injection of `kind`. The action is harness-supplied (e.g. "crash
+  // this AgentProcess", "destroy that enclave") so the injector stays below
+  // the kernel in the layering.
+  EventId At(Time when, FaultKind kind, std::function<void()> action);
+  EventId After(Duration delay, FaultKind kind, std::function<void()> action);
+
+  // ---- Statistics -------------------------------------------------------------
+  uint64_t injected(FaultKind kind) const {
+    return counts_[static_cast<size_t>(kind)];
+  }
+  uint64_t total_injected() const;
+
+ private:
+  bool Active() const;
+  // Counts the injection and records it into the trace (arg = FaultKind).
+  void Inject(FaultKind kind, int cpu, int64_t tid);
+
+  EventLoop* loop_;
+  Trace* trace_;
+  Rng rng_;
+  Config config_;
+  std::array<uint64_t, kNumFaultKinds> counts_{};
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SIM_FAULT_INJECTOR_H_

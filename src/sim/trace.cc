@@ -24,6 +24,10 @@ const char* ToString(TraceEventType type) {
       return "txn_fail";
     case TraceEventType::kAgentIter:
       return "agent_iter";
+    case TraceEventType::kMsgDrop:
+      return "msg_drop";
+    case TraceEventType::kFault:
+      return "fault";
   }
   return "?";
 }

@@ -29,6 +29,8 @@ enum class TraceEventType : uint8_t {
   kTxnCommit,   // transaction latched (arg: target cpu)
   kTxnFail,     // transaction failed (arg: TxnStatus as int)
   kAgentIter,   // agent loop iteration (arg: accrued cost in ns)
+  kMsgDrop,     // message dropped on queue overflow (arg: MessageType as int)
+  kFault,       // fault injected (arg: FaultKind as int)
 };
 
 const char* ToString(TraceEventType type);
@@ -55,6 +57,7 @@ class Trace {
     if (!enabled_) {
       return;
     }
+    Fold(when, type, cpu, tid, arg);
     if (events_.size() >= capacity_) {
       events_.pop_front();
       ++dropped_;
@@ -62,11 +65,19 @@ class Trace {
     events_.push_back(TraceEvent{when, type, cpu, tid, arg});
   }
 
+  // Rolling FNV-1a digest over every event ever recorded (independent of the
+  // ring capacity). Two runs of the same seeded scenario must produce equal
+  // digests — the deterministic-replay contract.
+  uint64_t digest() const { return digest_; }
+  uint64_t recorded() const { return recorded_; }
+
   size_t size() const { return events_.size(); }
   uint64_t dropped() const { return dropped_; }
   void Clear() {
     events_.clear();
     dropped_ = 0;
+    digest_ = 0xcbf29ce484222325ULL;
+    recorded_ = 0;
   }
 
   const std::deque<TraceEvent>& events() const { return events_; }
@@ -80,10 +91,26 @@ class Trace {
   std::string Dump(size_t max_lines = 100) const;
 
  private:
+  void Fold(Time when, TraceEventType type, int cpu, int64_t tid, int64_t arg) {
+    ++recorded_;
+    const uint64_t words[4] = {static_cast<uint64_t>(when),
+                               (static_cast<uint64_t>(type) << 32) |
+                                   static_cast<uint32_t>(cpu),
+                               static_cast<uint64_t>(tid), static_cast<uint64_t>(arg)};
+    for (const uint64_t word : words) {
+      for (int shift = 0; shift < 64; shift += 8) {
+        digest_ ^= (word >> shift) & 0xff;
+        digest_ *= 0x100000001b3ULL;  // FNV-1a 64 prime
+      }
+    }
+  }
+
   size_t capacity_;
   bool enabled_ = false;
   std::deque<TraceEvent> events_;
   uint64_t dropped_ = 0;
+  uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+  uint64_t recorded_ = 0;
 };
 
 }  // namespace gs

@@ -1,7 +1,8 @@
 // Randomized stress test of the whole stack: a chaos driver applies random
 // operations (spawn, wake/block churn, affinity flips, nice changes, enclave
-// moves, agent upgrades) against each stock policy, asserting global
-// invariants afterwards — no lost tasks, exact work conservation, consistent
+// remove/re-add churn, mid-run agent upgrades) against each stock policy,
+// with the invariant checker scanning continuously and global invariants
+// asserted afterwards — no lost tasks, exact work conservation, consistent
 // enclave bookkeeping.
 #include <gtest/gtest.h>
 
@@ -10,14 +11,19 @@
 #include "src/ghost/machine.h"
 #include "src/policies/centralized_fifo.h"
 #include "src/policies/per_cpu_fifo.h"
+#include "src/policies/search.h"
+#include "src/policies/shinjuku.h"
 #include "src/policies/work_stealing.h"
+#include "src/verify/invariants.h"
 #include "tests/test_util.h"
 
 namespace gs {
 namespace {
 
 struct ChaosParams {
-  int policy;  // 0 per-cpu, 1 centralized, 2 centralized+slice, 3 work-stealing
+  // 0 per-cpu, 1 centralized, 2 centralized+slice, 3 work-stealing,
+  // 4 shinjuku, 5 search
+  int policy;
   uint64_t seed;
 };
 
@@ -32,6 +38,10 @@ std::unique_ptr<Policy> MakePolicy(int kind) {
     }
     case 3:
       return std::make_unique<WorkStealingPolicy>();
+    case 4:
+      return MakeShinjukuPolicy(Microseconds(30));
+    case 5:
+      return std::make_unique<SearchPolicy>();
     default:
       return std::make_unique<CentralizedFifoPolicy>();
   }
@@ -44,9 +54,16 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomOperations) {
   Rng rng(params.seed);
   Machine m(Topology::Make("chaos", 2, 4, 2, 2));  // 16 CPUs, 2 sockets, CCXs
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
-  AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(),
-                       MakePolicy(params.policy));
-  process.Start();
+  // Held through a shared handle so the upgrade chaos op can swap in a
+  // replacement process mid-run (§3.4).
+  auto process = std::make_shared<std::unique_ptr<AgentProcess>>(
+      std::make_unique<AgentProcess>(&m.kernel(), m.ghost_class(), enclave.get(),
+                                     MakePolicy(params.policy)));
+  (*process)->Start();
+
+  InvariantChecker checker(&m.kernel());
+  checker.Watch(enclave.get());
+  checker.Start();
 
   struct WorkerState {
     Task* task = nullptr;
@@ -85,12 +102,15 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomOperations) {
   }
 
   // Chaos operations sprinkled through the first 50 ms.
-  for (int op = 0; op < 60; ++op) {
+  Enclave* enc = enclave.get();
+  const int policy_kind = params.policy;
+  for (int op = 0; op < 72; ++op) {
     const Time when = static_cast<Time>(rng.NextBounded(50'000'000));
-    const uint64_t kind = rng.NextBounded(3);
+    const uint64_t kind = rng.NextBounded(5);
     const size_t victim = rng.NextBounded(24);
     const uint64_t arg = rng.Next();
-    loop->ScheduleAt(when, [workers, victim, kind, arg, kernel, &m] {
+    loop->ScheduleAt(when, [workers, victim, kind, arg, kernel, loop, enc, process,
+                            policy_kind, &m] {
       Task* task = (*workers)[victim].task;
       if (task->state() == TaskState::kDead) {
         return;
@@ -112,6 +132,33 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomOperations) {
           // CFS interference: a short foreign burst lands somewhere.
           SpawnOneShot(*kernel, "intruder", Microseconds(200));
           break;
+        case 3: {
+          // Enclave churn: yank the thread out to CFS, re-add it shortly
+          // after (if it survives that long). Sequence numbers restart.
+          if (enc->destroyed() || task->ghost_state() == nullptr) {
+            return;
+          }
+          enc->RemoveTask(task);
+          const Duration back_in = static_cast<Duration>(50'000 + arg % 500'000);
+          loop->ScheduleAfter(back_in, [enc, task] {
+            if (!enc->destroyed() && task->state() != TaskState::kDead &&
+                task->ghost_state() == nullptr) {
+              enc->AddTask(task);
+            }
+          });
+          break;
+        }
+        case 4:
+          // In-place agent upgrade (§3.4): the old process exits, a fresh
+          // one attaches and restores the policy view from the kernel dump.
+          if (enc->destroyed()) {
+            return;
+          }
+          (*process)->Shutdown();
+          *process = std::make_unique<AgentProcess>(kernel, m.ghost_class(), enc,
+                                                    MakePolicy(policy_kind));
+          (*process)->Start();
+          break;
       }
     });
   }
@@ -129,13 +176,16 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomOperations) {
   }
   EXPECT_EQ(enclave->num_tasks(), 0) << "all ghOSt threads reaped";
   EXPECT_FALSE(enclave->destroyed());
+  EXPECT_TRUE(checker.ok()) << checker.Report();
+  EXPECT_GT(checker.scans(), 1000u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     PoliciesAndSeeds, ChaosTest,
     ::testing::Values(ChaosParams{0, 101}, ChaosParams{0, 202}, ChaosParams{1, 303},
                       ChaosParams{1, 404}, ChaosParams{2, 505}, ChaosParams{2, 606},
-                      ChaosParams{3, 707}, ChaosParams{3, 808}));
+                      ChaosParams{3, 707}, ChaosParams{3, 808}, ChaosParams{4, 909},
+                      ChaosParams{4, 1010}, ChaosParams{5, 1111}, ChaosParams{5, 1212}));
 
 }  // namespace
 }  // namespace gs
