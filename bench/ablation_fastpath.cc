@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/centralized_fifo.h"
@@ -25,7 +27,9 @@ constexpr Duration kService = Microseconds(15);
 constexpr Duration kSlowLoop = Microseconds(30);
 constexpr double kLoadKqps = 300;  // over 7 worker CPUs: ~64% utilization
 constexpr Duration kWarmup = Milliseconds(100);
-constexpr Duration kMeasure = Milliseconds(900);
+Duration kMeasure = Milliseconds(900);
+
+bench::Harness* g_harness = nullptr;
 
 struct Result {
   double p50_us = 0;
@@ -35,8 +39,9 @@ struct Result {
   uint64_t agent_schedules = 0;
 };
 
-Result Run(bool use_fastpath) {
+Result Run(bool use_fastpath, uint64_t seed) {
   Machine m(Topology::Make("small-8", 1, 8, 1, 8));
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(8));
   CentralizedFifoPolicy::Options options;
   options.global_cpu = 0;
@@ -52,7 +57,7 @@ Result Run(bool use_fastpath) {
     enclave->AddTask(worker);
   }
   FixedServiceModel model(kService);
-  PoissonLoadGen gen(&m.loop(), &model, kLoadKqps * 1e3, 7,
+  PoissonLoadGen gen(&m.loop(), &model, kLoadKqps * 1e3, seed,
                      [&server](Time t, Duration s) { server.Submit(t, s); });
   gen.Start(kWarmup + kMeasure);
   int64_t at_warmup = 0;
@@ -72,16 +77,36 @@ Result Run(bool use_fastpath) {
   return r;
 }
 
+void Record(const char* fastpath, const Result& r) {
+  g_harness->AddRow()
+      .Set("fastpath", fastpath)
+      .Set("p50_us", r.p50_us)
+      .Set("p99_us", r.p99_us)
+      .Set("achieved_kqps", r.achieved_kqps)
+      .Set("fastpath_picks", r.fastpath_picks)
+      .Set("agent_txns", r.agent_schedules);
+}
+
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  bench::Harness harness("ablation_fastpath", argc, argv);
+  g_harness = &harness;
+  if (harness.quick()) {
+    kMeasure = Milliseconds(300);
+  }
+  const uint64_t seed = harness.SeedOr(7);
+  harness.Param("service_us", static_cast<int64_t>(kService / 1000));
+  harness.Param("slow_loop_us", static_cast<int64_t>(kSlowLoop / 1000));
+  harness.Param("load_kqps", kLoadKqps);
+  harness.Param("measure_ms", static_cast<int64_t>(kMeasure / 1000000));
   std::printf("Ablation: BPF-analog fast path closing agent-loop scheduling gaps.\n"
               "8 CPUs, slow (30us/loop) global agent, 15us requests at %.0fk req/s.\n\n",
               kLoadKqps);
-  const Result off = Run(false);
-  const Result on = Run(true);
+  const Result off = Run(false, seed);
+  const Result on = Run(true, seed);
   std::printf("%-14s %10s %10s %10s %14s %12s\n", "fastpath", "p50_us", "p99_us",
               "ach_kqps", "fastpath_picks", "agent_txns");
   std::printf("%-14s %10.1f %10.1f %10.1f %14llu %12llu\n", "off", off.p50_us, off.p99_us,
@@ -90,6 +115,9 @@ int main() {
   std::printf("%-14s %10.1f %10.1f %10.1f %14llu %12llu\n", "on", on.p50_us, on.p99_us,
               on.achieved_kqps, (unsigned long long)on.fastpath_picks,
               (unsigned long long)on.agent_schedules);
+  Record("off", off);
+  Record("on", on);
+  harness.Metric("p99_reduction_pct", 100.0 * (1.0 - on.p99_us / off.p99_us));
   std::printf("\np99 reduction: %.1f%%\n", 100.0 * (1.0 - on.p99_us / off.p99_us));
-  return 0;
+  return harness.Finish();
 }

@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/vm_core_sched.h"
@@ -20,6 +22,10 @@
 
 namespace gs {
 namespace {
+
+Duration kWork = Seconds(1);
+
+bench::Harness* g_harness = nullptr;
 
 struct Result {
   double total_time = 0;
@@ -31,9 +37,10 @@ Result Run(bool tickless) {
   cost.smt_contention_factor = 0.88;
   cost.tick_cost = Microseconds(4);  // VM-exit + cache pollution + re-entry
   Machine m(Topology::Make("vmhost-24", 1, 12, 2, 12), cost);
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   VmWorkload vms(&m.kernel(),
-                 {.num_vms = 8, .vcpus_per_vm = 2, .work_per_vcpu = Seconds(1)});
+                 {.num_vms = 8, .vcpus_per_vm = 2, .work_per_vcpu = kWork});
   VmCoreSchedPolicy::Options options;
   options.global_cpu = 0;
   VmWorkload* ptr = &vms;
@@ -62,8 +69,14 @@ Result Run(bool tickless) {
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  bench::Harness harness("ablation_tickless", argc, argv);
+  g_harness = &harness;
+  if (harness.quick()) {
+    kWork = Milliseconds(250);
+  }
+  harness.Param("work_per_vcpu_ms", static_cast<int64_t>(kWork / 1000000));
   std::printf("Ablation: tick-less centralized scheduling for VM guests (section 5).\n"
               "8 VMs x 2 vCPUs on 12 cores, 1s work each, 4us VM-exit per tick.\n\n");
   const Result ticks = Run(false);
@@ -73,7 +86,17 @@ int main() {
               (unsigned long long)ticks.ticks);
   std::printf("%-12s %14.4f %16llu\n", "tickless", tickless.total_time,
               (unsigned long long)tickless.ticks);
+  harness.AddRow()
+      .Set("mode", "ticks_on")
+      .Set("total_time_s", ticks.total_time)
+      .Set("ticks_delivered", ticks.ticks);
+  harness.AddRow()
+      .Set("mode", "tickless")
+      .Set("total_time_s", tickless.total_time)
+      .Set("ticks_delivered", tickless.ticks);
+  harness.Metric("guest_time_recovered_pct",
+                 100.0 * (1.0 - tickless.total_time / ticks.total_time));
   std::printf("\nguest time recovered: %.2f%%\n",
               100.0 * (1.0 - tickless.total_time / ticks.total_time));
-  return 0;
+  return harness.Finish();
 }

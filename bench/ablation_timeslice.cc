@@ -9,6 +9,8 @@
 #include <memory>
 #include <set>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/shinjuku.h"
@@ -22,7 +24,10 @@ constexpr Duration kLong = Milliseconds(10);
 constexpr double kPLong = 0.005;
 constexpr double kLoadKqps = 240;
 constexpr Duration kWarmup = Milliseconds(100);
-constexpr Duration kMeasure = Milliseconds(900);
+Duration kMeasure = Milliseconds(900);
+uint64_t g_seed = 99;
+
+bench::Harness* g_harness = nullptr;
 
 CpuMask ServerCpus() {
   CpuMask mask;
@@ -47,6 +52,7 @@ Result Run(Duration timeslice) {
   cost.smt_contention_factor = 1.0;
   cost.agent_smt_contention_factor = 1.0;
   Machine m(Topology::IntelE5_24(), cost);
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   CpuMask enclave_cpus = ServerCpus();
   enclave_cpus.Set(1);
   auto enclave = m.CreateEnclave(enclave_cpus);
@@ -60,7 +66,7 @@ Result Run(Duration timeslice) {
     enclave->AddTask(worker);
   }
   BimodalServiceModel model(kShort, kLong, kPLong);
-  PoissonLoadGen gen(&m.loop(), &model, kLoadKqps * 1e3, 99,
+  PoissonLoadGen gen(&m.loop(), &model, kLoadKqps * 1e3, g_seed,
                      [&server](Time t, Duration s) { server.Submit(t, s); });
   gen.Start(kWarmup + kMeasure);
   int64_t at_warmup = 0;
@@ -82,14 +88,25 @@ Result Run(Duration timeslice) {
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  bench::Harness harness("ablation_timeslice", argc, argv);
+  g_harness = &harness;
+  if (harness.quick()) {
+    kMeasure = Milliseconds(300);
+  }
+  g_seed = harness.SeedOr(99);
+  harness.Param("load_kqps", kLoadKqps);
+  harness.Param("measure_ms", static_cast<int64_t>(kMeasure / 1000000));
   std::printf("Ablation: ghOSt-Shinjuku preemption timeslice on the dispersive\n"
               "workload (240 kqps; 99.5%% x 10us + 0.5%% x 10ms). The paper uses 30us.\n\n");
   std::printf("%12s %10s %10s %10s %12s\n", "slice_us", "p50_us", "p99_us", "ach_kqps",
               "preemptions");
-  const Duration slices[] = {Microseconds(5),   Microseconds(15), Microseconds(30),
-                             Microseconds(100), Microseconds(500), Milliseconds(5), 0};
+  const std::vector<Duration> slices =
+      harness.quick()
+          ? std::vector<Duration>{Microseconds(30), Milliseconds(5), 0}
+          : std::vector<Duration>{Microseconds(5),   Microseconds(15), Microseconds(30),
+                                  Microseconds(100), Microseconds(500), Milliseconds(5), 0};
   for (Duration slice : slices) {
     const Result r = Run(slice);
     if (slice > 0) {
@@ -101,6 +118,13 @@ int main() {
                   r.p50_us, r.p99_us, r.achieved_kqps, (unsigned long long)r.preemptions);
     }
     std::fflush(stdout);
+    harness.AddRow()
+        .Set("slice_us", static_cast<int64_t>(slice / 1000))
+        .Set("run_to_completion", slice == 0)
+        .Set("p50_us", r.p50_us)
+        .Set("p99_us", r.p99_us)
+        .Set("achieved_kqps", r.achieved_kqps)
+        .Set("preemptions", r.preemptions);
   }
-  return 0;
+  return harness.Finish();
 }

@@ -18,6 +18,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/baselines/shinjuku_dataplane.h"
 #include "src/ghost/machine.h"
@@ -32,10 +34,15 @@ constexpr Duration kShort = Microseconds(10);  // 6 us GET + 4 us processing
 constexpr Duration kLong = Milliseconds(10);
 constexpr double kPLong = 0.005;
 constexpr Duration kTimeslice = Microseconds(30);
-constexpr Duration kWarmup = Milliseconds(100);
-constexpr Duration kMeasure = Milliseconds(900);
 constexpr int kNumWorkers = 200;
 constexpr int kBatchThreads = 10;
+
+// Sweep sizing: --scale=paper is the full Fig 6 sweep; --scale=quick is the
+// CI smoke configuration (two load points, shorter windows).
+Duration kWarmup = Milliseconds(100);
+Duration kMeasure = Milliseconds(900);
+
+bench::Harness* g_harness = nullptr;
 
 // CPU plan on the 24-CPU socket: core 0 (CPUs 0,12) belongs to the load
 // generator. The agent/dispatcher takes core 1 (CPUs 1,13); request
@@ -73,6 +80,7 @@ Machine MakeMachine() { return Machine(Topology::IntelE5_24(), Fig6Cost()); }
 
 Result RunGhost(double offered_kqps, bool with_batch, uint64_t seed) {
   Machine m = MakeMachine();
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   CpuMask enclave_cpus = ServerCpus();
   enclave_cpus.Set(1);  // global agent home
   auto enclave = m.CreateEnclave(enclave_cpus);
@@ -241,26 +249,56 @@ void PrintRow(const char* system, const Result& r) {
   std::fflush(stdout);
 }
 
-void RunSweep(bool with_batch) {
+void Record(const char* system, bool with_batch, const Result& r) {
+  PrintRow(system, r);
+  g_harness->AddRow()
+      .Set("system", system)
+      .Set("with_batch", with_batch)
+      .Set("offered_kqps", r.offered_kqps)
+      .Set("achieved_kqps", r.achieved_kqps)
+      .Set("p50_us", r.p50_us)
+      .Set("p99_us", r.p99_us)
+      .Set("p999_us", r.p999_us)
+      .Set("batch_share", r.batch_share);
+}
+
+void RunSweep(bool with_batch, uint64_t base_seed) {
   PrintHeader(with_batch ? "Fig 6b/6c: RocksDB co-located with a batch app"
                          : "Fig 6a: tail latency for dispersive loads");
-  const double loads[] = {25, 50, 100, 150, 200, 240, 270, 290, 310};
+  const std::vector<double> loads =
+      g_harness->quick() ? std::vector<double>{25, 100}
+                         : std::vector<double>{25, 50, 100, 150, 200, 240, 270, 290, 310};
   for (double load : loads) {
-    PrintRow("shinjuku", RunShinjuku(load, with_batch, /*seed=*/1000 + load));
-    PrintRow("ghost-shinjuku", RunGhost(load, with_batch, /*seed=*/1000 + load));
-    PrintRow("cfs-shinjuku", RunCfs(load, with_batch, /*seed=*/1000 + load));
+    const uint64_t seed = base_seed + static_cast<uint64_t>(load);
+    Record("shinjuku", with_batch, RunShinjuku(load, with_batch, seed));
+    Record("ghost-shinjuku", with_batch, RunGhost(load, with_batch, seed));
+    Record("cfs-shinjuku", with_batch, RunCfs(load, with_batch, seed));
   }
 }
 
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
+  gs::bench::Harness harness("fig6_shinjuku", argc, argv);
+  gs::g_harness = &harness;
+  if (harness.quick()) {
+    // CI smoke sizing: fewer load points, shorter windows.
+    gs::kWarmup = gs::Milliseconds(50);
+    gs::kMeasure = gs::Milliseconds(200);
+  }
+  const uint64_t base_seed = harness.SeedOr(1000);
+  harness.Param("timeslice_us", static_cast<int64_t>(gs::kTimeslice / 1000));
+  harness.Param("num_workers", gs::kNumWorkers);
+  harness.Param("batch_threads", gs::kBatchThreads);
+  harness.Param("warmup_ms", static_cast<int64_t>(gs::kWarmup / 1000000));
+  harness.Param("measure_ms", static_cast<int64_t>(gs::kMeasure / 1000000));
+
   std::printf("Fig 6 reproduction: Shinjuku-style dispersive workload on 24-CPU socket\n");
   std::printf("workload: 99.5%% x %lld us + 0.5%% x %lld ms, 30 us timeslice, 200 workers\n",
               static_cast<long long>(gs::kShort / 1000),
               static_cast<long long>(gs::kLong / 1000000));
-  gs::RunSweep(/*with_batch=*/false);
-  gs::RunSweep(/*with_batch=*/true);
-  return 0;
+  gs::RunSweep(/*with_batch=*/false, base_seed);
+  gs::RunSweep(/*with_batch=*/true, base_seed);
+  return harness.Finish();
 }

@@ -12,6 +12,8 @@
 #include <memory>
 #include <set>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/shinjuku.h"
@@ -21,9 +23,12 @@
 namespace gs {
 namespace {
 
-constexpr Duration kWarmup = Seconds(1);
-constexpr Duration kMeasure = Seconds(19);
 constexpr int kAntagonists = 40;
+
+Duration kWarmup = Seconds(1);
+Duration kMeasure = Seconds(19);
+
+bench::Harness* g_harness = nullptr;
 
 Topology SnapTopo() {
   // Single socket of the Skylake machine: 28 cores / 56 CPUs.
@@ -64,6 +69,7 @@ RunResult RunMicroQuanta(bool loaded, uint64_t seed) {
 
 RunResult RunGhost(bool loaded, uint64_t seed) {
   Machine m(SnapTopo());
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   SnapSystem snap(&m.kernel(), {.seed = seed});
   BatchApp antagonists(&m.kernel(), {.num_threads = kAntagonists, .name_prefix = "antag"});
@@ -95,6 +101,23 @@ RunResult RunGhost(bool loaded, uint64_t seed) {
   return RunResult{Collect(snap.small_latency()), Collect(snap.large_latency())};
 }
 
+void RecordRows(const char* system, bool loaded, const RunResult& r) {
+  auto add = [&](const char* size, const Tails& t) {
+    g_harness->AddRow()
+        .Set("system", system)
+        .Set("loaded", loaded)
+        .Set("msg_size", size)
+        .Set("p50_us", t.p[0])
+        .Set("p90_us", t.p[1])
+        .Set("p99_us", t.p[2])
+        .Set("p999_us", t.p[3])
+        .Set("p9999_us", t.p[4])
+        .Set("p99999_us", t.p[5]);
+  };
+  add("64B", r.small);
+  add("64kB", r.large);
+}
+
 void PrintMode(const char* title, const RunResult& mq, const RunResult& ghost) {
   static const char* kPcts[] = {"50%", "90%", "99%", "99.9%", "99.99%", "99.999%"};
   std::printf("\n== %s ==\n", title);
@@ -109,19 +132,33 @@ void PrintMode(const char* title, const RunResult& mq, const RunResult& ghost) {
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  bench::Harness harness("fig7_snap", argc, argv);
+  g_harness = &harness;
+  if (harness.quick()) {
+    kWarmup = Milliseconds(200);
+    kMeasure = Seconds(2);
+  }
+  const uint64_t base_seed = harness.SeedOr(11);
+  harness.Param("antagonists", kAntagonists);
+  harness.Param("warmup_ms", static_cast<int64_t>(kWarmup / 1000000));
+  harness.Param("measure_ms", static_cast<int64_t>(kMeasure / 1000000));
   std::printf("Fig 7 reproduction: Snap packet-processing latencies, 56-CPU socket.\n"
               "6 flows x 10k msg/s (1x64B + 5x64kB); engines under MicroQuanta vs ghOSt.\n");
   {
-    RunResult mq = RunMicroQuanta(/*loaded=*/false, 11);
-    RunResult ghost = RunGhost(/*loaded=*/false, 11);
+    RunResult mq = RunMicroQuanta(/*loaded=*/false, base_seed);
+    RunResult ghost = RunGhost(/*loaded=*/false, base_seed);
     PrintMode("Fig 7a: quiet (networking load only)", mq, ghost);
+    RecordRows("microquanta", false, mq);
+    RecordRows("ghost", false, ghost);
   }
   {
-    RunResult mq = RunMicroQuanta(/*loaded=*/true, 12);
-    RunResult ghost = RunGhost(/*loaded=*/true, 12);
+    RunResult mq = RunMicroQuanta(/*loaded=*/true, base_seed + 1);
+    RunResult ghost = RunGhost(/*loaded=*/true, base_seed + 1);
     PrintMode("Fig 7b: loaded (40 antagonist threads)", mq, ghost);
+    RecordRows("microquanta", true, mq);
+    RecordRows("ghost", true, ghost);
   }
-  return 0;
+  return harness.Finish();
 }

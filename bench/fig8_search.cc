@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/search.h"
@@ -19,7 +21,9 @@
 namespace gs {
 namespace {
 
-constexpr Duration kRun = Seconds(60);
+Duration kRun = Seconds(60);
+
+bench::Harness* g_harness = nullptr;
 
 struct Series {
   std::vector<double> qps[3];
@@ -28,7 +32,8 @@ struct Series {
   double total_qps[3];
 };
 
-Series Collect(SearchWorkload& workload, int seconds) {
+Series Collect(SearchWorkload& workload, const char* system) {
+  const int seconds = static_cast<int>(ToSeconds(kRun));
   Series out;
   for (int type = 0; type < 3; ++type) {
     auto q = static_cast<SearchWorkload::QueryType>(type);
@@ -40,6 +45,14 @@ Series Collect(SearchWorkload& workload, int seconds) {
     out.overall_p99[type] = workload.latency(q).PercentileUs(99);
     out.total_qps[type] =
         static_cast<double>(workload.completed(q)) / ToSeconds(kRun);
+    static const char* kNames[3] = {"A", "B", "C"};
+    g_harness->AddRow()
+        .Set("system", system)
+        .Set("query_type", kNames[type])
+        .Set("total_qps", out.total_qps[type])
+        .Set("overall_p99_us", out.overall_p99[type]);
+    g_harness->HistogramJson(
+        std::string("windows_") + system + "_" + kNames[type], series.ToJson());
   }
   return out;
 }
@@ -49,11 +62,12 @@ Series RunCfs(uint64_t seed) {
   SearchWorkload workload(&m.kernel(), {.seed = seed});
   workload.Start(kRun);
   m.RunFor(kRun + Milliseconds(200));
-  return Collect(workload, 60);
+  return Collect(workload, "cfs");
 }
 
 Series RunGhost(uint64_t seed) {
   Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth());
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   SearchPolicy::Options options;
   options.global_cpu = 0;
@@ -67,7 +81,7 @@ Series RunGhost(uint64_t seed) {
   }
   workload.Start(kRun);
   m.RunFor(kRun + Milliseconds(200));
-  return Collect(workload, 60);
+  return Collect(workload, "ghost");
 }
 
 void PrintPanels(const Series& cfs, const Series& ghost) {
@@ -102,15 +116,23 @@ void PrintPanels(const Series& cfs, const Series& ghost) {
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
-  std::printf("Fig 8 reproduction: Google Search on AMD Rome (256 CPUs), 60 s.\n"
+  bench::Harness harness("fig8_search", argc, argv);
+  g_harness = &harness;
+  if (harness.quick()) {
+    kRun = Seconds(5);
+  }
+  const uint64_t seed = harness.SeedOr(21);
+  harness.Param("run_s", static_cast<int64_t>(kRun / 1000000000));
+  std::printf("Fig 8 reproduction: Google Search on AMD Rome (256 CPUs), %lld s.\n"
               "Query A: 25k qps x 3ms (NUMA-tied); B: 50k qps x 0.4ms + 2ms SSD;\n"
-              "C: 8k qps x 8ms (long-living workers).\n");
-  Series cfs = RunCfs(21);
+              "C: 8k qps x 8ms (long-living workers).\n",
+              static_cast<long long>(kRun / 1000000000));
+  Series cfs = RunCfs(seed);
   std::printf("[cfs run done]\n");
-  Series ghost = RunGhost(21);
+  Series ghost = RunGhost(seed);
   std::printf("[ghost run done]\n");
   PrintPanels(cfs, ghost);
-  return 0;
+  return harness.Finish();
 }

@@ -1,0 +1,261 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/sim/trace.h"
+#include "src/stats/stats.h"
+
+namespace gs {
+namespace bench {
+
+namespace {
+
+std::string RenderInt(int64_t v) {
+  JsonWriter w;
+  w.Int(v);
+  return w.str();
+}
+
+std::string RenderUInt(uint64_t v) {
+  JsonWriter w;
+  w.UInt(v);
+  return w.str();
+}
+
+std::string RenderDouble(double v) {
+  JsonWriter w;
+  w.Double(v);
+  return w.str();
+}
+
+std::string RenderString(const std::string& v) {
+  JsonWriter w;
+  w.String(v);
+  return w.str();
+}
+
+std::string RenderBool(bool v) {
+  JsonWriter w;
+  w.Bool(v);
+  return w.str();
+}
+
+// Value of "--flag=value" if `arg` matches, nullptr otherwise.
+const char* FlagValue(const char* arg, const char* flag) {
+  const size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) == 0 && arg[len] == '=') {
+    return arg + len + 1;
+  }
+  return nullptr;
+}
+
+[[noreturn]] void UsageError(const std::string& name, const std::string& detail) {
+  std::fprintf(stderr,
+               "%s: %s\n"
+               "harness flags:\n"
+               "  --json=<path>       write machine-readable results\n"
+               "  --seed=<N>          override the base RNG seed\n"
+               "  --scale=quick|paper sweep size (default: paper)\n"
+               "  --trace-out=<path>  write a Chrome-trace/Perfetto JSON\n",
+               name.c_str(), detail.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+Row& Row::Set(const std::string& key, int64_t v) {
+  cells_.emplace_back(key, RenderInt(v));
+  return *this;
+}
+Row& Row::Set(const std::string& key, uint64_t v) {
+  cells_.emplace_back(key, RenderUInt(v));
+  return *this;
+}
+Row& Row::Set(const std::string& key, double v) {
+  cells_.emplace_back(key, RenderDouble(v));
+  return *this;
+}
+Row& Row::Set(const std::string& key, const std::string& v) {
+  cells_.emplace_back(key, RenderString(v));
+  return *this;
+}
+Row& Row::Set(const std::string& key, bool v) {
+  cells_.emplace_back(key, RenderBool(v));
+  return *this;
+}
+Row& Row::SetRaw(const std::string& key, std::string json) {
+  cells_.emplace_back(key, std::move(json));
+  return *this;
+}
+
+Harness::Harness(std::string benchmark_name, int& argc, char** argv)
+    : name_(std::move(benchmark_name)) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = FlagValue(arg, "--json")) {
+      json_path_ = v;
+    } else if (const char* v = FlagValue(arg, "--seed")) {
+      char* end = nullptr;
+      seed_override_ = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        UsageError(name_, "bad --seed value: " + std::string(v));
+      }
+      seed_overridden_ = true;
+    } else if (const char* v = FlagValue(arg, "--scale")) {
+      if (std::strcmp(v, "quick") == 0) {
+        scale_ = Scale::kQuick;
+      } else if (std::strcmp(v, "paper") == 0) {
+        scale_ = Scale::kPaper;
+      } else {
+        UsageError(name_, "bad --scale value: " + std::string(v) +
+                              " (want quick or paper)");
+      }
+    } else if (const char* v = FlagValue(arg, "--trace-out")) {
+      trace_path_ = v;
+    } else {
+      argv[out++] = argv[i];  // not ours; leave for the benchmark
+      continue;
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+
+  if (!trace_path_.empty()) {
+    exporter_ = std::make_unique<ChromeTraceExporter>(name_);
+  }
+  // A result file without the stats snapshot would be hollow; traces imply
+  // introspection too. Plain stdout runs keep the zero-overhead default.
+  if (!json_path_.empty() || !trace_path_.empty()) {
+    GlobalStats().Enable();
+  }
+}
+
+uint64_t Harness::SeedOr(uint64_t fallback) {
+  seed_used_ = seed_overridden_ ? seed_override_ : fallback;
+  seed_recorded_ = true;
+  return seed_used_;
+}
+
+void Harness::Param(const std::string& key, int64_t v) {
+  params_.emplace_back(key, RenderInt(v));
+}
+void Harness::Param(const std::string& key, double v) {
+  params_.emplace_back(key, RenderDouble(v));
+}
+void Harness::Param(const std::string& key, const std::string& v) {
+  params_.emplace_back(key, RenderString(v));
+}
+void Harness::Param(const std::string& key, bool v) {
+  params_.emplace_back(key, RenderBool(v));
+}
+
+Row& Harness::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+void Harness::Metric(const std::string& name, double v) {
+  metrics_.emplace_back(name, RenderDouble(v));
+}
+void Harness::Metric(const std::string& name, int64_t v) {
+  metrics_.emplace_back(name, RenderInt(v));
+}
+
+void Harness::HistogramJson(const std::string& name, std::string json) {
+  histograms_.emplace_back(name, std::move(json));
+}
+
+bool Harness::MaybeAttachTrace(Trace& trace) {
+  if (exporter_ == nullptr || trace_attached_) {
+    return false;
+  }
+  trace.AddSink(exporter_.get());
+  trace_attached_ = true;
+  return true;
+}
+
+int Harness::Finish() {
+  CHECK(!finished_) << "Harness::Finish called twice";
+  finished_ = true;
+  int rc = 0;
+
+  if (!json_path_.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.KV("schema_version", 1);
+    w.KV("benchmark", name_);
+    if (seed_recorded_) {
+      w.Key("seed");
+      w.UInt(seed_used_);
+    }
+    w.KV("scale", quick() ? "quick" : "paper");
+    w.Key("params");
+    w.BeginObject();
+    for (const auto& [key, json] : params_) {
+      w.Key(key);
+      w.Raw(json);
+    }
+    w.EndObject();
+    w.Key("series");
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const auto& [key, json] : row.cells_) {
+        w.Key(key);
+        w.Raw(json);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    w.BeginObject();
+    for (const auto& [key, json] : metrics_) {
+      w.Key(key);
+      w.Raw(json);
+    }
+    w.EndObject();
+    w.Key("histograms");
+    w.BeginObject();
+    for (const auto& [key, json] : histograms_) {
+      w.Key(key);
+      w.Raw(json);
+    }
+    w.EndObject();
+    w.Key("stats");
+    GlobalStats().AppendJson(w);
+    w.EndObject();
+
+    std::FILE* f = std::fopen(json_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot open %s\n", name_.c_str(), json_path_.c_str());
+      rc = 1;
+    } else {
+      const std::string& json = w.str();
+      if (std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+          std::fputc('\n', f) == EOF) {
+        std::fprintf(stderr, "%s: short write to %s\n", name_.c_str(),
+                     json_path_.c_str());
+        rc = 1;
+      }
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", json_path_.c_str());
+    }
+  }
+
+  if (exporter_ != nullptr) {
+    if (!exporter_->WriteFile(trace_path_)) {
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "wrote %s (%zu events)\n", trace_path_.c_str(),
+                   exporter_->num_events());
+    }
+  }
+  return rc;
+}
+
+}  // namespace bench
+}  // namespace gs

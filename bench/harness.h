@@ -1,0 +1,143 @@
+// Unified bench harness: one flag surface and one result schema for every
+// benchmark binary in bench/.
+//
+// Flags (stripped from argc/argv so wrappers like google-benchmark can parse
+// whatever remains):
+//
+//   --json=<path>       write a machine-readable result file (schema below)
+//   --seed=<N>          override the benchmark's base RNG seed
+//   --scale=quick|paper run a CI-sized subset or the full paper-scale sweep
+//   --trace-out=<path>  write a Chrome-trace/Perfetto JSON of the run
+//
+// Result schema (schema_version 1):
+//
+//   {
+//     "schema_version": 1,
+//     "benchmark": "fig6_shinjuku",
+//     "seed": 1000,
+//     "scale": "paper",
+//     "params": {<flag/config key-values>},
+//     "series": [{<one row per sweep point>}, ...],
+//     "metrics": {<scalar name: value>},
+//     "histograms": {<name>: {count,min,max,mean,p50,...}},
+//     "stats": {<StatsRegistry snapshot>}
+//   }
+//
+// Passing --json enables the global StatsRegistry, so the "stats" block
+// carries the kernel/ghost/agent counters for the run; without --json (and
+// without --trace-out) the instrumentation stays disabled and the benchmark
+// measures the zero-overhead path.
+#ifndef GHOST_SIM_BENCH_HARNESS_H_
+#define GHOST_SIM_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/json.h"
+#include "src/sim/chrome_trace.h"
+
+namespace gs {
+
+class Trace;
+
+namespace bench {
+
+enum class Scale { kQuick, kPaper };
+
+// One row of the "series" array: ordered key -> value pairs.
+class Row {
+ public:
+  Row& Set(const std::string& key, int64_t v);
+  Row& Set(const std::string& key, int v) { return Set(key, static_cast<int64_t>(v)); }
+  Row& Set(const std::string& key, uint64_t v);
+  Row& Set(const std::string& key, double v);
+  Row& Set(const std::string& key, const std::string& v);
+  Row& Set(const std::string& key, const char* v) { return Set(key, std::string(v)); }
+  Row& Set(const std::string& key, bool v);
+  // Splices a pre-rendered JSON value (e.g. Histogram::ToJson()).
+  Row& SetRaw(const std::string& key, std::string json);
+
+ private:
+  friend class Harness;
+  // Values are pre-rendered JSON, kept in insertion order.
+  std::vector<std::pair<std::string, std::string>> cells_;
+};
+
+class Harness {
+ public:
+  // Parses and removes the harness flags from argc/argv. Malformed harness
+  // flags print usage and exit(2); unrelated flags are left in place for the
+  // benchmark (or its framework) to consume.
+  Harness(std::string benchmark_name, int& argc, char** argv);
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  // The benchmark's base seed: `fallback` unless --seed was given. Also
+  // records the value for the "seed" field of the result file.
+  uint64_t SeedOr(uint64_t fallback);
+
+  Scale scale() const { return scale_; }
+  bool quick() const { return scale_ == Scale::kQuick; }
+  bool json_requested() const { return !json_path_.empty(); }
+
+  // Records a benchmark parameter into the "params" block.
+  void Param(const std::string& key, int64_t v);
+  void Param(const std::string& key, int v) { Param(key, static_cast<int64_t>(v)); }
+  void Param(const std::string& key, double v);
+  void Param(const std::string& key, const std::string& v);
+  void Param(const std::string& key, bool v);
+
+  // Appends a row to the "series" array; fill it with Row::Set.
+  Row& AddRow();
+
+  // Records a scalar into the "metrics" block.
+  void Metric(const std::string& name, double v);
+  void Metric(const std::string& name, int64_t v);
+
+  // Records a distribution into the "histograms" block. `json` must be a
+  // pre-rendered JSON value (Histogram/LatencyRecorder/WindowedSeries
+  // ToJson() all qualify).
+  void HistogramJson(const std::string& name, std::string json);
+
+  // Attaches the Chrome-trace exporter to `trace` when --trace-out was
+  // given; a no-op otherwise. Only the FIRST call attaches: a sweep of many
+  // machine runs traces its first run, keeping the exported timestamps
+  // monotonic (virtual time restarts at 0 for every run). The exporter is
+  // owned by the harness and written out at Finish(). Returns true iff this
+  // call attached (i.e. this run is the traced one).
+  bool MaybeAttachTrace(Trace& trace);
+  // Exporter, or nullptr when --trace-out was not given.
+  ChromeTraceExporter* trace_exporter() { return exporter_.get(); }
+
+  // Writes the result file (--json) and the trace (--trace-out), appending
+  // the StatsRegistry snapshot. Returns the process exit code (non-zero on
+  // I/O failure). Call once, at the end of main.
+  int Finish();
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  std::string trace_path_;
+  Scale scale_ = Scale::kPaper;
+  bool seed_overridden_ = false;
+  uint64_t seed_override_ = 0;
+  uint64_t seed_used_ = 0;
+  bool seed_recorded_ = false;
+  bool finished_ = false;
+
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, std::string>> histograms_;
+  std::unique_ptr<ChromeTraceExporter> exporter_;
+  bool trace_attached_ = false;
+};
+
+}  // namespace bench
+}  // namespace gs
+
+#endif  // GHOST_SIM_BENCH_HARNESS_H_

@@ -1,0 +1,77 @@
+// Scoped glue between a benchmark's Machine run and the harness trace
+// exporter.
+//
+// Declare one of these right after constructing the Machine:
+//
+//   Machine m = MakeMachine();
+//   ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+//
+// On construction it attaches the exporter to this run's kernel trace (only
+// the harness's first run actually attaches — see
+// Harness::MaybeAttachTrace). On destruction — while the kernel is still
+// alive — it snapshots every task's tid -> name mapping into the exporter's
+// task namer and installs the ghOSt enum namers, so the exported slices read
+// "agent/3" / "msg task_wakeup" / "txn_fail estale" instead of raw integers.
+#ifndef GHOST_SIM_BENCH_MACHINE_TRACE_H_
+#define GHOST_SIM_BENCH_MACHINE_TRACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/ghost/message.h"
+#include "src/ghost/transaction.h"
+#include "src/kernel/kernel.h"
+
+namespace gs {
+namespace bench {
+
+class ScopedMachineTrace {
+ public:
+  ScopedMachineTrace(Harness& harness, Kernel& kernel)
+      : harness_(harness), kernel_(kernel) {
+    traced_ = harness_.MaybeAttachTrace(kernel_.trace());
+  }
+
+  ~ScopedMachineTrace() {
+    if (!traced_) {
+      return;
+    }
+    auto names = std::make_shared<std::map<int64_t, std::string>>();
+    for (const auto& task : kernel_.tasks()) {
+      (*names)[task->tid()] = task->name();
+    }
+    ChromeTraceExporter* exporter = harness_.trace_exporter();
+    exporter->SetTaskNamer([names](int64_t tid) {
+      auto it = names->find(tid);
+      return it == names->end() ? std::string() : it->second;
+    });
+    exporter->SetArgNamer([](TraceEventType type, int64_t arg) {
+      switch (type) {
+        case TraceEventType::kMessage:
+        case TraceEventType::kMsgDrop:
+          return std::string(ToString(static_cast<MessageType>(arg)));
+        case TraceEventType::kTxnFail:
+          return std::string(ToString(static_cast<TxnStatus>(arg)));
+        default:
+          return std::string();
+      }
+    });
+  }
+
+  ScopedMachineTrace(const ScopedMachineTrace&) = delete;
+  ScopedMachineTrace& operator=(const ScopedMachineTrace&) = delete;
+
+  bool traced() const { return traced_; }
+
+ private:
+  Harness& harness_;
+  Kernel& kernel_;
+  bool traced_ = false;
+};
+
+}  // namespace bench
+}  // namespace gs
+
+#endif  // GHOST_SIM_BENCH_MACHINE_TRACE_H_

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
+
 namespace {
 
 namespace fs = std::filesystem;
@@ -73,13 +75,18 @@ int CountDirLoc(const fs::path& dir, const std::vector<std::string>& only = {}) 
   return total;
 }
 
+gs::bench::Harness* g_harness = nullptr;
+
 void Row(const char* name, int loc, const char* paper) {
   std::printf("%-46s %6d LOC   (paper: %s)\n", name, loc, paper);
+  g_harness->AddRow().Set("component", name).Set("loc", loc).Set("paper_loc", paper);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gs::bench::Harness harness("table2_loc", argc, argv);
+  g_harness = &harness;
   const fs::path root = GHOST_SIM_SOURCE_DIR;
   const fs::path src = root / "src";
 
@@ -108,5 +115,5 @@ int main() {
       "\nThe paper's structural claim to check: policies are small (100s of\n"
       "lines) because mechanism lives in the kernel class and bookkeeping in\n"
       "the reusable userspace library.\n");
-  return 0;
+  return harness.Finish();
 }

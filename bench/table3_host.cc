@@ -9,6 +9,7 @@
 // of ns) are achievable with these exact data structures.
 #include <benchmark/benchmark.h>
 
+#include "bench/harness.h"
 #include "src/base/cpumask.h"
 #include "src/base/histogram.h"
 #include "src/base/mpmc_ring.h"
@@ -101,7 +102,46 @@ void BM_RngNext(benchmark::State& state) {
 }
 BENCHMARK(BM_RngNext);
 
+// Console output as usual, plus one harness row per benchmark run so the
+// nanobench numbers land in the --json results file.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(bench::Harness* harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      bench::Row& row = harness_->AddRow();
+      row.Set("name", run.benchmark_name())
+          .Set("iterations", static_cast<int64_t>(run.iterations))
+          .Set("real_time_ns", run.GetAdjustedRealTime())
+          .Set("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [name, counter] : run.counters) {
+        row.Set(name, static_cast<double>(counter.value));
+      }
+    }
+  }
+
+ private:
+  bench::Harness* harness_;
+};
+
 }  // namespace
 }  // namespace gs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The harness strips its own flags first; google-benchmark then parses the
+  // rest (e.g. --benchmark_filter).
+  gs::bench::Harness harness("table3_host", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  gs::HarnessReporter reporter(&harness);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return harness.Finish();
+}

@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/per_cpu_fifo.h"
@@ -18,6 +20,8 @@ namespace gs {
 namespace {
 
 Topology BenchTopo() { return Topology::IntelSkylake112(); }
+
+bench::Harness* g_harness = nullptr;
 
 struct Sample {
   double ns = 0;
@@ -52,6 +56,7 @@ Sample MessageDeliveryLocal() {
   // Measured end-to-end with a real (blocked) per-CPU agent: post ->
   // agent running and first message popped.
   Machine m(BenchTopo());
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(2));
   auto policy = std::make_unique<PerCpuFifoPolicy>();
   AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
@@ -168,13 +173,21 @@ void GroupSchedule(Sample* agent_side, Sample* target_side, Sample* e2e) {
 void Print(int line, const char* name, const Sample& s, int paper_ns) {
   std::printf("%2d. %-42s %8.0f ns   (paper: %5d ns)  [%s]\n", line, name, s.ns,
               paper_ns, s.note);
+  g_harness->AddRow()
+      .Set("line", line)
+      .Set("name", name)
+      .Set("ns", s.ns)
+      .Set("paper_ns", paper_ns)
+      .Set("note", s.note);
 }
 
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  bench::Harness harness("table3_microbench", argc, argv);
+  g_harness = &harness;
   std::printf("Table 3 reproduction: ghOSt microbenchmarks (simulated Skylake)\n\n");
 
   Print(1, "Message Delivery to Local Agent", MessageDeliveryLocal(), 725);
@@ -204,5 +217,7 @@ int main() {
   std::printf("\nTheoretical max schedule rate per agent:\n");
   std::printf("  single commits: %.2f M threads/sec (paper: 1.50 M)\n", 1e3 / single);
   std::printf("  group commits : %.2f M threads/sec (paper: 2.52 M)\n", 1e3 / grouped);
-  return 0;
+  harness.Metric("max_rate_single_mtps", 1e3 / single);
+  harness.Metric("max_rate_grouped_mtps", 1e3 / grouped);
+  return harness.Finish();
 }

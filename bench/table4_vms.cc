@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/harness.h"
+#include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
 #include "src/policies/vm_core_sched.h"
@@ -21,6 +23,11 @@
 
 namespace gs {
 namespace {
+
+// CPU demand per vCPU; --scale=quick shrinks it (relative rates unchanged).
+Duration kWork = Seconds(2);
+
+bench::Harness* g_harness = nullptr;
 
 // bwaves is memory-bandwidth-bound: SMT contention costs it ~12%, far less
 // than integer codes (the paper's rates imply a mild penalty).
@@ -44,11 +51,11 @@ Result Finish(Machine& m, VmWorkload& vms) {
   }
   Result r;
   r.total_time = ToSeconds(vms.finish_time());
-  // SPECrate-style metric: sum of per-copy rates (each copy demands 2 s of
+  // SPECrate-style metric: sum of per-copy rates (each copy demands kWork of
   // CPU work), scaled into the same ballpark as the paper's bwaves figures.
   for (Time t : vms.completions()) {
     if (t > 0) {
-      r.rate += 2.0 / ToSeconds(t) * 16.0;
+      r.rate += ToSeconds(kWork) / ToSeconds(t) * 16.0;
     }
   }
   r.violations = vms.coresidency_violations();
@@ -57,7 +64,7 @@ Result Finish(Machine& m, VmWorkload& vms) {
 
 Result RunCfs() {
   Machine m(VmTopo(), VmCost());
-  VmWorkload vms(&m.kernel(), {});
+  VmWorkload vms(&m.kernel(), {.work_per_vcpu = kWork});
   vms.StartSecuritySampler();
   vms.Start();
   return Finish(m, vms);
@@ -65,7 +72,7 @@ Result RunCfs() {
 
 Result RunKernelCoreSched() {
   Machine m(VmTopo(), VmCost(), /*with_core_sched=*/true);
-  VmWorkload vms(&m.kernel(), {});
+  VmWorkload vms(&m.kernel(), {.work_per_vcpu = kWork});
   for (Task* vcpu : vms.vcpus()) {
     m.kernel().SetSchedClass(vcpu, m.core_sched_class());
     m.core_sched_class()->SetCookie(vcpu, vms.CookieOf(vcpu->tid()));
@@ -79,8 +86,9 @@ Result RunKernelCoreSched() {
 
 Result RunGhostCoreSched() {
   Machine m(VmTopo(), VmCost());
+  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
-  VmWorkload vms(&m.kernel(), {});
+  VmWorkload vms(&m.kernel(), {.work_per_vcpu = kWork});
   VmCoreSchedPolicy::Options options;
   options.global_cpu = 0;
   VmWorkload* vms_ptr = &vms;
@@ -96,22 +104,34 @@ Result RunGhostCoreSched() {
   return Finish(m, vms);
 }
 
-void Print(const char* name, const Result& r, const char* paper) {
+void Print(const char* system, const char* name, const Result& r, const char* paper) {
   std::printf("%-28s rate=%6.1f  total_time=%6.3fs  coresidency_violations=%llu   (paper: %s)\n",
               name, r.rate, r.total_time, static_cast<unsigned long long>(r.violations),
               paper);
   std::fflush(stdout);
+  g_harness->AddRow()
+      .Set("system", system)
+      .Set("rate", r.rate)
+      .Set("total_time_s", r.total_time)
+      .Set("coresidency_violations", static_cast<int64_t>(r.violations))
+      .Set("paper", paper);
 }
 
 }  // namespace
 }  // namespace gs
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gs;
+  bench::Harness harness("table4_vms", argc, argv);
+  g_harness = &harness;
+  if (harness.quick()) {
+    kWork = Milliseconds(500);
+  }
+  harness.Param("work_per_vcpu_ms", static_cast<int64_t>(kWork / 1000000));
   std::printf("Table 4 reproduction: secure VM core scheduling.\n"
               "32 vCPUs (16 VMs x 2) on 25 cores / 50 CPUs, bwaves-like CPU-bound work.\n\n");
-  Print("CFS (no security)", RunCfs(), "rate 489, 888 s");
-  Print("In-kernel Core Scheduling", RunKernelCoreSched(), "rate 464, 937 s");
-  Print("ghOSt Core Scheduling", RunGhostCoreSched(), "rate 468, 929 s");
-  return 0;
+  Print("cfs", "CFS (no security)", RunCfs(), "rate 489, 888 s");
+  Print("core_sched", "In-kernel Core Scheduling", RunKernelCoreSched(), "rate 464, 937 s");
+  Print("ghost", "ghOSt Core Scheduling", RunGhostCoreSched(), "rate 468, 929 s");
+  return harness.Finish();
 }

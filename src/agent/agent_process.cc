@@ -9,7 +9,12 @@ AgentProcess::AgentProcess(Kernel* kernel, GhostClass* ghost_class, Enclave* enc
     : kernel_(kernel),
       ghost_class_(ghost_class),
       enclave_(enclave),
-      policy_(std::move(policy)) {}
+      policy_(std::move(policy)) {
+  StatsRegistry& stats = GlobalStats();
+  stat_iteration_cost_ns_ = stats.GetHistogram("agent_iteration_cost_ns");
+  stat_runqueue_depth_ =
+      stats.GetHistogram("policy_runqueue_depth", {{"policy", policy_->name()}});
+}
 
 AgentProcess::~AgentProcess() {
   if (alive_ && !enclave_->destroyed()) {
@@ -132,6 +137,10 @@ void AgentProcess::BeginIteration(Task* agent) {
   }
   const AgentAction action = policy_->RunAgent(ctx);
   const Time wakeup_at = ctx.wakeup_at();
+  stat_iteration_cost_ns_->Observe(ctx.cost());
+  if (const int depth = policy_->RunqueueDepth(); depth >= 0) {
+    stat_runqueue_depth_->Observe(depth);
+  }
   kernel_->trace().Record(kernel_->now(), TraceEventType::kAgentIter, agent->cpu(),
                           agent->tid(), ctx.cost());
   std::shared_ptr<bool> gone = gone_;

@@ -82,6 +82,10 @@ class AgentProcess {
   bool stalled_ = false;
   uint64_t iterations_ = 0;
   uint64_t resyncs_ = 0;
+
+  // Hot-path metrics (global registry; pointers cached at construction).
+  HistogramMetric* stat_iteration_cost_ns_;
+  HistogramMetric* stat_runqueue_depth_;
 };
 
 }  // namespace gs

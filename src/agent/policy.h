@@ -43,6 +43,11 @@ class Policy {
 
   // One iteration of the agent loop for the agent pinned to ctx.agent_cpu().
   virtual AgentAction RunAgent(AgentContext& ctx) = 0;
+
+  // Number of runnable-but-unscheduled threads the policy currently tracks,
+  // or -1 if the policy has no meaningful runqueue. Sampled once per agent
+  // iteration into the `policy_runqueue_depth{policy=...}` metric.
+  virtual int RunqueueDepth() const { return -1; }
 };
 
 }  // namespace gs

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "src/base/json.h"
 #include "src/base/logging.h"
 
 namespace gs {
@@ -111,6 +112,22 @@ std::string Histogram::Summary(int64_t unit_divisor, const std::string& unit) co
                 unit.c_str(),
                 static_cast<double>(max()) / static_cast<double>(unit_divisor), unit.c_str());
   return buf;
+}
+
+std::string Histogram::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("count", count_);
+  w.KV("min", min());
+  w.KV("max", max());
+  w.KV("mean", Mean());
+  w.KV("p50", Percentile(50));
+  w.KV("p90", Percentile(90));
+  w.KV("p99", Percentile(99));
+  w.KV("p99.9", Percentile(99.9));
+  w.KV("p99.99", Percentile(99.99));
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace gs

@@ -35,6 +35,13 @@ class Histogram {
   // and suffixed with `unit` (e.g. 1000, "us" for nanosecond inputs).
   std::string Summary(int64_t unit_divisor, const std::string& unit) const;
 
+  // Machine-readable counterpart of Summary(): a JSON object
+  //   {"count":N,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,
+  //    "p99.9":..,"p99.99":..}
+  // in the histogram's native unit. Deterministic byte-for-byte for equal
+  // recorded distributions.
+  std::string ToJson() const;
+
  private:
   // Values 0..63 get exact buckets; beyond that, each power-of-two range is
   // split into 32 sub-buckets (~3% max relative error).

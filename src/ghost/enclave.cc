@@ -67,6 +67,21 @@ Enclave::Enclave(Kernel* kernel, GhostClass* ghost_class, AgentClass* agent_clas
       cpus_(cpus),
       config_(config) {
   CHECK(!cpus_.Empty());
+
+  StatsRegistry& stats = GlobalStats();
+  for (int t = 0; t <= static_cast<int>(MessageType::kAgentWakeup); ++t) {
+    stat_msg_post_.push_back(stats.GetCounter(
+        "ghost_msg_post_total", {{"type", ToString(static_cast<MessageType>(t))}}));
+  }
+  for (int s = 0; s <= static_cast<int>(TxnStatus::kENoAgent); ++s) {
+    stat_txn_status_.push_back(stats.GetCounter(
+        "txn_commit_total", {{"status", ToString(static_cast<TxnStatus>(s))}}));
+  }
+  stat_msg_drop_ = stats.GetCounter("ghost_msg_drop_total");
+  stat_msg_deliver_ = stats.GetCounter("ghost_msg_deliver_total");
+  stat_group_commit_size_ = stats.GetHistogram("ghost_group_commit_size");
+  stat_sched_latency_ns_ = stats.GetHistogram("ghost_sched_latency_ns");
+
   ghost_class_->AddEnclave(this);
   default_queue_ = CreateQueue(config_.default_queue_capacity);
 
@@ -251,6 +266,9 @@ void Enclave::SetCpuQueue(int cpu, MessageQueue* queue) {
 
 std::optional<Message> Enclave::PopMessage(MessageQueue* queue) {
   std::optional<Message> msg = queue->Pop();
+  if (msg.has_value()) {
+    stat_msg_deliver_->Inc();
+  }
   if (msg.has_value() && msg->tid != 0) {
     GhostTask* gt = Find(msg->tid);
     if (gt != nullptr && gt->pending_msgs > 0) {
@@ -316,6 +334,7 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
   if (dropped) {
     queue->NoteOverflow();
     ++messages_dropped_;
+    stat_msg_drop_->Inc();
     overflow_pending_ = true;
     if (gt != nullptr) {
       gt->resync = true;
@@ -327,6 +346,7 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
       ++gt->pending_msgs;
     }
     ++messages_posted_;
+    stat_msg_post_[static_cast<int>(type)]->Inc();
     kernel_->trace().Record(kernel_->now(), TraceEventType::kMessage, cpu,
                             msg.tid, static_cast<int64_t>(type));
   }
@@ -504,6 +524,9 @@ void Enclave::Latch(Transaction* txn, Task* agent, Duration delay) {
 
 void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
                          const std::function<Duration(int)>& agent_side_delay) {
+  if (!txns.empty()) {
+    stat_group_commit_size_->Observe(static_cast<int64_t>(txns.size()));
+  }
   // Pass 1: validate everything (latching as we go so that duplicate targets
   // inside one call conflict, as in the real txn table).
   // Synchronized groups need all-or-nothing semantics, so validation for them
@@ -550,6 +573,7 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
             statuses[m] != TxnStatus::kPending ? statuses[m] : TxnStatus::kEAborted;
         ++txns_failed_;
       }
+      stat_txn_status_[static_cast<int>(txns[i]->status)]->Inc();
     }
   }
 
@@ -561,6 +585,7 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
     if (status != TxnStatus::kPending) {
       txns[i]->status = status;
       ++txns_failed_;
+      stat_txn_status_[static_cast<int>(status)]->Inc();
       kernel_->trace().Record(kernel_->now(), TraceEventType::kTxnFail,
                               txns[i]->target_cpu, txns[i]->tid,
                               static_cast<int64_t>(status));
@@ -569,6 +594,7 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
     txns[i]->status = TxnStatus::kCommitted;
     Latch(txns[i], agent, agent_side_delay(i));
     ++txns_committed_;
+    stat_txn_status_[static_cast<int>(TxnStatus::kCommitted)]->Inc();
     kernel_->trace().Record(kernel_->now(), TraceEventType::kTxnCommit,
                             txns[i]->target_cpu, txns[i]->tid);
   }
@@ -638,7 +664,9 @@ void Enclave::OnTaskDeparted(Task* task) {
 }
 
 void Enclave::OnTaskStarted(Task* task, int cpu) {
-  sched_latency_.Add(kernel_->now() - task->runnable_since());
+  const Duration latency = kernel_->now() - task->runnable_since();
+  sched_latency_.Add(latency);
+  stat_sched_latency_ns_->Observe(latency);
 }
 
 void Enclave::OnTimerTick(int cpu) { Post(nullptr, MessageType::kTimerTick, cpu); }

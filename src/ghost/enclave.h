@@ -240,6 +240,15 @@ class Enclave {
   uint64_t txns_committed_ = 0;
   uint64_t txns_failed_ = 0;
   Histogram sched_latency_;
+
+  // Hot-path metrics (global registry; pointers cached at construction).
+  // Indexed by MessageType / TxnStatus enum value.
+  std::vector<Counter*> stat_msg_post_;
+  std::vector<Counter*> stat_txn_status_;
+  Counter* stat_msg_drop_;
+  Counter* stat_msg_deliver_;
+  HistogramMetric* stat_group_commit_size_;
+  HistogramMetric* stat_sched_latency_ns_;
 };
 
 }  // namespace gs

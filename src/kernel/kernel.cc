@@ -24,6 +24,13 @@ const char* ToString(TaskState state) {
 
 Kernel::Kernel(EventLoop* loop, Topology topology, CostModel cost)
     : loop_(loop), topology_(std::move(topology)), cost_(cost) {
+  StatsRegistry& stats = GlobalStats();
+  stat_switch_task_ = stats.GetCounter("kernel_context_switch_total", {{"kind", "task"}});
+  stat_switch_agent_ = stats.GetCounter("kernel_context_switch_total", {{"kind", "agent"}});
+  stat_ipi_local_ = stats.GetCounter("kernel_ipi_total", {{"cross_numa", "false"}});
+  stat_ipi_cross_numa_ = stats.GetCounter("kernel_ipi_total", {{"cross_numa", "true"}});
+  stat_ticks_ = stats.GetCounter("kernel_tick_total");
+  stat_tick_cost_ns_ = stats.GetCounter("kernel_tick_cost_ns_total");
   cpus_.resize(topology_.num_cpus());
   tick_enabled_.assign(topology_.num_cpus(), true);
   ticks_delivered_.assign(topology_.num_cpus(), 0);
@@ -195,6 +202,7 @@ void Kernel::ReschedCpu(int cpu) {
 }
 
 void Kernel::SendIpi(int to_cpu, bool cross_numa, std::function<void()> fn) {
+  (cross_numa ? stat_ipi_cross_numa_ : stat_ipi_local_)->Inc();
   Duration delay = cost_.ipi_flight + cost_.ipi_handle;
   if (cross_numa) {
     delay += cost_.ipi_flight_cross_numa_extra;
@@ -341,6 +349,7 @@ void Kernel::ReschedNow(int cpu) {
   cs.switching = true;
   cs.switching_to = next;
   ++cs.context_switches;
+  (IsAgent(next) ? stat_switch_agent_ : stat_switch_task_)->Inc();
   SetBusy(cpu, true);
   const Duration cost = IsAgent(next) ? cost_.agent_context_switch : cost_.context_switch;
   cs.switch_event = loop_->ScheduleAfter(cost, [this, cpu] { FinishSwitch(cpu); });
@@ -480,6 +489,7 @@ void Kernel::OnTick(int cpu) {
   CpuState& cs = cpus_[cpu];
   if (tick_enabled_[cpu]) {
     ++ticks_delivered_[cpu];
+    stat_ticks_->Inc();
     Task* current = cs.current;
     if (current != nullptr && !cs.switching) {
       UpdateProgress(cpu);
@@ -487,6 +497,7 @@ void Kernel::OnTick(int cpu) {
         // The interrupt steals CPU time from the running task (for a vCPU
         // this is a VM-exit + re-entry).
         current->AddBurst(cost_.tick_cost);
+        stat_tick_cost_ns_->Inc(cost_.tick_cost);
         ArmCompletion(cpu);
       }
     }

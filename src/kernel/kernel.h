@@ -35,6 +35,7 @@
 #include "src/sim/event_loop.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/trace.h"
+#include "src/stats/stats.h"
 #include "src/topology/topology.h"
 
 namespace gs {
@@ -209,6 +210,14 @@ class Kernel {
   std::vector<uint64_t> ticks_delivered_;
   Trace trace_;
   FaultInjector* fault_injector_ = nullptr;
+
+  // Hot-path metrics (global registry; pointers cached at construction).
+  Counter* stat_switch_task_;
+  Counter* stat_switch_agent_;
+  Counter* stat_ipi_local_;
+  Counter* stat_ipi_cross_numa_;
+  Counter* stat_ticks_;
+  Counter* stat_tick_cost_ns_;
 };
 
 }  // namespace gs

@@ -62,6 +62,7 @@ class CentralizedFifoPolicy : public Policy {
   uint64_t hot_handoffs() const { return hot_handoffs_; }
   int global_cpu() const { return global_cpu_; }
   size_t queue_depth() const { return fifo_[0].size() + fifo_[1].size(); }
+  int RunqueueDepth() const override { return static_cast<int>(queue_depth()); }
   const TaskTable& table() const { return table_; }
 
  private:

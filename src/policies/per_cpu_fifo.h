@@ -30,6 +30,13 @@ class PerCpuFifoPolicy : public Policy {
   uint64_t scheduled() const { return scheduled_; }
   uint64_t estale_failures() const { return estale_failures_; }
   size_t QueueDepth(int cpu) const;
+  int RunqueueDepth() const override {
+    int total = 0;
+    for (const auto& [cpu, sched] : cpus_) {
+      total += static_cast<int>(sched.runqueue.size());
+    }
+    return total;
+  }
 
  private:
   struct CpuSched {

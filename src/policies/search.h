@@ -52,6 +52,7 @@ class SearchPolicy : public Policy {
   uint64_t scheduled() const { return scheduled_; }
   uint64_t deferred_for_warmth() const { return deferred_; }
   uint64_t txn_failures() const { return txn_failures_; }
+  int RunqueueDepth() const override { return static_cast<int>(runqueue_.size()); }
 
  private:
   void HandleMessage(AgentContext& ctx, const Message& msg);

@@ -39,6 +39,13 @@ class WorkStealingPolicy : public Policy {
   uint64_t steals() const { return steals_; }
   uint64_t association_retries() const { return association_retries_; }
   size_t QueueDepth(int cpu) const;
+  int RunqueueDepth() const override {
+    int total = 0;
+    for (const auto& [cpu, sched] : cpus_) {
+      total += static_cast<int>(sched.runqueue.size());
+    }
+    return total;
+  }
 
  private:
   struct CpuSched {

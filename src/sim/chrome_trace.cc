@@ -1,0 +1,256 @@
+#include "src/sim/chrome_trace.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "src/base/json.h"
+#include "src/base/logging.h"
+#include "src/base/time.h"
+#include "src/sim/fault_injector.h"
+
+namespace gs {
+
+namespace {
+
+// Track used for events that carry no CPU (e.g. a wakeup of a task that is
+// not placed anywhere yet).
+constexpr int kUnboundTrack = 9999;
+
+int TrackOf(const TraceEvent& e) { return e.cpu >= 0 ? e.cpu : kUnboundTrack; }
+
+// Microsecond timestamp with nanosecond resolution, as the format expects.
+std::string TsString(Time when) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ToMicros(when));
+  return buf;
+}
+
+}  // namespace
+
+void ChromeTraceExporter::Render(JsonWriter& w) const {
+  auto task_name = [this](int64_t tid) {
+    if (task_namer_) {
+      const std::string name = task_namer_(tid);
+      if (!name.empty()) {
+        return name;
+      }
+    }
+    return "tid " + std::to_string(tid);
+  };
+  auto arg_name = [this](TraceEventType type, int64_t arg) {
+    if (arg_namer_) {
+      const std::string name = arg_namer_(type, arg);
+      if (!name.empty()) {
+        return name;
+      }
+    }
+    if (type == TraceEventType::kFault) {
+      return std::string(ToString(static_cast<FaultKind>(arg)));
+    }
+    return std::to_string(arg);
+  };
+  // Common event prelude. `ph` is the Trace Event Format phase letter.
+  auto emit = [&w](const char* ph, Time ts, int track) {
+    w.BeginObject();
+    w.KV("ph", ph);
+    w.Key("ts");
+    w.Raw(TsString(ts));
+    w.KV("pid", 0);
+    w.KV("tid", track);
+  };
+
+  // Metadata: name the process and every track that will appear.
+  std::set<int> tracks;
+  for (const TraceEvent& e : events_) {
+    tracks.insert(TrackOf(e));
+  }
+  w.BeginObject();
+  w.KV("ph", "M");
+  w.KV("pid", 0);
+  w.KV("name", "process_name");
+  w.Key("args");
+  w.BeginObject();
+  w.KV("name", process_name_);
+  w.EndObject();
+  w.EndObject();
+  for (const int track : tracks) {
+    w.BeginObject();
+    w.KV("ph", "M");
+    w.KV("pid", 0);
+    w.KV("tid", track);
+    w.KV("name", "thread_name");
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", track == kUnboundTrack ? std::string("(unbound)")
+                                        : "cpu " + std::to_string(track));
+    w.EndObject();
+    w.EndObject();
+  }
+
+  std::map<int, int64_t> open_slice;   // cpu track -> tid of the open B slice
+  std::set<int64_t> open_async;        // tids with an open message->commit span
+  Time last_ts = 0;
+  for (const TraceEvent& e : events_) {
+    last_ts = e.when;
+    const int track = TrackOf(e);
+    switch (e.type) {
+      case TraceEventType::kSwitchIn: {
+        // A lost switch-out (ring truncation) leaves a stale open slice;
+        // close it so B/E stay balanced on the track.
+        if (auto it = open_slice.find(track); it != open_slice.end()) {
+          emit("E", e.when, track);
+          w.EndObject();
+          open_slice.erase(it);
+        }
+        emit("B", e.when, track);
+        w.KV("name", task_name(e.tid));
+        w.KV("cat", "sched");
+        w.Key("args");
+        w.BeginObject();
+        w.KV("tid", e.tid);
+        w.EndObject();
+        w.EndObject();
+        open_slice[track] = e.tid;
+        break;
+      }
+      case TraceEventType::kSwitchOut: {
+        auto it = open_slice.find(track);
+        if (it == open_slice.end()) {
+          break;  // switch-in predates tracing; nothing to close
+        }
+        emit("E", e.when, track);
+        w.EndObject();
+        open_slice.erase(it);
+        break;
+      }
+      case TraceEventType::kMessage: {
+        emit("i", e.when, track);
+        w.KV("name", "msg " + arg_name(e.type, e.arg));
+        w.KV("cat", "msg");
+        w.KV("s", "t");
+        w.EndObject();
+        // Async span: the oldest undelivered message for a thread opens the
+        // causality arrow that the commit for that thread closes.
+        if (e.tid != 0 && open_async.insert(e.tid).second) {
+          emit("b", e.when, track);
+          w.KV("name", "msg->commit");
+          w.KV("cat", "causality");
+          w.KV("id", e.tid);
+          w.EndObject();
+        }
+        break;
+      }
+      case TraceEventType::kTxnCommit: {
+        emit("i", e.when, track);
+        w.KV("name", "txn_commit");
+        w.KV("cat", "txn");
+        w.KV("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.KV("tid", e.tid);
+        w.EndObject();
+        w.EndObject();
+        if (auto it = open_async.find(e.tid); it != open_async.end()) {
+          emit("e", e.when, track);
+          w.KV("name", "msg->commit");
+          w.KV("cat", "causality");
+          w.KV("id", e.tid);
+          w.EndObject();
+          open_async.erase(it);
+        }
+        break;
+      }
+      case TraceEventType::kTxnFail: {
+        emit("i", e.when, track);
+        w.KV("name", "txn_fail " + arg_name(e.type, e.arg));
+        w.KV("cat", "txn");
+        w.KV("s", "t");
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kAgentIter: {
+        emit("i", e.when, track);
+        w.KV("name", "agent_iter");
+        w.KV("cat", "agent");
+        w.KV("s", "t");
+        w.Key("args");
+        w.BeginObject();
+        w.KV("cost_ns", e.arg);
+        w.EndObject();
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kFault: {
+        // Global scope: a big vertical marker across every track.
+        emit("i", e.when, track);
+        w.KV("name", "fault " + arg_name(e.type, e.arg));
+        w.KV("cat", "fault");
+        w.KV("s", "g");
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kMsgDrop: {
+        emit("i", e.when, track);
+        w.KV("name", "msg_drop " + arg_name(TraceEventType::kMessage, e.arg));
+        w.KV("cat", "msg");
+        w.KV("s", "t");
+        w.EndObject();
+        break;
+      }
+      case TraceEventType::kWakeup:
+      case TraceEventType::kBlock:
+      case TraceEventType::kExit: {
+        emit("i", e.when, track);
+        w.KV("name", std::string(ToString(e.type)) + " " + task_name(e.tid));
+        w.KV("cat", "sched");
+        w.KV("s", "t");
+        w.EndObject();
+        break;
+      }
+    }
+  }
+
+  // Close whatever is still running at the end of the capture.
+  for (const auto& [track, tid] : open_slice) {
+    emit("E", last_ts, track);
+    w.EndObject();
+  }
+  for (const int64_t tid : open_async) {
+    emit("e", last_ts, kUnboundTrack);
+    w.KV("name", "msg->commit");
+    w.KV("cat", "causality");
+    w.KV("id", tid);
+    w.EndObject();
+  }
+}
+
+std::string ChromeTraceExporter::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  Render(w);
+  w.EndArray();
+  w.KV("displayTimeUnit", "ns");
+  w.EndObject();
+  return w.str();
+}
+
+bool ChromeTraceExporter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG(ERROR) << "cannot open trace output file " << path;
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) {
+    LOG(ERROR) << "short write to trace output file " << path;
+  }
+  return ok;
+}
+
+}  // namespace gs

@@ -1,0 +1,73 @@
+// Chrome-trace / Perfetto JSON exporter for the scheduling trace.
+//
+// Attached to a Trace as a TraceSink, this collects every recorded event and
+// renders the Trace Event Format JSON that chrome://tracing and
+// ui.perfetto.dev load directly:
+//
+//  * one thread track per CPU (pid 0 = the simulated machine), with B/E
+//    slices for what each CPU is running — tasks appear by name when a
+//    resolver is installed;
+//  * async ("b"/"e") slices connecting a ghOSt message posted for a thread
+//    to the transaction that commits it — the message->commit causality of
+//    Fig 3 made visible;
+//  * instant events for wakeups/blocks/preemptions, message drops, and
+//    injected faults (faults are global-scope so they flag the whole
+//    timeline).
+//
+// Virtual-time nanoseconds are rendered as the format's microsecond `ts`
+// with 3 decimal places, so nanosecond resolution survives.
+#ifndef GHOST_SIM_SRC_SIM_CHROME_TRACE_H_
+#define GHOST_SIM_SRC_SIM_CHROME_TRACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/trace.h"
+
+namespace gs {
+
+class JsonWriter;
+
+class ChromeTraceExporter : public TraceSink {
+ public:
+  explicit ChromeTraceExporter(std::string process_name = "ghost-sim")
+      : process_name_(std::move(process_name)) {}
+
+  // TraceSink: buffers the event (rendering happens at ToJson/WriteFile).
+  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+
+  // Maps a tid to a display name for slices ("agent/3", "worker/17"). By
+  // default slices are named "tid <n>". Resolved at render time, so it may
+  // be installed after events were recorded but must not outlive its
+  // captures (the bench harness installs one per machine run).
+  void SetTaskNamer(std::function<std::string(int64_t)> namer) {
+    task_namer_ = std::move(namer);
+  }
+  // Maps an event's `arg` to a display name (message types, txn statuses).
+  // sim/ cannot name ghost/'s enums, so the layer that can installs this.
+  void SetArgNamer(std::function<std::string(TraceEventType, int64_t)> namer) {
+    arg_namer_ = std::move(namer);
+  }
+
+  size_t num_events() const { return events_.size(); }
+
+  // Renders the complete trace as a Trace Event Format document:
+  //   {"traceEvents": [...], "displayTimeUnit": "ns"}
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`. Returns false (and logs) on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Render(JsonWriter& w) const;
+
+  std::string process_name_;
+  std::function<std::string(int64_t)> task_namer_;
+  std::function<std::string(TraceEventType, int64_t)> arg_namer_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SIM_CHROME_TRACE_H_

@@ -1,5 +1,7 @@
 #include "src/sim/fault_injector.h"
 
+#include "src/stats/stats.h"
+
 namespace gs {
 
 const char* ToString(FaultKind kind) {
@@ -26,7 +28,12 @@ const char* ToString(FaultKind kind) {
 
 FaultInjector::FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed,
                              Config config)
-    : loop_(loop), trace_(trace), rng_(seed), config_(config) {}
+    : loop_(loop), trace_(trace), rng_(seed), config_(config) {
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    stat_injected_[k] = GlobalStats().GetCounter(
+        "fault_injected_total", {{"kind", ToString(static_cast<FaultKind>(k))}});
+  }
+}
 
 bool FaultInjector::Active() const {
   const Time now = loop_->now();
@@ -35,6 +42,7 @@ bool FaultInjector::Active() const {
 
 void FaultInjector::Inject(FaultKind kind, int cpu, int64_t tid) {
   ++counts_[static_cast<size_t>(kind)];
+  stat_injected_[static_cast<size_t>(kind)]->Inc();
   if (trace_ != nullptr) {
     trace_->Record(loop_->now(), TraceEventType::kFault, cpu, tid,
                    static_cast<int64_t>(kind));

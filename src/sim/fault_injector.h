@@ -113,6 +113,9 @@ class FaultInjector {
   Rng rng_;
   Config config_;
   std::array<uint64_t, kNumFaultKinds> counts_{};
+  // Per-kind `fault_injected_total{kind=...}` counters, cached at
+  // construction (see src/stats/stats.h).
+  std::array<class Counter*, kNumFaultKinds> stat_injected_{};
 };
 
 }  // namespace gs

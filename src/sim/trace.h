@@ -10,6 +10,7 @@
 #ifndef GHOST_SIM_SRC_SIM_TRACE_H_
 #define GHOST_SIM_SRC_SIM_TRACE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -43,6 +44,15 @@ struct TraceEvent {
   int64_t arg = 0;
 };
 
+// Pluggable consumer of trace events. Sinks observe every recorded event in
+// order, independent of the bounded ring (a sink sees events the ring later
+// evicts). Exporters (e.g. ChromeTraceExporter) implement this.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
 // Bounded in-memory trace buffer. Disabled (zero overhead beyond a branch)
 // until Enable() is called.
 class Trace {
@@ -52,6 +62,16 @@ class Trace {
   void Enable() { enabled_ = true; }
   void Disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
+
+  // Attaches `sink` (not owned; must outlive the Trace or be removed) and
+  // enables tracing — an attached sink that saw no events is useless.
+  void AddSink(TraceSink* sink) {
+    sinks_.push_back(sink);
+    Enable();
+  }
+  void RemoveSink(TraceSink* sink) {
+    sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
+  }
 
   void Record(Time when, TraceEventType type, int cpu, int64_t tid, int64_t arg = 0) {
     if (!enabled_) {
@@ -63,6 +83,9 @@ class Trace {
       ++dropped_;
     }
     events_.push_back(TraceEvent{when, type, cpu, tid, arg});
+    for (TraceSink* sink : sinks_) {
+      sink->OnEvent(events_.back());
+    }
   }
 
   // Rolling FNV-1a digest over every event ever recorded (independent of the
@@ -107,6 +130,7 @@ class Trace {
 
   size_t capacity_;
   bool enabled_ = false;
+  std::vector<TraceSink*> sinks_;
   std::deque<TraceEvent> events_;
   uint64_t dropped_ = 0;
   uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis

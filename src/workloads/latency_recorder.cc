@@ -1,3 +1,23 @@
 #include "src/workloads/latency_recorder.h"
 
-// Header-only logic; this TU anchors the library target.
+#include "src/base/json.h"
+
+namespace gs {
+
+std::string WindowedSeries::ToJson() const {
+  JsonWriter w;
+  w.BeginArray();
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    w.BeginObject();
+    w.KV("t_s", ToSeconds(window_) * static_cast<double>(i));
+    w.KV("count", windows_[i].count);
+    w.KV("rate_per_s", RateAt(static_cast<int>(i)));
+    w.Key("hist");
+    w.Raw(windows_[i].hist.ToJson());
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace gs

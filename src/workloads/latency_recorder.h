@@ -24,6 +24,8 @@ class LatencyRecorder {
   std::string Summary() const { return hist_.Summary(1000, "us"); }
   const Histogram& histogram() const { return hist_; }
   void Reset() { hist_.Reset(); }
+  // Nanosecond-unit snapshot (same shape as Histogram::ToJson).
+  std::string ToJson() const { return hist_.ToJson(); }
 
  private:
   Histogram hist_;
@@ -50,6 +52,11 @@ class WindowedSeries {
   double PercentileUsAt(int i, double p) const {
     return static_cast<double>(windows_[i].hist.Percentile(p)) / 1e3;
   }
+
+  // Array of per-window snapshots:
+  //   [{"t_s": <window start, seconds>, "count": N, "rate_per_s": R,
+  //     "hist": {...Histogram::ToJson...}}, ...]
+  std::string ToJson() const;
 
  private:
   struct Window {

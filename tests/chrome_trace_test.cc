@@ -1,0 +1,136 @@
+// Tests for the Chrome-trace exporter (src/sim/chrome_trace): the rendered
+// document must be valid JSON in the Trace Event Format, with balanced B/E
+// slices and monotonically non-decreasing timestamps on every track — the
+// properties chrome://tracing and Perfetto require to load a file.
+#include "src/sim/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/base/json.h"
+#include "src/sim/trace.h"
+
+namespace gs {
+namespace {
+
+// Replays a small but representative scenario into the exporter: two CPUs
+// running tasks, a message -> commit causality pair, and a fault.
+ChromeTraceExporter RecordScenario() {
+  ChromeTraceExporter exporter("test-machine");
+  Trace trace;
+  trace.AddSink(&exporter);
+
+  trace.Record(1000, TraceEventType::kWakeup, 0, /*tid=*/10);
+  trace.Record(2000, TraceEventType::kMessage, 0, /*tid=*/10, /*arg=*/1);
+  trace.Record(2500, TraceEventType::kSwitchIn, 0, /*tid=*/10);
+  trace.Record(3000, TraceEventType::kTxnCommit, 1, /*tid=*/10, /*arg=*/1);
+  trace.Record(3500, TraceEventType::kSwitchIn, 1, /*tid=*/20);
+  trace.Record(4000, TraceEventType::kFault, 0, /*tid=*/0, /*arg=*/2);
+  trace.Record(5000, TraceEventType::kSwitchOut, 0, /*tid=*/10);
+  trace.Record(6000, TraceEventType::kSwitchOut, 1, /*tid=*/20);
+  trace.Record(6500, TraceEventType::kBlock, 1, /*tid=*/20);
+
+  trace.RemoveSink(&exporter);
+  return exporter;
+}
+
+TEST(ChromeTraceTest, ExportParsesAsJson) {
+  ChromeTraceExporter exporter = RecordScenario();
+  EXPECT_EQ(exporter.num_events(), 9u);
+
+  std::optional<JsonValue> doc = JsonValue::Parse(exporter.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->array.size(), 0u);
+  // Every entry must at least have a phase.
+  for (const JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_TRUE(ph->is_string());
+  }
+}
+
+TEST(ChromeTraceTest, TimestampsMonotonicPerTrack) {
+  ChromeTraceExporter exporter = RecordScenario();
+  std::optional<JsonValue> doc = JsonValue::Parse(exporter.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  // Track = (pid, tid). Metadata ("M") events carry no ts.
+  std::map<std::pair<double, double>, double> last_ts;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      continue;
+    }
+    const JsonValue* ts = e.Find("ts");
+    ASSERT_NE(ts, nullptr) << "non-metadata event without ts";
+    const JsonValue* pid = e.Find("pid");
+    const JsonValue* tid = e.Find("tid");
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    const auto key = std::make_pair(pid->number, tid->number);
+    auto it = last_ts.find(key);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts->number, it->second)
+          << "timestamps went backwards on track pid=" << pid->number
+          << " tid=" << tid->number;
+    }
+    last_ts[key] = ts->number;
+  }
+  EXPECT_GT(last_ts.size(), 1u);  // at least two distinct tracks (2 CPUs)
+}
+
+TEST(ChromeTraceTest, SlicesBalancedPerPhase) {
+  ChromeTraceExporter exporter = RecordScenario();
+  std::optional<JsonValue> doc = JsonValue::Parse(exporter.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::map<std::string, int> phases;
+  for (const JsonValue& e : events->array) {
+    phases[e.Find("ph")->string]++;
+  }
+  EXPECT_EQ(phases["B"], phases["E"]);  // duration slices balanced
+  EXPECT_EQ(phases["b"], phases["e"]);  // async slices balanced
+  EXPECT_GT(phases["B"], 0);
+  EXPECT_GT(phases["b"], 0);            // the message->commit pair
+  EXPECT_GT(phases["i"], 0);            // wakeup/block/fault instants
+  EXPECT_GT(phases["M"], 0);            // process/thread name metadata
+}
+
+TEST(ChromeTraceTest, NamersResolveTaskAndArgNames) {
+  ChromeTraceExporter exporter = RecordScenario();
+  exporter.SetTaskNamer([](int64_t tid) { return "task/" + std::to_string(tid); });
+  exporter.SetArgNamer([](TraceEventType, int64_t arg) {
+    return "ARG_" + std::to_string(arg);
+  });
+  const std::string json = exporter.ToJson();
+  EXPECT_NE(json.find("task/10"), std::string::npos);
+  EXPECT_NE(json.find("ARG_"), std::string::npos);
+  ASSERT_TRUE(JsonValue::Parse(json).has_value());
+}
+
+TEST(ChromeTraceTest, SinkSeesEventsTheRingEvicts) {
+  ChromeTraceExporter exporter;
+  Trace trace(/*capacity=*/4);
+  trace.AddSink(&exporter);
+  for (int i = 0; i < 100; ++i) {
+    trace.Record(i * 1000, TraceEventType::kWakeup, 0, i);
+  }
+  EXPECT_EQ(trace.size(), 4u);              // ring kept only the tail
+  EXPECT_EQ(exporter.num_events(), 100u);   // exporter saw everything
+}
+
+}  // namespace
+}  // namespace gs

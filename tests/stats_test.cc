@@ -1,0 +1,177 @@
+// Tests for the metrics registry (src/stats): counter/gauge/histogram
+// semantics, label handling, the zero-side-effect disabled mode, and the
+// deterministic JSON snapshot.
+#include "src/stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/json.h"
+
+namespace gs {
+namespace {
+
+TEST(StatsTest, CounterStartsAtZeroAndIncrements) {
+  StatsRegistry stats;
+  stats.Enable();
+  Counter* c = stats.GetCounter("requests_total");
+  EXPECT_EQ(c->value(), 0);
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(c->value(), 42);
+}
+
+TEST(StatsTest, GaugeSetAndAdd) {
+  StatsRegistry stats;
+  stats.Enable();
+  Gauge* g = stats.GetGauge("queue_depth");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+}
+
+TEST(StatsTest, HistogramObserves) {
+  StatsRegistry stats;
+  stats.Enable();
+  HistogramMetric* h = stats.GetHistogram("latency_ns");
+  for (int i = 1; i <= 100; ++i) {
+    h->Observe(i * 1000);
+  }
+  EXPECT_EQ(h->histogram().count(), 100);
+}
+
+TEST(StatsTest, DisabledUpdatesHaveNoSideEffects) {
+  StatsRegistry stats;  // disabled by default
+  ASSERT_FALSE(stats.enabled());
+  Counter* c = stats.GetCounter("c");
+  Gauge* g = stats.GetGauge("g");
+  HistogramMetric* h = stats.GetHistogram("h");
+  c->Inc(100);
+  g->Set(5);
+  g->Add(5);
+  h->Observe(123);
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->histogram().count(), 0);
+}
+
+TEST(StatsTest, EnableDisableTogglesAtTheMetric) {
+  StatsRegistry stats;
+  Counter* c = stats.GetCounter("c");
+  c->Inc();  // disabled: dropped
+  stats.Enable();
+  c->Inc();  // counted
+  stats.Disable();
+  c->Inc();  // dropped again
+  EXPECT_EQ(c->value(), 1);
+}
+
+TEST(StatsTest, SameNameAndLabelsReturnsSameObject) {
+  StatsRegistry stats;
+  Counter* a = stats.GetCounter("txn_commit_total", {{"status", "ESTALE"}});
+  Counter* b = stats.GetCounter("txn_commit_total", {{"status", "ESTALE"}});
+  Counter* other = stats.GetCounter("txn_commit_total", {{"status", "OK"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+}
+
+TEST(StatsTest, LabelOrderDoesNotMatter) {
+  StatsRegistry stats;
+  Counter* a = stats.GetCounter("m", {{"a", "1"}, {"b", "2"}});
+  Counter* b = stats.GetCounter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatsTest, FullNameFormatsSortedLabels) {
+  EXPECT_EQ(StatsRegistry::FullName("ipi_total", {}), "ipi_total");
+  EXPECT_EQ(StatsRegistry::FullName("txn_commit_total", {{"status", "ESTALE"}}),
+            "txn_commit_total{status=ESTALE}");
+  EXPECT_EQ(StatsRegistry::FullName("m", {{"z", "1"}, {"a", "2"}}),
+            "m{a=2,z=1}");
+}
+
+TEST(StatsTest, ResetZeroesValuesButKeepsRegistrations) {
+  StatsRegistry stats;
+  stats.Enable();
+  Counter* c = stats.GetCounter("c");
+  Gauge* g = stats.GetGauge("g");
+  HistogramMetric* h = stats.GetHistogram("h");
+  c->Inc(7);
+  g->Set(7);
+  h->Observe(7);
+  stats.Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->histogram().count(), 0);
+  // Same object after reset: cached pointers stay valid.
+  EXPECT_EQ(stats.GetCounter("c"), c);
+  c->Inc();
+  EXPECT_EQ(c->value(), 1);
+}
+
+TEST(StatsTest, ToJsonParsesAndContainsMetrics) {
+  StatsRegistry stats;
+  stats.Enable();
+  stats.GetCounter("msg_total", {{"type", "WAKEUP"}})->Inc(3);
+  stats.GetGauge("depth")->Set(-2);
+  stats.GetHistogram("lat")->Observe(1000);
+
+  const std::string json = stats.ToJson();
+  std::optional<JsonValue> doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* msg = counters->Find("msg_total{type=WAKEUP}");
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(msg->number, 3);
+  const JsonValue* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("depth")->number, -2);
+  const JsonValue* hists = doc->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* lat = hists->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->Find("count")->number, 1);
+}
+
+TEST(StatsTest, SnapshotIsDeterministic) {
+  auto build = [] {
+    StatsRegistry stats;
+    stats.Enable();
+    // Register in different orders; output must be byte-identical.
+    stats.GetCounter("zebra")->Inc(1);
+    stats.GetCounter("alpha")->Inc(2);
+    return stats.ToJson();
+  };
+  auto build_reversed = [] {
+    StatsRegistry stats;
+    stats.Enable();
+    stats.GetCounter("alpha")->Inc(2);
+    stats.GetCounter("zebra")->Inc(1);
+    return stats.ToJson();
+  };
+  EXPECT_EQ(build(), build_reversed());
+}
+
+TEST(StatsTest, GlobalRegistryIsSingletonAndResettable) {
+  StatsRegistry& global = GlobalStats();
+  EXPECT_EQ(&global, &StatsRegistry::Global());
+  const bool was_enabled = global.enabled();
+  global.Enable();
+  Counter* c = global.GetCounter("stats_test_global_counter");
+  global.Reset();
+  c->Inc();
+  EXPECT_EQ(c->value(), 1);
+  global.Reset();
+  if (!was_enabled) {
+    global.Disable();
+  }
+}
+
+TEST(StatsTest, MixingMetricKindsOnOneNameDies) {
+  StatsRegistry stats;
+  stats.GetCounter("one_name");
+  EXPECT_DEATH(stats.GetGauge("one_name"), "");
+}
+
+}  // namespace
+}  // namespace gs
