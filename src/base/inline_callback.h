@@ -1,0 +1,114 @@
+// InlineCallback: a move-only, type-erased `void()` callable with fixed
+// inline storage and NO heap fallback.
+//
+// The discrete-event engine dispatches hundreds of millions of callbacks per
+// run; wrapping each capture in a std::function means a heap allocation for
+// anything larger than the (small) libstdc++ SBO buffer, plus a pointer chase
+// on every invoke. InlineCallback stores the callable directly in the event
+// slot instead. Oversized captures are a *compile error* — the static_assert
+// below is the proof that no schedule site in the tree allocates. If you hit
+// it, either shrink the capture (capture a pointer to long-lived state rather
+// than copies) or, as a last resort, bump kCapacity.
+#ifndef GHOST_SIM_SRC_BASE_INLINE_CALLBACK_H_
+#define GHOST_SIM_SRC_BASE_INLINE_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gs {
+
+class InlineCallback {
+ public:
+  // Sized to cover the largest capture in the tree (the fuzz-test chaos
+  // lambda, 10 captured words) with a little headroom.
+  static constexpr size_t kCapacity = 96;
+
+  InlineCallback() = default;
+
+  // Implicit so every existing `loop->ScheduleAfter(d, [..] {...})` call site
+  // keeps working unchanged.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "capture too large for InlineCallback inline storage: "
+                  "capture pointers to long-lived state instead of copies, "
+                  "or bump InlineCallback::kCapacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned capture not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "callable must be nothrow-move-constructible (event slots "
+                  "move when the slab grows)");
+    new (storage_) Fn(std::forward<F>(fn));
+    invoke_ = &InvokeImpl<Fn>;
+    manage_ = &ManageImpl<Fn>;
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { Reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(storage_); }
+
+  // Destroys the held callable (releasing its captures) and becomes empty.
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      manage_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+ private:
+  enum class Op { kDestroy, kMoveAndDestroy };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, void* src, void* dst);
+
+  template <typename Fn>
+  static void InvokeImpl(void* storage) {
+    (*std::launder(reinterpret_cast<Fn*>(storage)))();
+  }
+
+  template <typename Fn>
+  static void ManageImpl(Op op, void* src, void* dst) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(src));
+    if (op == Op::kMoveAndDestroy) {
+      new (dst) Fn(std::move(*fn));
+    }
+    fn->~Fn();
+  }
+
+  void MoveFrom(InlineCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kMoveAndDestroy, other.storage_, storage_);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_BASE_INLINE_CALLBACK_H_

@@ -100,13 +100,12 @@ Enclave::~Enclave() {
 }
 
 void Enclave::ScheduleWatchdog() {
-  watchdog_event_ = kernel_->loop()->ScheduleAfter(config_.watchdog_period, [this] {
-    watchdog_event_ = kInvalidEventId;
-    WatchdogScan();
-    if (!destroyed_) {
-      ScheduleWatchdog();
-    }
-  });
+  // Periodic: one armed event for the enclave's lifetime. Destroy() cancels
+  // it — including from inside WatchdogScan itself, which suppresses the
+  // re-arm.
+  watchdog_event_ = kernel_->loop()->SchedulePeriodic(
+      config_.watchdog_period, config_.watchdog_period,
+      [this] { WatchdogScan(); });
 }
 
 void Enclave::WatchdogScan() {

@@ -57,8 +57,18 @@ class CfsClass : public SchedClass {
 
  private:
   struct Rq {
-    // Ordered by (vruntime, tid) — leftmost is next.
-    std::set<std::pair<int64_t, Task*>> queue;
+    // Ordered by (vruntime, tid) — leftmost is next. The tid tie-break keeps
+    // ordering independent of Task allocation addresses.
+    struct ByVruntimeTid {
+      bool operator()(const std::pair<int64_t, Task*>& a,
+                      const std::pair<int64_t, Task*>& b) const {
+        if (a.first != b.first) {
+          return a.first < b.first;
+        }
+        return a.second->tid() < b.second->tid();
+      }
+    };
+    std::set<std::pair<int64_t, Task*>, ByVruntimeTid> queue;
     int64_t min_vruntime = 0;
     int ticks_since_balance = 0;
   };

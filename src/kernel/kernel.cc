@@ -37,11 +37,13 @@ Kernel::Kernel(EventLoop* loop, Topology topology, CostModel cost)
   for (int i = 0; i < topology_.num_cpus(); ++i) {
     cpus_[i].id = i;
   }
-  // Staggered per-CPU timer ticks, like Linux.
+  // Staggered per-CPU timer ticks, like Linux. Periodic: the tick re-arms in
+  // place instead of re-scheduling itself, so the steady-state per-CPU tick
+  // costs no push/pop churn.
   const Duration period = cost_.tick_period;
   for (int i = 0; i < topology_.num_cpus(); ++i) {
     const Duration phase = period * (i + 1) / topology_.num_cpus();
-    loop_->ScheduleAfter(phase, [this, i] { OnTick(i); });
+    loop_->SchedulePeriodic(phase, period, [this, i] { OnTick(i); });
   }
 }
 
@@ -201,7 +203,7 @@ void Kernel::ReschedCpu(int cpu) {
   });
 }
 
-void Kernel::SendIpi(int to_cpu, bool cross_numa, std::function<void()> fn) {
+void Kernel::SendIpi(int to_cpu, bool cross_numa, InlineCallback fn) {
   (cross_numa ? stat_ipi_cross_numa_ : stat_ipi_local_)->Inc();
   Duration delay = cost_.ipi_flight + cost_.ipi_handle;
   if (cross_numa) {
@@ -509,7 +511,7 @@ void Kernel::OnTick(int cpu) {
       }
     }
   }
-  loop_->ScheduleAfter(cost_.tick_period, [this, cpu] { OnTick(cpu); });
+  // The tick is a periodic event: the loop re-arms it in place.
 }
 
 double Kernel::SpeedFactor(const Task& task, int cpu) const {

@@ -24,7 +24,6 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/base/cpumask.h"
@@ -98,9 +97,10 @@ class Kernel {
   Task* CreateTask(const std::string& name, SchedClass* cls = nullptr);
 
   // Marks `task` as an agent thread (scheduled with the cheaper agent
-  // context-switch path and agent SMT factor).
-  void MarkAgent(Task* task) { agent_tasks_.insert(task); }
-  bool IsAgent(const Task* task) const { return agent_tasks_.count(const_cast<Task*>(task)) > 0; }
+  // context-switch path and agent SMT factor). Stored as a bit on the task
+  // so the context-switch hot path never touches a hash set.
+  void MarkAgent(Task* task) { task->set_is_agent(true); }
+  bool IsAgent(const Task* task) const { return task->is_agent(); }
 
   // Installs a hook invoked every time `task` is placed on a CPU, before its
   // burst is armed. Agents use this to run their scheduling loop.
@@ -129,7 +129,7 @@ class Kernel {
 
   // Delivers `fn` on `to_cpu` after IPI flight + handling costs.
   // `cross_numa` adds the cross-socket flight penalty.
-  void SendIpi(int to_cpu, bool cross_numa, std::function<void()> fn);
+  void SendIpi(int to_cpu, bool cross_numa, InlineCallback fn);
 
   // Accounted runtime of the current task on `cpu` since it was last picked.
   Duration CurrentElapsed(int cpu) const;
@@ -203,7 +203,6 @@ class Kernel {
   int64_t next_tid_ = 1;
 
   std::unordered_map<Task*, std::function<void(Task*)>> on_scheduled_;
-  std::unordered_set<Task*> agent_tasks_;
   std::map<int, IdleListener> idle_listeners_;
   int next_listener_id_ = 1;
   std::vector<bool> tick_enabled_;

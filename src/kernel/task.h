@@ -144,6 +144,11 @@ class Task {
   bool wake_pending() const { return wake_pending_; }
   void set_wake_pending(bool pending) { wake_pending_ = pending; }
 
+  // Agent threads take the cheaper agent context-switch path and agent SMT
+  // factor. Set once via Kernel::MarkAgent; checked on every context switch.
+  bool is_agent() const { return is_agent_; }
+  void set_is_agent(bool is_agent) { is_agent_ = is_agent; }
+
   // --- Per-class embedded state ---------------------------------------------
   CfsTaskState& cfs() { return cfs_; }
   const CfsTaskState& cfs() const { return cfs_; }
@@ -178,6 +183,7 @@ class Task {
   Time runnable_since_ = 0;
   Duration total_runtime_ = 0;
   bool wake_pending_ = false;
+  bool is_agent_ = false;
 
   Duration burst_remaining_ = 0;
   BurstDoneFn on_burst_done_;

@@ -1,64 +1,301 @@
 #include "src/sim/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace gs {
 
-EventId EventLoop::ScheduleAt(Time when, std::function<void()> fn) {
+namespace {
+
+// Highest set bit / kLevelBits; level 0 for delta == 0.
+inline int LevelForDelta(uint64_t delta) {
+  if (delta == 0) {
+    return 0;
+  }
+  return (63 - __builtin_clzll(delta)) / 6;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() { buckets_.fill(kNil); }
+
+uint32_t EventLoop::AllocSlot() {
+  if (free_head_ != kNil) {
+    const uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next;
+    return idx;
+  }
+  CHECK_LT(slots_.size(), static_cast<size_t>(kNil)) << "event slab exhausted";
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::FreeSlot(uint32_t idx) {
+  EventSlot& s = slots_[idx];
+  s.fn.Reset();  // release captures promptly (shared_ptr chains etc.)
+  if (++s.gen == 0) {
+    s.gen = 1;  // keep MakeId(0, gen) != kInvalidEventId
+  }
+  s.state = SlotState::kFree;
+  s.prev = kNil;
+  s.next = free_head_;
+  free_head_ = idx;
+}
+
+EventId EventLoop::ScheduleInternal(Time when, Duration period,
+                                    InlineCallback fn) {
   CHECK_GE(when, now_) << "cannot schedule into the past";
-  const EventId id = next_id_++;
-  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
+  const uint32_t idx = AllocSlot();
+  EventSlot& s = slots_[idx];
+  s.when = when;
+  s.seq = next_seq_++;
+  s.period = period;
+  s.cancel_while_firing = false;
+  s.fn = std::move(fn);
   ++pending_count_;
-  return id;
+  if (!ready_.empty() && when == ready_time_) {
+    // The bucket for `when` is the one being fired right now; append so the
+    // new event (highest seq) runs after the bucket's remaining events.
+    s.state = SlotState::kInReady;
+    ready_.push_back(ReadyEntry{idx, s.gen, s.seq});
+  } else {
+    InsertIntoWheel(idx);
+  }
+  return MakeId(idx, s.gen);
+}
+
+void EventLoop::InsertIntoWheel(uint32_t idx) {
+  if (wheel_count_ == 0 && now_ > wheel_time_) {
+    // Re-anchor an empty wheel so sparse workloads don't pay cascades for
+    // the full distance back to the last processed bucket. Forward only:
+    // mid-cascade the wheel position can be ahead of now_, and rewinding it
+    // would undo the cascade's progress.
+    wheel_time_ = now_;
+  }
+  EventSlot& s = slots_[idx];
+  const uint64_t delta =
+      static_cast<uint64_t>(s.when) ^ static_cast<uint64_t>(wheel_time_);
+  const int level = LevelForDelta(delta);
+  const int slot =
+      static_cast<int>((s.when >> (kLevelBits * level)) & (kSlotsPerLevel - 1));
+  const int b = level * kSlotsPerLevel + slot;
+  s.state = SlotState::kInWheel;
+  s.bucket = static_cast<uint16_t>(b);
+  s.prev = kNil;
+  s.next = buckets_[b];
+  if (s.next != kNil) {
+    slots_[s.next].prev = idx;
+  }
+  buckets_[b] = idx;
+  occupied_[level] |= uint64_t{1} << slot;
+  ++wheel_count_;
+}
+
+void EventLoop::UnlinkFromWheel(uint32_t idx) {
+  EventSlot& s = slots_[idx];
+  if (s.prev != kNil) {
+    slots_[s.prev].next = s.next;
+  } else {
+    buckets_[s.bucket] = s.next;
+  }
+  if (s.next != kNil) {
+    slots_[s.next].prev = s.prev;
+  }
+  if (buckets_[s.bucket] == kNil) {
+    occupied_[s.bucket / kSlotsPerLevel] &=
+        ~(uint64_t{1} << (s.bucket % kSlotsPerLevel));
+  }
+  --wheel_count_;
+}
+
+EventLoop::WheelPos EventLoop::NextOccupiedSlot() const {
+  // Lowest occupied level wins: level L-1 events all precede the next 64^L
+  // boundary, which every occupied level-L slot starts at or after.
+  for (int level = 0; level < kLevels; ++level) {
+    const int cursor =
+        static_cast<int>((wheel_time_ >> (kLevelBits * level)) &
+                         (kSlotsPerLevel - 1));
+    const uint64_t ahead = occupied_[level] >> cursor;
+    if (ahead == 0) {
+      continue;
+    }
+    const int slot = cursor + __builtin_ctzll(ahead);
+    const int shift = kLevelBits * (level + 1);
+    const uint64_t upper_mask = shift >= 64 ? 0 : (~uint64_t{0} << shift);
+    const Time start = static_cast<Time>(
+        (static_cast<uint64_t>(wheel_time_) & upper_mask) |
+        (static_cast<uint64_t>(slot) << (kLevelBits * level)));
+    return WheelPos{level, slot, start};
+  }
+  LOG(FATAL) << "wheel_count_=" << wheel_count_ << " but no occupied slot";
+  return WheelPos{-1, -1, 0};
+}
+
+void EventLoop::CascadeSlot(const WheelPos& pos) {
+  wheel_time_ = pos.start;
+  const int b = pos.level * kSlotsPerLevel + pos.slot;
+  uint32_t head = buckets_[b];
+  buckets_[b] = kNil;
+  occupied_[pos.level] &= ~(uint64_t{1} << pos.slot);
+  while (head != kNil) {
+    const uint32_t next = slots_[head].next;
+    --wheel_count_;
+    // Re-inserts relative to the advanced wheel_time_, landing at a strictly
+    // lower level (every event here is within the slot's 64^level range).
+    InsertIntoWheel(head);
+    head = next;
+  }
+}
+
+void EventLoop::CollectBucket(const WheelPos& pos) {
+  wheel_time_ = pos.start;
+  ready_.clear();
+  ready_pos_ = 0;
+  ready_time_ = pos.start;
+  const int b = pos.slot;  // level 0
+  uint32_t head = buckets_[b];
+  buckets_[b] = kNil;
+  occupied_[0] &= ~(uint64_t{1} << pos.slot);
+  while (head != kNil) {
+    EventSlot& s = slots_[head];
+    const uint32_t next = s.next;
+    CHECK_EQ(s.when, pos.start) << "level-0 bucket must be exact";
+    s.state = SlotState::kInReady;
+    ready_.push_back(ReadyEntry{head, s.gen, s.seq});
+    --wheel_count_;
+    head = next;
+  }
+  // Level-0 buckets are exact, so entries share a timestamp; seq order is
+  // global FIFO order no matter which levels each event cascaded through.
+  std::sort(ready_.begin(), ready_.end(),
+            [](const ReadyEntry& a, const ReadyEntry& b) { return a.seq < b.seq; });
+}
+
+void EventLoop::SkipStaleReady() {
+  while (ready_pos_ < ready_.size()) {
+    const ReadyEntry& e = ready_[ready_pos_];
+    const EventSlot& s = slots_[e.slot];
+    if (s.state == SlotState::kInReady && s.gen == e.gen) {
+      return;
+    }
+    ++ready_pos_;  // cancelled after collection; slot already freed
+  }
+  ready_.clear();
+  ready_pos_ = 0;
+}
+
+void EventLoop::FireReadyFront() {
+  const ReadyEntry e = ready_[ready_pos_++];
+  const uint32_t idx = e.slot;
+  EventSlot& s = slots_[idx];
+  const Time fire_time = s.when;
+  CHECK_GE(fire_time, now_);
+  now_ = fire_time;
+  --pending_count_;
+  ++executed_count_;
+  InlineCallback fn = std::move(s.fn);
+  if (s.period > 0) {
+    s.state = SlotState::kFiring;
+    s.cancel_while_firing = false;
+    fn();
+    // Re-fetch: the callback may have scheduled events and grown the slab.
+    EventSlot& s2 = slots_[idx];
+    if (s2.cancel_while_firing) {
+      FreeSlot(idx);
+    } else {
+      // Re-arm in place: same id, fresh seq drawn after the callback — the
+      // same tie-break order a self-rescheduling callback would get.
+      s2.fn = std::move(fn);
+      s2.when = fire_time + s2.period;
+      s2.seq = next_seq_++;
+      ++pending_count_;
+      InsertIntoWheel(idx);
+    }
+  } else {
+    // Free before invoking so Cancel(own id) inside the callback reports
+    // "already fired" and the slot is immediately reusable.
+    FreeSlot(idx);
+    fn();
+  }
 }
 
 bool EventLoop::Cancel(EventId id) {
-  // Only live (scheduled, unfired) events can be cancelled; a fired or
-  // already-cancelled id is a no-op.
-  if (live_.erase(id) == 0) {
+  const uint32_t idx = static_cast<uint32_t>(id);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (idx >= slots_.size()) {
     return false;
   }
-  cancelled_.insert(id);  // tombstone: skipped when it surfaces in the heap
-  --pending_count_;
-  return true;
-}
-
-void EventLoop::SkipCancelled() {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) {
-      return;
-    }
-    cancelled_.erase(it);
-    heap_.pop();
+  EventSlot& s = slots_[idx];
+  if (s.gen != gen) {
+    return false;  // already fired / cancelled / never existed
   }
+  switch (s.state) {
+    case SlotState::kInWheel:
+      UnlinkFromWheel(idx);
+      FreeSlot(idx);
+      --pending_count_;
+      return true;
+    case SlotState::kInReady:
+      // Its ReadyEntry goes stale (generation mismatch) and is skipped.
+      FreeSlot(idx);
+      --pending_count_;
+      return true;
+    case SlotState::kFiring:
+      // Periodic event cancelled from inside its own callback: suppress the
+      // re-arm. (Its pending_count_ share was already consumed by the fire.)
+      if (s.cancel_while_firing) {
+        return false;
+      }
+      s.cancel_while_firing = true;
+      return true;
+    case SlotState::kFree:
+      return false;
+  }
+  return false;
 }
 
 bool EventLoop::RunOne() {
-  SkipCancelled();
-  if (heap_.empty()) {
-    return false;
+  for (;;) {
+    SkipStaleReady();
+    if (HaveLiveReady()) {
+      FireReadyFront();
+      return true;
+    }
+    if (wheel_count_ == 0) {
+      return false;
+    }
+    const WheelPos pos = NextOccupiedSlot();
+    if (pos.level == 0) {
+      CollectBucket(pos);
+    } else {
+      CascadeSlot(pos);
+    }
   }
-  // Move the closure out before popping so the event may schedule/cancel.
-  Event event = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  CHECK_GE(event.when, now_);
-  now_ = event.when;
-  live_.erase(event.id);
-  --pending_count_;
-  ++executed_count_;
-  event.fn();
-  return true;
 }
 
 void EventLoop::RunUntil(Time deadline) {
   for (;;) {
-    SkipCancelled();
-    if (heap_.empty() || heap_.top().when > deadline) {
+    SkipStaleReady();
+    if (HaveLiveReady()) {
+      if (ready_time_ > deadline) {
+        break;  // partially drained bucket past the deadline
+      }
+      FireReadyFront();
+      continue;
+    }
+    if (wheel_count_ == 0) {
       break;
     }
-    RunOne();
+    const WheelPos pos = NextOccupiedSlot();
+    // pos.start lower-bounds every event in the slot, so nothing is due.
+    if (pos.start > deadline) {
+      break;
+    }
+    if (pos.level == 0) {
+      CollectBucket(pos);
+    } else {
+      CascadeSlot(pos);
+    }
   }
   if (now_ < deadline) {
     now_ = deadline;

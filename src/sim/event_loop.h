@@ -5,15 +5,37 @@
 // completion, watchdog scan) is an event. Events at equal timestamps fire in
 // schedule order (stable FIFO), which together with seeded RNGs makes every
 // experiment bit-for-bit reproducible.
+//
+// Implementation: a hierarchical timing wheel over a pooled slab of event
+// slots, built for the simulator's bimodal delay distribution (1 ms periodic
+// ticks + sub-10 µs scheduler events):
+//
+//  * Scheduling never allocates in steady state: callbacks are stored inline
+//    in the slot (InlineCallback, no heap fallback), and slots are recycled
+//    through a free list.
+//  * EventId = (slot generation << 32) | slot index, so Cancel() is a true
+//    O(1) unlink — no hash lookups, no tombstones surfacing on the pop path.
+//  * kLevels wheel levels of 64 slots each (level L has 64^L ns resolution)
+//    cover any int64 horizon. Level-0 buckets are exact (1 ns), so a bucket
+//    holds only events with identical timestamps; firing order within it is
+//    by sequence number, preserving global (time, seq) FIFO regardless of
+//    which levels an event cascaded through.
+//  * SchedulePeriodic() re-arms in place after each firing (same id, fresh
+//    seq), eliminating the per-period push/pop/alloc churn of self-
+//    rescheduling callbacks. The re-arm draws its sequence number *after*
+//    the callback returns, exactly as a self-rescheduling callback would,
+//    so converting a call site does not perturb tie-break order.
+//
+// The previous binary-heap engine survives as ReferenceEventLoop
+// (src/sim/reference_event_loop.h) for differential testing.
 #ifndef GHOST_SIM_SRC_SIM_EVENT_LOOP_H_
 #define GHOST_SIM_SRC_SIM_EVENT_LOOP_H_
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "src/base/inline_callback.h"
 #include "src/base/logging.h"
 #include "src/base/time.h"
 
@@ -25,7 +47,7 @@ inline constexpr EventId kInvalidEventId = 0;
 
 class EventLoop {
  public:
-  EventLoop() = default;
+  EventLoop();
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
@@ -33,17 +55,36 @@ class EventLoop {
   Time now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `when` (must be >= now()).
-  EventId ScheduleAt(Time when, std::function<void()> fn);
+  EventId ScheduleAt(Time when, InlineCallback fn) {
+    return ScheduleInternal(when, /*period=*/0, std::move(fn));
+  }
 
   // Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(Duration delay, std::function<void()> fn) {
+  EventId ScheduleAfter(Duration delay, InlineCallback fn) {
     CHECK_GE(delay, 0);
-    return ScheduleAt(now_ + delay, std::move(fn));
+    return ScheduleInternal(now_ + delay, /*period=*/0, std::move(fn));
+  }
+
+  // Schedules `fn` to fire first at `first` and then every `period` after
+  // each firing, re-arming in place: the returned id stays valid (and
+  // cancellable) across firings. Cancelling from inside the callback stops
+  // the re-arm.
+  EventId SchedulePeriodicAt(Time first, Duration period, InlineCallback fn) {
+    CHECK_GT(period, 0);
+    return ScheduleInternal(first, period, std::move(fn));
+  }
+
+  EventId SchedulePeriodic(Duration initial_delay, Duration period,
+                           InlineCallback fn) {
+    CHECK_GE(initial_delay, 0);
+    return SchedulePeriodicAt(now_ + initial_delay, period, std::move(fn));
   }
 
   // Cancels a pending event. Returns true if the event existed and had not
   // yet fired; false (and no effect) for already-fired, already-cancelled,
-  // or unknown ids.
+  // or unknown ids. For a periodic event, "fired" means fully cancelled:
+  // cancelling during or after any individual firing still returns true and
+  // stops future firings.
   bool Cancel(EventId id);
 
   // Runs the next pending event, advancing the clock. Returns false if idle.
@@ -55,7 +96,8 @@ class EventLoop {
 
   void RunFor(Duration d) { RunUntil(now_ + d); }
 
-  // Runs events until the queue is empty.
+  // Runs events until the queue is empty. (Never returns while a periodic
+  // event is armed.)
   void RunUntilIdle();
 
   bool empty() const { return pending_count_ == 0; }
@@ -63,33 +105,87 @@ class EventLoop {
   uint64_t executed_count() const { return executed_count_; }
 
  private:
-  struct Event {
-    Time when;
-    uint64_t seq;  // tiebreaker: FIFO among equal timestamps
-    EventId id;
-    std::function<void()> fn;
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;  // 64
+  // 64^11 = 2^66 > 2^63: enough levels for any int64 timestamp.
+  static constexpr int kLevels = 11;
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  enum class SlotState : uint8_t {
+    kFree,     // on the free list
+    kInWheel,  // linked into a wheel bucket
+    kInReady,  // in the ready list of the bucket being fired
+    kFiring,   // periodic event currently running its callback
   };
 
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
+  struct EventSlot {
+    Time when = 0;
+    uint64_t seq = 0;    // tiebreaker: FIFO among equal timestamps
+    Duration period = 0; // > 0 => periodic
+    uint32_t gen = 1;    // bumped on free; stale ids fail the match
+    uint32_t next = kNil;  // bucket list when kInWheel; free list when kFree
+    uint32_t prev = kNil;
+    uint16_t bucket = 0;   // which wheel bucket holds this slot (for unlink)
+    SlotState state = SlotState::kFree;
+    bool cancel_while_firing = false;
+    InlineCallback fn;
   };
 
-  // Pops tombstoned (cancelled) events off the top of the heap.
-  void SkipCancelled();
+  struct ReadyEntry {
+    uint32_t slot;
+    uint32_t gen;
+    uint64_t seq;
+  };
+
+  struct WheelPos {
+    int level;
+    int slot;
+    Time start;  // start of the slot's time range (== event time at level 0)
+  };
+
+  static EventId MakeId(uint32_t idx, uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | idx;
+  }
+
+  EventId ScheduleInternal(Time when, Duration period, InlineCallback fn);
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t idx);
+  void InsertIntoWheel(uint32_t idx);
+  void UnlinkFromWheel(uint32_t idx);
+  // Lowest-level occupied wheel slot at/after the cursor. Requires
+  // wheel_count_ > 0.
+  WheelPos NextOccupiedSlot() const;
+  // Moves the events of a level>0 slot down a level (exact wheel position
+  // advances to the slot's start first).
+  void CascadeSlot(const WheelPos& pos);
+  // Detaches a level-0 bucket into the ready list, sorted by seq.
+  void CollectBucket(const WheelPos& pos);
+  // Advances ready_pos_ past cancelled entries.
+  void SkipStaleReady();
+  bool HaveLiveReady() const { return ready_pos_ < ready_.size(); }
+  // Fires the front ready entry (must be live).
+  void FireReadyFront();
 
   Time now_ = 0;
+  // Wheel cursor time: <= every event resident in the wheel. Lags now_ when
+  // the wheel is sparse; re-anchored to now_ whenever the wheel empties.
+  Time wheel_time_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  size_t pending_count_ = 0;  // live (non-cancelled) events
+  size_t pending_count_ = 0;  // live (scheduled, unfired) events
+  size_t wheel_count_ = 0;    // live events resident in the wheel
   uint64_t executed_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> live_;  // scheduled and not yet fired/cancelled
+
+  std::vector<EventSlot> slots_;
+  uint32_t free_head_ = kNil;
+
+  std::array<uint32_t, kLevels * kSlotsPerLevel> buckets_;
+  std::array<uint64_t, kLevels> occupied_{};
+
+  // The bucket currently being fired (all entries share ready_time_),
+  // ascending seq from ready_pos_.
+  std::vector<ReadyEntry> ready_;
+  size_t ready_pos_ = 0;
+  Time ready_time_ = 0;
 };
 
 }  // namespace gs

@@ -1,0 +1,106 @@
+#include "src/sim/reference_event_loop.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gs {
+
+EventId ReferenceEventLoop::ScheduleInternal(Time when, Duration period,
+                                             InlineCallback fn) {
+  CHECK_GE(when, now_) << "cannot schedule into the past";
+  const EventId id = next_id_++;
+  heap_.push_back(Event{when, next_seq_++, id, period, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later());
+  live_.insert(id);
+  ++pending_count_;
+  return id;
+}
+
+bool ReferenceEventLoop::Cancel(EventId id) {
+  if (id != kInvalidEventId && id == firing_id_ && !firing_cancelled_) {
+    // Periodic event cancelled from inside its own callback: suppress the
+    // re-arm. Its pending_count_ share was already consumed by the fire.
+    firing_cancelled_ = true;
+    live_.erase(id);
+    return true;
+  }
+  // Only live (scheduled, unfired) events can be cancelled; a fired or
+  // already-cancelled id is a no-op.
+  if (live_.erase(id) == 0) {
+    return false;
+  }
+  cancelled_.insert(id);  // tombstone: skipped when it surfaces in the heap
+  --pending_count_;
+  return true;
+}
+
+void ReferenceEventLoop::SkipCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later());
+    heap_.pop_back();
+  }
+}
+
+void ReferenceEventLoop::RunTop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later());
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  CHECK_GE(event.when, now_);
+  now_ = event.when;
+  --pending_count_;
+  ++executed_count_;
+  if (event.period > 0) {
+    firing_id_ = event.id;
+    firing_cancelled_ = false;
+    event.fn();
+    firing_id_ = kInvalidEventId;
+    if (!firing_cancelled_) {
+      // Re-arm with the same id and a seq drawn after the callback, matching
+      // both a self-rescheduling callback and EventLoop's in-place re-arm.
+      event.when = now_ + event.period;
+      event.seq = next_seq_++;
+      heap_.push_back(std::move(event));
+      std::push_heap(heap_.begin(), heap_.end(), Later());
+      ++pending_count_;
+    }
+  } else {
+    live_.erase(event.id);
+    event.fn();
+  }
+}
+
+bool ReferenceEventLoop::RunOne() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  RunTop();
+  return true;
+}
+
+void ReferenceEventLoop::RunUntil(Time deadline) {
+  // One tombstone scan per iteration: SkipCancelled leaves a live top (or an
+  // empty heap), so RunTop can fire it directly without re-scanning.
+  for (;;) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.front().when > deadline) {
+      break;
+    }
+    RunTop();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void ReferenceEventLoop::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+}  // namespace gs

@@ -36,13 +36,15 @@ void InvariantChecker::Stop() {
 }
 
 void InvariantChecker::ScheduleNext() {
-  scan_event_ = kernel_->loop()->ScheduleAfter(options_.period, [this] {
-    if (!running_) {
-      return;
-    }
-    Scan();
-    ScheduleNext();
-  });
+  // Periodic: Stop() cancels the armed event; the running_ guard is belt and
+  // braces against a stray firing.
+  scan_event_ = kernel_->loop()->SchedulePeriodic(
+      options_.period, options_.period, [this] {
+        if (!running_) {
+          return;
+        }
+        Scan();
+      });
 }
 
 void InvariantChecker::CheckNow() { Scan(); }

@@ -53,8 +53,8 @@ bool VmWorkload::AllDone() const {
 }
 
 void VmWorkload::StartSecuritySampler(Duration period) {
-  sampler_period_ = period;
-  kernel_->loop()->ScheduleAfter(period, [this] { Sample(); });
+  sampler_event_ =
+      kernel_->loop()->SchedulePeriodic(period, period, [this] { Sample(); });
 }
 
 void VmWorkload::Sample() {
@@ -82,8 +82,10 @@ void VmWorkload::Sample() {
       ++violations_;
     }
   }
-  if (!AllDone()) {
-    kernel_->loop()->ScheduleAfter(sampler_period_, [this] { Sample(); });
+  if (AllDone() && sampler_event_ != kInvalidEventId) {
+    // Cancelling from inside the sampler's own callback stops the re-arm.
+    kernel_->loop()->Cancel(sampler_event_);
+    sampler_event_ = kInvalidEventId;
   }
 }
 

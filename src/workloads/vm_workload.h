@@ -57,7 +57,7 @@ class VmWorkload {
   int completed_ = 0;
   Time finish_time_ = 0;
   uint64_t violations_ = 0;
-  Duration sampler_period_ = 0;
+  EventId sampler_event_ = kInvalidEventId;
 };
 
 }  // namespace gs

@@ -1,4 +1,5 @@
 // Unit tests for the discrete-event engine.
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -92,6 +93,136 @@ TEST(EventLoopTest, CancelDuringExecution) {
   second = loop.ScheduleAt(20, [&] { second_ran = true; });
   loop.RunUntilIdle();
   EXPECT_FALSE(second_ran);
+}
+
+TEST(EventLoopTest, CancelOfFiredIdFailsEvenAfterSlotReuse) {
+  EventLoop loop;
+  bool a_ran = false, b_ran = false;
+  const EventId a = loop.ScheduleAt(10, [&] { a_ran = true; });
+  loop.RunUntilIdle();
+  EXPECT_TRUE(a_ran);
+  EXPECT_FALSE(loop.Cancel(a)) << "fired id must be dead";
+  // B reuses A's pooled slot; A's id must still be dead (generation bump).
+  const EventId b = loop.ScheduleAt(20, [&] { b_ran = true; });
+  EXPECT_FALSE(loop.Cancel(a)) << "stale id must not cancel the slot's new tenant";
+  loop.RunUntilIdle();
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(loop.Cancel(b));
+}
+
+TEST(EventLoopTest, CancelInsideCallbackOfSameTimestampEvent) {
+  // Both events sit in the same collected bucket; the first callback cancels
+  // the second after it has already been pulled into the ready list.
+  EventLoop loop;
+  bool second_ran = false;
+  EventId second = kInvalidEventId;
+  loop.ScheduleAt(10, [&] { EXPECT_TRUE(loop.Cancel(second)); });
+  second = loop.ScheduleAt(10, [&] { second_ran = true; });
+  loop.RunUntilIdle();
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(loop.executed_count(), 1u);
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoopTest, SameTimestampFifoAcrossWheelLevels) {
+  // Events landing in the same instant must fire in schedule order even when
+  // they entered the wheel at different levels: the first is scheduled far
+  // ahead (high level, cascades down), the second near (low level).
+  EventLoop loop;
+  std::vector<int> order;
+  const Time target = 1 << 20;
+  loop.ScheduleAt(target, [&] { order.push_back(0); });  // far: high level
+  loop.RunUntil(target - 64);  // advance so the next insert is level 0/1
+  loop.ScheduleAt(target, [&] { order.push_back(1); });  // near: low level
+  loop.ScheduleAt(target, [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}))
+      << "cascades must not reorder same-timestamp events";
+}
+
+TEST(EventLoopTest, ScheduleZeroDelayInsideCallbackFiresSameInstant) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(10, [&] {
+    order.push_back(0);
+    loop.ScheduleAfter(0, [&] { order.push_back(2); });  // after remaining t=10 work
+  });
+  loop.ScheduleAt(10, [&] { order.push_back(1); });
+  loop.ScheduleAt(11, [&] { order.push_back(3); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.now(), 11);
+}
+
+TEST(EventLoopTest, PeriodicFiresAtExactPeriods) {
+  EventLoop loop;
+  std::vector<Time> fires;
+  loop.SchedulePeriodic(/*initial_delay=*/7, /*period=*/10,
+                        [&] { fires.push_back(loop.now()); });
+  loop.RunUntil(40);
+  EXPECT_EQ(fires, (std::vector<Time>{7, 17, 27, 37}));
+  EXPECT_EQ(loop.pending_count(), 1u) << "periodic stays armed";
+}
+
+TEST(EventLoopTest, PeriodicIdStaysValidAcrossFirings) {
+  EventLoop loop;
+  int fires = 0;
+  const EventId id = loop.SchedulePeriodic(5, 5, [&] { ++fires; });
+  loop.RunUntil(23);
+  EXPECT_EQ(fires, 4);
+  EXPECT_TRUE(loop.Cancel(id)) << "the handle must survive re-arms";
+  EXPECT_FALSE(loop.Cancel(id));
+  loop.RunUntil(100);
+  EXPECT_EQ(fires, 4);
+  EXPECT_EQ(loop.pending_count(), 0u);
+}
+
+TEST(EventLoopTest, PeriodicCancelInsideOwnCallbackStopsRearm) {
+  EventLoop loop;
+  int fires = 0;
+  EventId id = kInvalidEventId;
+  id = loop.SchedulePeriodic(5, 5, [&] {
+    if (++fires == 3) {
+      EXPECT_TRUE(loop.Cancel(id));
+      EXPECT_FALSE(loop.Cancel(id)) << "second cancel while firing is a no-op";
+    }
+  });
+  loop.RunUntil(1000);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(loop.pending_count(), 0u);
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, SchedulePeriodicAtAbsoluteFirstFire) {
+  EventLoop loop;
+  std::vector<Time> fires;
+  loop.RunUntil(100);
+  const EventId id =
+      loop.SchedulePeriodicAt(150, 25, [&] { fires.push_back(loop.now()); });
+  loop.RunUntil(210);
+  EXPECT_EQ(fires, (std::vector<Time>{150, 175, 200}));
+  EXPECT_TRUE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, CallbackCapturesReleasedAfterFire) {
+  EventLoop loop;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  loop.ScheduleAt(10, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired()) << "the pending event keeps the capture alive";
+  loop.RunUntilIdle();
+  EXPECT_TRUE(watch.expired()) << "fired events must drop captures promptly";
+}
+
+TEST(EventLoopTest, CallbackCapturesReleasedOnCancel) {
+  EventLoop loop;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventId id = loop.ScheduleAt(10, [token] { (void)*token; });
+  token.reset();
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_TRUE(watch.expired()) << "cancelled events must drop captures promptly";
 }
 
 TEST(EventLoopTest, PendingCountTracksLiveEvents) {
