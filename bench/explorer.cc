@@ -1,0 +1,213 @@
+// Schedule-space exploration harness: drives src/verify/explorer over the
+// mechanism-race scenario library and reports coverage (schedules, choice
+// points, sleep-set prunes) per scenario.
+//
+// For every scenario two searches run: the *fixed* code (must sweep clean
+// across the whole budget) and the *mutant* with the historical bug
+// reintroduced through its test seam (must be caught, and the shrunken
+// violating trace must replay deterministically). Exit status is non-zero if
+// either side misbehaves, so the binary doubles as the CI smoke gate.
+//
+// Extra flags (on top of the harness's --json/--seed/--scale):
+//   --scenario=<name>    run one scenario instead of all
+//   --mode=dfs|walk      exhaustive DFS (default) or random-walk fallback
+//   --budget=<N>         max schedules per search (default: scale-dependent)
+//   --no-sleep-sets      disable DPOR-lite pruning (coverage comparison)
+//   --replay-out=<dir>   write a replay file per caught mutant
+//   --replay=<file>      re-execute a saved replay file and exit
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/verify/explorer.h"
+#include "src/verify/explorer_scenarios.h"
+
+namespace gs {
+namespace {
+
+struct Flags {
+  std::string scenario;  // empty = all
+  std::string mode = "dfs";
+  uint64_t budget = 0;  // 0 = scale default
+  bool sleep_sets = true;
+  std::string replay_out;
+  std::string replay;
+};
+
+// Consumes the explorer-specific flags; leaves anything else untouched.
+Flags ParseFlags(int& argc, char** argv) {
+  Flags flags;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--scenario=")) {
+      flags.scenario = v;
+    } else if (const char* v = value("--mode=")) {
+      flags.mode = v;
+    } else if (const char* v = value("--budget=")) {
+      flags.budget = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--no-sleep-sets") == 0) {
+      flags.sleep_sets = false;
+    } else if (const char* v = value("--replay-out=")) {
+      flags.replay_out = v;
+    } else if (const char* v = value("--replay=")) {
+      flags.replay = v;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return flags;
+}
+
+Explorer::Options MakeOptions(const Flags& flags, uint64_t budget,
+                              uint64_t seed, bool stop_at_first) {
+  Explorer::Options options;
+  options.mode = flags.mode == "walk" ? Explorer::Mode::kRandomWalk
+                                      : Explorer::Mode::kExhaustive;
+  options.max_schedules = budget;
+  options.sleep_sets = flags.sleep_sets;
+  options.seed = seed;
+  options.stop_at_first = stop_at_first;
+  return options;
+}
+
+std::string TraceToString(const Explorer::ChoiceTrace& trace) {
+  std::string s;
+  for (uint32_t c : trace) {
+    if (!s.empty()) {
+      s += ' ';
+    }
+    s += std::to_string(c);
+  }
+  return s;
+}
+
+// Re-executes a saved replay file against the mutated scenario and prints
+// the violation it reproduces. Returns the process exit code.
+int RunReplay(const std::string& path) {
+  std::string scenario_name;
+  Explorer::ChoiceTrace trace;
+  if (!Explorer::LoadTrace(path, &scenario_name, &trace)) {
+    std::fprintf(stderr, "error: cannot parse replay file %s\n", path.c_str());
+    return 2;
+  }
+  Explorer::Scenario scenario = MakeExplorerScenario(scenario_name, /*mutate=*/true);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "error: unknown scenario '%s' in %s\n",
+                 scenario_name.c_str(), path.c_str());
+    return 2;
+  }
+  Explorer explorer(scenario, Explorer::Options());
+  const std::string violation = explorer.Replay(trace);
+  std::printf("replay: %s\nscenario: %s\nchoices: %s\n", path.c_str(),
+              scenario_name.c_str(), TraceToString(trace).c_str());
+  if (violation.empty()) {
+    std::printf("result: no violation (trace did not reproduce)\n");
+    return 1;
+  }
+  std::printf("result: %s\n", violation.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gs
+
+int main(int argc, char** argv) {
+  using namespace gs;
+  Flags flags = ParseFlags(argc, argv);
+  if (!flags.replay.empty()) {
+    return RunReplay(flags.replay);
+  }
+
+  bench::Harness harness("explorer", argc, argv);
+  const uint64_t seed = harness.SeedOr(1);
+  const uint64_t budget =
+      flags.budget > 0 ? flags.budget : (harness.quick() ? 2000 : 50000);
+  harness.Param("mode", flags.mode);
+  harness.Param("budget", static_cast<int64_t>(budget));
+  harness.Param("sleep_sets", flags.sleep_sets);
+
+  std::printf("Schedule-space explorer: %s search, %llu schedules/scenario "
+              "budget, sleep sets %s.\n\n",
+              flags.mode == "walk" ? "random-walk" : "exhaustive DFS",
+              (unsigned long long)budget, flags.sleep_sets ? "on" : "off");
+  std::printf("%-22s %-6s %10s %10s %8s %7s %6s  %s\n", "scenario", "code",
+              "schedules", "choicepts", "pruned", "depth", "trace", "result");
+
+  int failures = 0;
+  for (const ExplorerScenarioInfo& info : AllExplorerScenarios()) {
+    if (!flags.scenario.empty() && flags.scenario != info.name) {
+      continue;
+    }
+    // Fixed code: the full budget must sweep clean.
+    Explorer fixed(MakeExplorerScenario(info.name, /*mutate=*/false),
+                   MakeOptions(flags, budget, seed, /*stop_at_first=*/false));
+    Explorer::Result clean = fixed.Explore();
+    std::printf("%-22s %-6s %10llu %10llu %8llu %7d %6s  %s\n", info.name,
+                "fixed", (unsigned long long)clean.schedules,
+                (unsigned long long)clean.choice_points,
+                (unsigned long long)clean.pruned, clean.max_depth, "-",
+                clean.violation_found ? clean.violation.c_str() : "clean");
+    if (clean.violation_found) {
+      ++failures;
+    }
+
+    // Mutant: must be caught, and the shrunken trace must replay.
+    Explorer mutant(MakeExplorerScenario(info.name, /*mutate=*/true),
+                    MakeOptions(flags, budget, seed, /*stop_at_first=*/true));
+    Explorer::Result caught = mutant.Explore();
+    bool replays = false;
+    if (caught.violation_found) {
+      replays = mutant.Replay(caught.shrunk_trace) == caught.violation;
+    }
+    std::printf("%-22s %-6s %10llu %10llu %8llu %7d %6zu  %s\n", info.name,
+                "mutant", (unsigned long long)caught.schedules,
+                (unsigned long long)caught.choice_points,
+                (unsigned long long)caught.pruned, caught.max_depth,
+                caught.shrunk_trace.size(),
+                !caught.violation_found ? "ESCAPED"
+                : !replays              ? "caught, replay diverged"
+                                        : caught.violation.c_str());
+    if (!caught.violation_found || !replays) {
+      ++failures;
+    } else if (!flags.replay_out.empty()) {
+      const std::string path =
+          flags.replay_out + "/" + info.name + ".replay";
+      if (Explorer::SaveTrace(path, info.name, caught.violation,
+                              caught.shrunk_trace)) {
+        std::printf("  wrote %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        ++failures;
+      }
+    }
+
+    harness.AddRow()
+        .Set("scenario", info.name)
+        .Set("fixed_schedules", clean.schedules)
+        .Set("fixed_choice_points", clean.choice_points)
+        .Set("fixed_pruned", clean.pruned)
+        .Set("fixed_clean", !clean.violation_found)
+        .Set("mutant_schedules", caught.schedules)
+        .Set("mutant_caught", caught.violation_found)
+        .Set("trace_len", static_cast<int64_t>(caught.trace.size()))
+        .Set("shrunk_len", static_cast<int64_t>(caught.shrunk_trace.size()))
+        .Set("shrink_runs", caught.shrink_runs)
+        .Set("violation", caught.violation);
+  }
+  harness.Metric("failures", static_cast<int64_t>(failures));
+
+  const int harness_rc = harness.Finish();
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d scenario check(s) FAILED\n", failures);
+    return 1;
+  }
+  return harness_rc;
+}

@@ -157,12 +157,13 @@ void AgentProcess::EndIteration(Task* agent, AgentAction action, uint64_t epoch,
   if (!alive_ || agent->state() == TaskState::kDead) {
     return;
   }
-  if (action == AgentAction::kPollWait && enclave_->poke_epoch() != epoch) {
+  if (!test_skip_sleep_recheck_ && action == AgentAction::kPollWait &&
+      enclave_->poke_epoch() != epoch) {
     // Something happened while this iteration's burst was charged; spin again
     // rather than poll-waiting (avoids a lost wakeup).
     action = AgentAction::kRunAgain;
   }
-  if (action == AgentAction::kBlock &&
+  if (!test_skip_sleep_recheck_ && action == AgentAction::kBlock &&
       (enclave_->agent_status(agent).aseq != aseq || enclave_->overflow_pending())) {
     // Check-then-sleep: a message reached this agent's queue — or a sibling
     // poked it about freshly queued work — after the iteration had already

@@ -59,6 +59,12 @@ class AgentProcess {
   // all queues and restoring policy state from the kernel's TaskDump.
   uint64_t resyncs() const { return resyncs_; }
 
+  // Test seam (schedule-space explorer mutation battery): disables the
+  // check-then-sleep re-validation in EndIteration, reintroducing the lost-
+  // wakeup race — an agent whose queue received work mid-iteration blocks or
+  // poll-waits anyway. Never set outside tests.
+  void set_test_skip_sleep_recheck(bool skip) { test_skip_sleep_recheck_ = skip; }
+
  private:
   void OnAgentScheduled(Task* agent);
   void BeginIteration(Task* agent);
@@ -80,6 +86,7 @@ class AgentProcess {
   bool started_ = false;
   bool alive_ = false;
   bool stalled_ = false;
+  bool test_skip_sleep_recheck_ = false;
   uint64_t iterations_ = 0;
   uint64_t resyncs_ = 0;
 

@@ -6,6 +6,7 @@
 
 #include "src/ghost/ghost_class.h"
 #include "src/kernel/agent_class.h"
+#include "src/sim/sched_tag.h"
 
 namespace gs {
 
@@ -105,7 +106,8 @@ void Enclave::ScheduleWatchdog() {
   // re-arm.
   watchdog_event_ = kernel_->loop()->SchedulePeriodic(
       config_.watchdog_period, config_.watchdog_period,
-      [this] { WatchdogScan(); });
+      [this] { WatchdogScan(); },
+      MakeSchedTag(SchedTagKind::kWatchdog, 0));
 }
 
 void Enclave::WatchdogScan() {
@@ -115,8 +117,14 @@ void Enclave::WatchdogScan() {
   const Time now = kernel_->now();
   for (const auto& [tid, gt] : tasks_) {
     const Task* task = gt->task;
+    // A thread's wait is measured from the later of its wakeup and the last
+    // agent handoff (registration / queue resync): a freshly installed agent
+    // inherits threads that may have been runnable through the entire
+    // upgrade window, and must get a full timeout to schedule them before
+    // the watchdog declares it unfit (§3.4).
+    const Time waiting_since = std::max(task->runnable_since(), watchdog_reset_);
     if (task->state() == TaskState::kRunnable &&
-        now - task->runnable_since() > config_.watchdog_timeout) {
+        now - waiting_since > config_.watchdog_timeout) {
       LOG(WARNING) << "ghOSt watchdog: " << task->name() << " runnable for "
                    << ToMillis(now - task->runnable_since())
                    << " ms without being scheduled; destroying enclave";
@@ -287,6 +295,9 @@ void Enclave::FlushAllQueues() {
     gt->resync = false;
   }
   overflow_pending_ = false;
+  // Queue re-association / upgrade resync: the inheriting agent gets a full
+  // watchdog timeout before inherited runnable threads count against it.
+  watchdog_reset_ = kernel_->now();
 }
 
 bool Enclave::ConsumeOverflowPending() {
@@ -355,9 +366,11 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
   // at its next incidental wakeup.
   Task* agent = queue->wakeup_agent();
   if (agent != nullptr) {
-    if (!dropped) {
-      ++agent_status_[agent].aseq;
-    }
+    // The Aseq advances even when the message was dropped: the queue's
+    // contents no longer reflect the world, so any in-flight commit built on
+    // the pre-drop view must fail kEStale rather than act on a stale task
+    // set. (The drop itself is surfaced via the overflow/resync flags.)
+    ++agent_status_[agent].aseq;
     if (agent->state() == TaskState::kBlocked) {
       const Duration delay = kernel_->cost().msg_produce + kernel_->cost().agent_wakeup;
       Kernel* kernel = kernel_;
@@ -365,7 +378,7 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
         if (agent->state() == TaskState::kBlocked) {
           kernel->Wake(agent);
         }
-      });
+      }, MakeSchedTag(SchedTagKind::kQueue, queue->id()));
     }
   }
   PokePollWaiters();
@@ -375,6 +388,9 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
 
 void Enclave::RegisterAgentTask(int cpu, Task* agent) {
   CHECK(cpus_.IsSet(cpu)) << "CPU " << cpu << " not in enclave";
+  // Agent handoff: runnable-wait accounting restarts so the watchdog does
+  // not charge the new agent for its predecessor's backlog.
+  watchdog_reset_ = kernel_->now();
   agents_[cpu] = agent;
   AgentStatusWord& status = agent_status_[agent];
   status.cpu = cpu;
@@ -472,6 +488,12 @@ TxnStatus Enclave::Validate(const Transaction& txn, Task* agent) {
   if (task->state() != TaskState::kRunnable || gt->latched_cpu >= 0) {
     return TxnStatus::kENotRunnable;
   }
+  if (task->inbound_cpu() >= 0 && task->inbound_cpu() != txn.target_cpu) {
+    // Still kRunnable, but a context switch is already carrying the thread
+    // onto another CPU (e.g. a fast-path pick): committing it here would
+    // place it twice.
+    return TxnStatus::kENotRunnable;
+  }
   // The target CPU must be idle, running a (preemptible) ghOSt thread, or be
   // the committing agent's own CPU (local commit-and-yield).
   const CpuState& cs = kernel_->cpu_state(txn.target_cpu);
@@ -501,7 +523,7 @@ void Enclave::Latch(Transaction* txn, Task* agent, Duration delay) {
           ghost_class->SetForcedIdle(cpu, true);
           kernel->ReschedCpu(cpu);
         });
-      });
+      }, MakeSchedTag(SchedTagKind::kCpu, cpu));
     }
     return;
   }
@@ -517,7 +539,43 @@ void Enclave::Latch(Transaction* txn, Task* agent, Duration delay) {
     kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
       kernel->SendIpi(cpu, cross_numa,
                       [ghost_class, cpu] { ghost_class->EnableLatch(cpu); });
-    });
+    }, MakeSchedTag(SchedTagKind::kCpu, cpu));
+  }
+}
+
+void Enclave::LatchDeliver(Transaction* txn, Task* agent, Duration delay) {
+  // Deliver phase of a synchronized group commit: the member was already
+  // latched (disabled) during the mark phase; this makes it take effect.
+  GhostClass* ghost_class = ghost_class_;
+  Kernel* kernel = kernel_;
+  const int cpu = txn->target_cpu;
+  const bool local = agent != nullptr && agent->cpu() == cpu;
+  const bool cross_numa =
+      agent != nullptr && agent->cpu() >= 0 &&
+      kernel_->topology().cpu(agent->cpu()).numa != kernel_->topology().cpu(cpu).numa;
+
+  if (txn->idle) {
+    if (local) {
+      ghost_class->SetForcedIdle(cpu, true);
+    } else {
+      kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
+        kernel->SendIpi(cpu, cross_numa, [ghost_class, cpu, kernel] {
+          ghost_class->SetForcedIdle(cpu, true);
+          kernel->ReschedCpu(cpu);
+        });
+      }, MakeSchedTag(SchedTagKind::kCpu, cpu));
+    }
+    return;
+  }
+
+  if (local) {
+    // Takes effect when the agent yields its CPU.
+    ghost_class->EnableLatchQuiet(cpu);
+  } else {
+    kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
+      kernel->SendIpi(cpu, cross_numa,
+                      [ghost_class, cpu] { ghost_class->EnableLatch(cpu); });
+    }, MakeSchedTag(SchedTagKind::kCpu, cpu));
   }
 }
 
@@ -537,18 +595,31 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
     }
   }
 
-  // Validate sync groups first (all members validated against the same view).
+  // Synchronized groups: all-or-nothing (§4.5). Members latch as they
+  // validate — so each member is checked against the group's own partial
+  // latch state, as in the real txn table — and a member failing
+  // (kEInvalid/kECpuBusy/...) mid-latch rolls every already-latched sibling
+  // back: siblings report kEAborted and their target CPUs are left
+  // untouched. Side effects that escape the commit call (enable-IPIs,
+  // forced-idle markers) are deferred to a deliver phase that runs only once
+  // the whole group has latched, so a rollback never has to chase an IPI.
   std::vector<bool> handled(txns.size(), false);
   for (auto& [group, members] : sync_groups) {
-    bool all_ok = true;
     std::vector<TxnStatus> statuses(members.size());
     std::set<int> group_cpus;
     std::set<int64_t> group_tids;
+    struct MarkedMember {
+      size_t m;
+      bool forced_idle_before;  // marker the latch cleared; restored on abort
+    };
+    std::vector<MarkedMember> marked;
+    bool failed = false;
     for (size_t m = 0; m < members.size(); ++m) {
       const Transaction& txn = *txns[members[m]];
       statuses[m] = Validate(txn, agent);
-      // Batch validation can't see its own group's latches yet: reject
-      // duplicate CPUs or threads within the group explicitly.
+      // Duplicate CPUs / threads within the group: once the group has
+      // failed nothing more is marked, so later duplicates of unmarked
+      // members must be rejected explicitly rather than via latch state.
       if (statuses[m] == TxnStatus::kPending) {
         if (!group_cpus.insert(txn.target_cpu).second) {
           statuses[m] = TxnStatus::kETxnPending;
@@ -557,22 +628,54 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
         }
       }
       if (statuses[m] != TxnStatus::kPending) {
-        all_ok = false;
+        failed = true;
+        continue;
+      }
+      if (failed) {
+        continue;  // group already doomed; keep validating for status only
+      }
+      const bool idle_before = ghost_class_->forced_idle(txn.target_cpu);
+      if (!txn.idle) {
+        GhostTask* gt = Find(txn.tid);
+        CHECK(gt != nullptr);
+        ghost_class_->LatchTask(txn.target_cpu, gt->task, /*enabled=*/false);
+      }
+      marked.push_back(MarkedMember{m, idle_before});
+    }
+
+    if (!failed || test_partial_sync_groups_) {
+      for (const MarkedMember& mk : marked) {
+        const int i = members[mk.m];
+        statuses[mk.m] = TxnStatus::kCommitted;
+        LatchDeliver(txns[i], agent, agent_side_delay(i));
+      }
+    } else {
+      // Roll back, newest first.
+      for (auto it = marked.rbegin(); it != marked.rend(); ++it) {
+        const Transaction& txn = *txns[members[it->m]];
+        if (!txn.idle) {
+          ghost_class_->ClearLatch(txn.target_cpu);
+          if (it->forced_idle_before) {
+            ghost_class_->SetForcedIdle(txn.target_cpu, true);
+          }
+        }
       }
     }
+
     for (size_t m = 0; m < members.size(); ++m) {
       const int i = members[m];
       handled[i] = true;
-      if (all_ok) {
-        txns[i]->status = TxnStatus::kCommitted;
-        Latch(txns[i], agent, agent_side_delay(i));
+      TxnStatus status = statuses[m];
+      if (status == TxnStatus::kPending) {
+        status = TxnStatus::kEAborted;  // validated fine, but a sibling failed
+      }
+      txns[i]->status = status;
+      if (status == TxnStatus::kCommitted) {
         ++txns_committed_;
       } else {
-        txns[i]->status =
-            statuses[m] != TxnStatus::kPending ? statuses[m] : TxnStatus::kEAborted;
         ++txns_failed_;
       }
-      stat_txn_status_[static_cast<int>(txns[i]->status)]->Inc();
+      stat_txn_status_[static_cast<int>(status)]->Inc();
     }
   }
 

@@ -198,12 +198,23 @@ class Enclave {
   // every dispatch — the end-to-end cost of the delegation machinery.
   const Histogram& sched_latency() const { return sched_latency_; }
 
+  // Test seam (schedule-space explorer mutation battery): on a synchronized
+  // group failure, members latched before the failing one are delivered
+  // anyway instead of rolled back — the partial-latch bug the all-or-nothing
+  // protocol exists to prevent. Never set outside tests.
+  void set_test_partial_sync_groups(bool partial) {
+    test_partial_sync_groups_ = partial;
+  }
+
  private:
   // Posts a message about `gt` (or a CPU message when gt == nullptr) to the
   // right queue; bumps Tseq/Aseq; wakes or pokes the consumer.
   void Post(GhostTask* gt, MessageType type, int cpu);
   TxnStatus Validate(const Transaction& txn, Task* agent);
   void Latch(Transaction* txn, Task* agent, Duration delay);
+  // Deliver phase of a synchronized group commit: enables / announces a
+  // latch placed (disabled) during the group's mark phase.
+  void LatchDeliver(Transaction* txn, Task* agent, Duration delay);
   void ScheduleWatchdog();
   void WatchdogScan();
   void PokePollWaiters();
@@ -232,7 +243,12 @@ class Enclave {
   std::shared_ptr<RingFastPath> fastpath_;
   bool tickless_ = false;
   EventId watchdog_event_ = kInvalidEventId;
+  // Most recent agent handoff (registration or queue flush): the watchdog
+  // measures runnable waits from max(runnable_since, watchdog_reset_) so a
+  // replacement agent is not blamed for its predecessor's backlog.
+  Time watchdog_reset_ = 0;
   int idle_listener_handle_ = -1;
+  bool test_partial_sync_groups_ = false;
 
   uint64_t messages_posted_ = 0;
   uint64_t messages_dropped_ = 0;

@@ -66,6 +66,13 @@ void GhostClass::EnableLatch(int cpu) {
   kernel_->ReschedCpu(cpu);
 }
 
+void GhostClass::EnableLatchQuiet(int cpu) {
+  Latch& latch = latches_[cpu];
+  if (latch.task != nullptr) {
+    latch.enabled = true;
+  }
+}
+
 void GhostClass::ClearLatch(int cpu) {
   Latch& latch = latches_[cpu];
   if (latch.task != nullptr) {
@@ -142,17 +149,23 @@ Task* GhostClass::PickNext(int cpu) {
     }
     Task* task = latch.task;
     ClearLatch(cpu);
-    if (task->state() == TaskState::kRunnable && task->affinity().IsSet(cpu)) {
+    if (task->state() == TaskState::kRunnable && task->affinity().IsSet(cpu) &&
+        (task->inbound_cpu() < 0 || task->inbound_cpu() == cpu)) {
       return task;
     }
-    // Stale latch (thread blocked/died/affinity changed since commit): fall
-    // through to the fast path.
+    // Stale latch (thread blocked/died/affinity changed since commit, or
+    // mid-switch onto another CPU): fall through to the fast path.
   }
   Enclave* enclave = cpu_owner_[cpu];
   if (enclave == nullptr || enclave->fastpath() == nullptr) {
     return nullptr;
   }
   // BPF-analog: pop published runnable threads until a usable one surfaces.
+  // A published tid may have been scheduled elsewhere since the agent pushed
+  // it — already latched by a remote commit, or mid-context-switch onto
+  // another CPU (still kRunnable in that window) — so placement is
+  // re-validated at pick time, honoring the "skips ids that are no longer
+  // runnable" contract in fastpath.h.
   RingFastPath* fastpath = enclave->fastpath();
   for (;;) {
     const int64_t tid = fastpath->PickForCpu(cpu);
@@ -160,10 +173,14 @@ Task* GhostClass::PickNext(int cpu) {
       return nullptr;
     }
     GhostTask* gt = enclave->Find(tid);
-    if (gt == nullptr || gt->latched_cpu >= 0) {
+    if (gt == nullptr) {
       continue;
     }
     Task* task = gt->task;
+    if (!test_unsafe_fastpath_ &&
+        (gt->latched_cpu >= 0 || task->inbound_cpu() >= 0)) {
+      continue;
+    }
     if (task->state() == TaskState::kRunnable && task->affinity().IsSet(cpu)) {
       ++fastpath_picks_;
       return task;

@@ -32,6 +32,10 @@ class GhostClass : public SchedClass {
   // otherwise it becomes pickable once EnableLatch() runs (IPI arrival).
   void LatchTask(int cpu, Task* task, bool enabled);
   void EnableLatch(int cpu);
+  // Marks an existing latch pickable without kicking the CPU (the caller is
+  // the local agent, which vacates the CPU itself — synchronized group
+  // commits' deliver phase).
+  void EnableLatchQuiet(int cpu);
   void ClearLatch(int cpu);
   bool HasLatch(int cpu) const { return latches_[cpu].task != nullptr; }
   Task* LatchedTask(int cpu) const { return latches_[cpu].task; }
@@ -55,6 +59,14 @@ class GhostClass : public SchedClass {
 
   uint64_t fastpath_picks() const { return fastpath_picks_; }
 
+  // Test seam (schedule-space explorer mutation battery): disables the
+  // pick-time placement re-validation — the fast path returns published tids
+  // without checking whether they were latched elsewhere or are mid-switch
+  // onto another CPU, reintroducing the stale-pick race. Never set outside
+  // tests.
+  void set_test_unsafe_fastpath(bool unsafe) { test_unsafe_fastpath_ = unsafe; }
+  bool test_unsafe_fastpath() const { return test_unsafe_fastpath_; }
+
  private:
   struct Latch {
     Task* task = nullptr;
@@ -66,6 +78,7 @@ class GhostClass : public SchedClass {
   std::vector<Enclave*> cpu_owner_;
   std::vector<Latch> latches_;
   uint64_t fastpath_picks_ = 0;
+  bool test_unsafe_fastpath_ = false;
 };
 
 }  // namespace gs

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "src/sim/sched_tag.h"
+
 namespace gs {
 
 const char* ToString(TaskState state) {
@@ -43,7 +45,8 @@ Kernel::Kernel(EventLoop* loop, Topology topology, CostModel cost)
   const Duration period = cost_.tick_period;
   for (int i = 0; i < topology_.num_cpus(); ++i) {
     const Duration phase = period * (i + 1) / topology_.num_cpus();
-    loop_->SchedulePeriodic(phase, period, [this, i] { OnTick(i); });
+    loop_->SchedulePeriodic(phase, period, [this, i] { OnTick(i); },
+                            MakeSchedTag(SchedTagKind::kTimer, i));
   }
 }
 
@@ -200,7 +203,7 @@ void Kernel::ReschedCpu(int cpu) {
   loop_->ScheduleAfter(0, [this, cpu] {
     cpus_[cpu].resched_scheduled = false;
     ReschedNow(cpu);
-  });
+  }, MakeSchedTag(SchedTagKind::kCpu, cpu));
 }
 
 void Kernel::SendIpi(int to_cpu, bool cross_numa, InlineCallback fn) {
@@ -214,7 +217,8 @@ void Kernel::SendIpi(int to_cpu, bool cross_numa, InlineCallback fn) {
     // interrupt eventually lands, just later than the cost model promises.
     delay += fault_injector_->OnIpi(to_cpu);
   }
-  loop_->ScheduleAfter(delay, std::move(fn));
+  loop_->ScheduleAfter(delay, std::move(fn),
+                       MakeSchedTag(SchedTagKind::kCpu, to_cpu));
 }
 
 Duration Kernel::CurrentElapsed(int cpu) const {
@@ -298,6 +302,7 @@ void Kernel::ReschedNow(int cpu) {
   }
 
   Task* old = cs.current;
+  bool old_resumable = false;
   if (old != nullptr) {
     UpdateProgress(cpu);
     CancelCompletion(cpu);
@@ -313,6 +318,7 @@ void Kernel::ReschedNow(int cpu) {
     if (reason == PutPrevReason::kPreempted || reason == PutPrevReason::kYielded) {
       old->set_state(TaskState::kRunnable);
       old->set_runnable_since(now());
+      old_resumable = true;
     }
     old->set_last_cpu(cpu);
     old->set_last_descheduled(now());
@@ -343,18 +349,25 @@ void Kernel::ReschedNow(int cpu) {
       << next->name() << " picked while " << ToString(next->state());
 
   if (next == old) {
-    // Re-picked the same task: resume, no context-switch cost.
-    StartRunning(cpu, next, /*fresh_placement=*/false);
+    // Re-picked the same task: resume, no context-switch cost. But a task
+    // that *blocked* and was re-woken inside the deschedule window (ttwu
+    // wake_pending) is not resuming — it went through schedule() and must be
+    // treated as freshly placed, or its on-scheduled hook is lost (a
+    // blocked-then-instantly-rewoken agent would occupy the CPU without ever
+    // running another iteration).
+    StartRunning(cpu, next, /*fresh_placement=*/!old_resumable);
     return;
   }
 
   cs.switching = true;
   cs.switching_to = next;
+  next->set_inbound_cpu(cpu);
   ++cs.context_switches;
   (IsAgent(next) ? stat_switch_agent_ : stat_switch_task_)->Inc();
   SetBusy(cpu, true);
   const Duration cost = IsAgent(next) ? cost_.agent_context_switch : cost_.context_switch;
-  cs.switch_event = loop_->ScheduleAfter(cost, [this, cpu] { FinishSwitch(cpu); });
+  cs.switch_event = loop_->ScheduleAfter(cost, [this, cpu] { FinishSwitch(cpu); },
+                                         MakeSchedTag(SchedTagKind::kCpu, cpu));
 }
 
 void Kernel::FinishSwitch(int cpu) {
@@ -364,6 +377,9 @@ void Kernel::FinishSwitch(int cpu) {
   Task* next = cs.switching_to;
   cs.switching_to = nullptr;
   CHECK(next != nullptr);
+  if (next->inbound_cpu() == cpu) {
+    next->set_inbound_cpu(-1);
+  }
   if (next->state() != TaskState::kRunnable) {
     // The incoming task was killed while the switch was in flight.
     cs.resched_pending = false;
@@ -405,7 +421,11 @@ void Kernel::StartRunning(int cpu, Task* task, bool fresh_placement) {
 
   cs.run_start = now();
   cs.speed = SpeedFactor(*task, cpu);
-  if (task->has_burst()) {
+  // has_pending_burst_done: a zero-length burst whose completion event was
+  // canceled by a same-instant deschedule still owes its callback — without
+  // the re-arm the callback is lost and its owner (e.g. the agent iteration
+  // loop) wedges forever.
+  if (task->has_burst() || task->has_pending_burst_done()) {
     ArmCompletion(cpu);
   } else {
     // Only agents may occupy a CPU without pending work (poll-wait / spin).
@@ -445,7 +465,8 @@ void Kernel::ArmCompletion(int cpu) {
   const double speed = cs.speed > 0 ? cs.speed : 1.0;
   const auto remaining = static_cast<Duration>(
       std::ceil(static_cast<double>(task->burst_remaining()) / speed));
-  cs.completion_event = loop_->ScheduleAfter(remaining, [this, cpu] { BurstComplete(cpu); });
+  cs.completion_event = loop_->ScheduleAfter(remaining, [this, cpu] { BurstComplete(cpu); },
+                                             MakeSchedTag(SchedTagKind::kCpu, cpu));
 }
 
 void Kernel::CancelCompletion(int cpu) {

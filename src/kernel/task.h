@@ -111,6 +111,10 @@ class Task {
   // --- Burst model ---------------------------------------------------------
   bool has_burst() const { return burst_remaining_ > 0; }
   Duration burst_remaining() const { return burst_remaining_; }
+  // A zero-length burst has no remaining work but still owes its completion
+  // callback; placement must re-arm the completion event for it (a same-
+  // instant preemption may have canceled the one StartBurst armed).
+  bool has_pending_burst_done() const { return static_cast<bool>(on_burst_done_); }
   void SetBurst(Duration d, BurstDoneFn done) {
     burst_remaining_ = d;
     on_burst_done_ = std::move(done);
@@ -143,6 +147,13 @@ class Task {
   // the task right after the deschedule completes.
   bool wake_pending() const { return wake_pending_; }
   void set_wake_pending(bool pending) { wake_pending_ = pending; }
+
+  // CPU currently context-switching this task in (cs.switching_to points
+  // here), or -1. A task in this window is still kRunnable, so schedulers
+  // must treat it as already placed: picking or latching it elsewhere would
+  // double-commit the thread.
+  int inbound_cpu() const { return inbound_cpu_; }
+  void set_inbound_cpu(int cpu) { inbound_cpu_ = cpu; }
 
   // Agent threads take the cheaper agent context-switch path and agent SMT
   // factor. Set once via Kernel::MarkAgent; checked on every context switch.
@@ -178,6 +189,7 @@ class Task {
   CpuMask affinity_;
 
   int cpu_ = -1;
+  int inbound_cpu_ = -1;
   int last_cpu_ = -1;
   Time last_descheduled_ = 0;
   Time runnable_since_ = 0;

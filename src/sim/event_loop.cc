@@ -43,12 +43,13 @@ void EventLoop::FreeSlot(uint32_t idx) {
 }
 
 EventId EventLoop::ScheduleInternal(Time when, Duration period,
-                                    InlineCallback fn) {
+                                    InlineCallback fn, uint64_t tag) {
   CHECK_GE(when, now_) << "cannot schedule into the past";
   const uint32_t idx = AllocSlot();
   EventSlot& s = slots_[idx];
   s.when = when;
   s.seq = next_seq_++;
+  s.tag = tag;
   s.period = period;
   s.cancel_while_firing = false;
   s.fn = std::move(fn);
@@ -184,8 +185,39 @@ void EventLoop::SkipStaleReady() {
   ready_pos_ = 0;
 }
 
-void EventLoop::FireReadyFront() {
-  const ReadyEntry e = ready_[ready_pos_++];
+void EventLoop::FireReadyFront() { FireReadyEntry(ready_[ready_pos_++]); }
+
+void EventLoop::FireReadyNext() {
+  if (oracle_ == nullptr) {
+    FireReadyFront();
+    return;
+  }
+  // Collect the live entries of the current batch (stale entries — cancelled
+  // after collection — are skipped, exactly as SkipStaleReady would).
+  oracle_cands_.clear();
+  oracle_positions_.clear();
+  for (size_t i = ready_pos_; i < ready_.size(); ++i) {
+    const ReadyEntry& e = ready_[i];
+    const EventSlot& s = slots_[e.slot];
+    if (s.state == SlotState::kInReady && s.gen == e.gen) {
+      oracle_cands_.push_back(ScheduleOracle::Candidate{s.tag, e.seq});
+      oracle_positions_.push_back(i);
+    }
+  }
+  if (oracle_cands_.size() <= 1) {
+    FireReadyFront();  // front is live (SkipStaleReady ran) — no choice here
+    return;
+  }
+  const size_t choice = oracle_->Pick(ready_time_, oracle_cands_);
+  CHECK_LT(choice, oracle_cands_.size()) << "oracle picked out of range";
+  const size_t pos = oracle_positions_[choice];
+  const ReadyEntry e = ready_[pos];
+  // Detach the chosen entry; the rest of the batch keeps its seq order.
+  ready_.erase(ready_.begin() + static_cast<ptrdiff_t>(pos));
+  FireReadyEntry(e);
+}
+
+void EventLoop::FireReadyEntry(ReadyEntry e) {
   const uint32_t idx = e.slot;
   EventSlot& s = slots_[idx];
   const Time fire_time = s.when;
@@ -258,7 +290,7 @@ bool EventLoop::RunOne() {
   for (;;) {
     SkipStaleReady();
     if (HaveLiveReady()) {
-      FireReadyFront();
+      FireReadyNext();
       return true;
     }
     if (wheel_count_ == 0) {
@@ -280,7 +312,7 @@ void EventLoop::RunUntil(Time deadline) {
       if (ready_time_ > deadline) {
         break;  // partially drained bucket past the deadline
       }
-      FireReadyFront();
+      FireReadyNext();
       continue;
     }
     if (wheel_count_ == 0) {

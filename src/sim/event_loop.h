@@ -45,6 +45,27 @@ namespace gs {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// Schedule-space exploration hook (src/verify/explorer). When installed on an
+// EventLoop, the oracle — not the default FIFO tie-break — decides which of
+// several events that are ready at the same timestamp fires next. Candidates
+// are presented in seq (default FIFO) order, so an oracle that always returns
+// 0 reproduces the default schedule exactly. The oracle must not mutate the
+// loop from inside Pick().
+class ScheduleOracle {
+ public:
+  struct Candidate {
+    uint64_t tag = 0;  // dependence tag supplied at Schedule* time; 0 = none
+    uint64_t seq = 0;  // global FIFO sequence number (strictly increasing)
+  };
+
+  virtual ~ScheduleOracle() = default;
+
+  // Chooses which candidate fires next among >= 2 events ready at `when`.
+  // Must return an index < candidates.size().
+  virtual size_t Pick(Time when,
+                      const std::vector<Candidate>& candidates) = 0;
+};
+
 class EventLoop {
  public:
   EventLoop();
@@ -55,30 +76,42 @@ class EventLoop {
   Time now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `when` (must be >= now()).
-  EventId ScheduleAt(Time when, InlineCallback fn) {
-    return ScheduleInternal(when, /*period=*/0, std::move(fn));
+  //
+  // `tag` is an optional dependence label handed to an installed
+  // ScheduleOracle (see src/sim/sched_tag.h for the taxonomy); it has no
+  // effect on execution and defaults to 0 (unclassified).
+  EventId ScheduleAt(Time when, InlineCallback fn, uint64_t tag = 0) {
+    return ScheduleInternal(when, /*period=*/0, std::move(fn), tag);
   }
 
   // Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(Duration delay, InlineCallback fn) {
+  EventId ScheduleAfter(Duration delay, InlineCallback fn, uint64_t tag = 0) {
     CHECK_GE(delay, 0);
-    return ScheduleInternal(now_ + delay, /*period=*/0, std::move(fn));
+    return ScheduleInternal(now_ + delay, /*period=*/0, std::move(fn), tag);
   }
 
   // Schedules `fn` to fire first at `first` and then every `period` after
   // each firing, re-arming in place: the returned id stays valid (and
   // cancellable) across firings. Cancelling from inside the callback stops
   // the re-arm.
-  EventId SchedulePeriodicAt(Time first, Duration period, InlineCallback fn) {
+  EventId SchedulePeriodicAt(Time first, Duration period, InlineCallback fn,
+                             uint64_t tag = 0) {
     CHECK_GT(period, 0);
-    return ScheduleInternal(first, period, std::move(fn));
+    return ScheduleInternal(first, period, std::move(fn), tag);
   }
 
   EventId SchedulePeriodic(Duration initial_delay, Duration period,
-                           InlineCallback fn) {
+                           InlineCallback fn, uint64_t tag = 0) {
     CHECK_GE(initial_delay, 0);
-    return SchedulePeriodicAt(now_ + initial_delay, period, std::move(fn));
+    return SchedulePeriodicAt(now_ + initial_delay, period, std::move(fn),
+                              tag);
   }
+
+  // Installs (or clears, with nullptr) the schedule-exploration oracle. The
+  // oracle is consulted only when two or more live events are ready at the
+  // same timestamp; with none installed the loop fires in (time, seq) order.
+  void set_oracle(ScheduleOracle* oracle) { oracle_ = oracle; }
+  ScheduleOracle* oracle() const { return oracle_; }
 
   // Cancels a pending event. Returns true if the event existed and had not
   // yet fired; false (and no effect) for already-fired, already-cancelled,
@@ -121,6 +154,7 @@ class EventLoop {
   struct EventSlot {
     Time when = 0;
     uint64_t seq = 0;    // tiebreaker: FIFO among equal timestamps
+    uint64_t tag = 0;    // dependence label for ScheduleOracle (0 = none)
     Duration period = 0; // > 0 => periodic
     uint32_t gen = 1;    // bumped on free; stale ids fail the match
     uint32_t next = kNil;  // bucket list when kInWheel; free list when kFree
@@ -147,7 +181,8 @@ class EventLoop {
     return (static_cast<EventId>(gen) << 32) | idx;
   }
 
-  EventId ScheduleInternal(Time when, Duration period, InlineCallback fn);
+  EventId ScheduleInternal(Time when, Duration period, InlineCallback fn,
+                           uint64_t tag);
   uint32_t AllocSlot();
   void FreeSlot(uint32_t idx);
   void InsertIntoWheel(uint32_t idx);
@@ -165,6 +200,11 @@ class EventLoop {
   bool HaveLiveReady() const { return ready_pos_ < ready_.size(); }
   // Fires the front ready entry (must be live).
   void FireReadyFront();
+  // Fires `e` (already detached from ready_; its slot must be live).
+  void FireReadyEntry(ReadyEntry e);
+  // Fires the next ready event: the front in FIFO order, or whichever live
+  // same-timestamp entry the installed oracle picks.
+  void FireReadyNext();
 
   Time now_ = 0;
   // Wheel cursor time: <= every event resident in the wheel. Lags now_ when
@@ -186,6 +226,11 @@ class EventLoop {
   std::vector<ReadyEntry> ready_;
   size_t ready_pos_ = 0;
   Time ready_time_ = 0;
+
+  ScheduleOracle* oracle_ = nullptr;
+  // Scratch buffers for oracle candidate collection (avoid reallocation).
+  std::vector<ScheduleOracle::Candidate> oracle_cands_;
+  std::vector<size_t> oracle_positions_;
 };
 
 }  // namespace gs

@@ -1,0 +1,56 @@
+// Dependence tags for schedule-space exploration.
+//
+// Events scheduled on the EventLoop may carry a 64-bit tag describing what
+// state they touch. The tags feed the explorer's sleep-set pruning
+// (src/verify/explorer): two same-timestamp events whose tags say they
+// operate on *different CPUs' private kernel state* commute, so the explorer
+// does not explore both orders. Tags are a heuristic under-approximation of
+// independence — anything shared (message queues, enclave state, untagged
+// events) is treated as dependent-with-everything, which keeps the pruning
+// sound in the conservative direction (it only ever prunes the most clearly
+// commuting pairs). A tag of 0 means "unclassified" and is never pruned.
+#ifndef GHOST_SIM_SRC_SIM_SCHED_TAG_H_
+#define GHOST_SIM_SRC_SIM_SCHED_TAG_H_
+
+#include <cstdint>
+
+namespace gs {
+
+enum class SchedTagKind : uint64_t {
+  kNone = 0,      // unclassified: dependent with everything
+  kCpu = 1,       // per-CPU kernel mechanics: resched, switch, IPI delivery
+  kTimer = 2,     // per-CPU periodic tick
+  kQueue = 3,     // message-queue delivery / agent wakeup for a queue
+  kWatchdog = 4,  // enclave watchdog scan (reads all task state)
+};
+
+// Packs (kind, id) into an event tag. `id + 1` keeps every real tag nonzero
+// even for id 0.
+constexpr uint64_t MakeSchedTag(SchedTagKind kind, uint64_t id) {
+  return (static_cast<uint64_t>(kind) << 32) | (id + 1);
+}
+
+constexpr SchedTagKind SchedTagKindOf(uint64_t tag) {
+  return static_cast<SchedTagKind>(tag >> 32);
+}
+
+constexpr uint64_t SchedTagId(uint64_t tag) {
+  return (tag & 0xffffffffu) - 1;
+}
+
+// True when two same-timestamp events provably commute under the tag
+// heuristic: both are per-CPU kernel mechanics (kCpu or kTimer) pinned to
+// different CPUs. Everything else — shared queues, watchdog scans, untagged
+// events, same-CPU pairs — is treated as dependent.
+constexpr bool SchedTagsIndependent(uint64_t a, uint64_t b) {
+  return a != 0 && b != 0 &&
+         (SchedTagKindOf(a) == SchedTagKind::kCpu ||
+          SchedTagKindOf(a) == SchedTagKind::kTimer) &&
+         (SchedTagKindOf(b) == SchedTagKind::kCpu ||
+          SchedTagKindOf(b) == SchedTagKind::kTimer) &&
+         (a & 0xffffffffu) != (b & 0xffffffffu);
+}
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SIM_SCHED_TAG_H_

@@ -1,0 +1,372 @@
+#include "src/verify/explorer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/sim/sched_tag.h"
+
+namespace gs {
+namespace {
+
+using Candidate = ScheduleOracle::Candidate;
+
+bool InSleep(const std::vector<Candidate>& sleep, uint64_t seq) {
+  for (const Candidate& z : sleep) {
+    if (z.seq == seq) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Sleep-set update after firing `fired`: sleeping events dependent with the
+// fired one wake up (are dropped); independent ones stay asleep.
+void FireUpdate(std::vector<Candidate>* sleep, const Candidate& fired) {
+  sleep->erase(std::remove_if(sleep->begin(), sleep->end(),
+                              [&fired](const Candidate& z) {
+                                return z.seq == fired.seq ||
+                                       !SchedTagsIndependent(z.tag, fired.tag);
+                              }),
+               sleep->end());
+}
+
+std::string FirstLine(const std::string& s) {
+  const size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+}  // namespace
+
+std::string NormalizeViolation(const std::string& report) {
+  std::string line = FirstLine(report);
+  if (line.rfind("[invariant t=", 0) == 0) {
+    const size_t close = line.find("] ");
+    if (close != std::string::npos) {
+      line = line.substr(close + 2);
+    }
+  }
+  return line;
+}
+
+// One choice point along the current DFS path.
+struct Explorer::Frame {
+  std::vector<Candidate> cands;
+  // cur_sleep at node entry (full set, not restricted to cands): needed to
+  // recompute the post-node sleep set when this node is re-branched.
+  std::vector<Candidate> entry_sleep;
+  uint32_t chosen = 0;
+  std::vector<bool> tried;  // fully-explored (or pruned) candidate indices
+};
+
+// Oracle for one DFS execution: forces the prefix recorded in `stack`, then
+// extends the path with default (first non-sleeping) choices, recording new
+// frames as it goes.
+class Explorer::DfsOracle : public ScheduleOracle {
+ public:
+  DfsOracle(std::vector<Frame>* stack, size_t prefix_len,
+            std::vector<Candidate> post_prefix_sleep, const Options& options,
+            Result* result)
+      : stack_(stack),
+        prefix_len_(prefix_len),
+        cur_sleep_(std::move(post_prefix_sleep)),
+        options_(options),
+        result_(result) {}
+
+  size_t Pick(Time when, const std::vector<Candidate>& cands) override {
+    (void)when;
+    const size_t node = next_node_++;
+    ++result_->choice_points;
+    result_->max_depth =
+        std::max(result_->max_depth, static_cast<int>(node) + 1);
+    if (node < prefix_len_) {
+      // Determinism guarantees the same candidates as when the frame was
+      // recorded; clamp defensively anyway.
+      size_t choice = (*stack_)[node].chosen;
+      if (choice >= cands.size()) {
+        choice = cands.size() - 1;
+      }
+      return choice;
+    }
+    size_t choice = 0;
+    if (options_.sleep_sets) {
+      for (size_t c = 0; c < cands.size(); ++c) {
+        if (!InSleep(cur_sleep_, cands[c].seq)) {
+          choice = c;
+          break;
+        }
+      }
+      // All candidates asleep: this subtree is redundant, but the execution
+      // must still finish — take the default and never branch here (the
+      // driver sees every candidate sleeping and skips them).
+    }
+    Frame f;
+    f.cands = cands;
+    f.entry_sleep = cur_sleep_;
+    f.chosen = static_cast<uint32_t>(choice);
+    f.tried.assign(cands.size(), false);
+    stack_->push_back(std::move(f));
+    FireUpdate(&cur_sleep_, cands[choice]);
+    return choice;
+  }
+
+ private:
+  std::vector<Frame>* stack_;
+  size_t prefix_len_;
+  std::vector<Candidate> cur_sleep_;
+  const Options& options_;
+  Result* result_;
+  size_t next_node_ = 0;
+};
+
+// Oracle that forces a recorded trace (defaulting to 0 past its end).
+class Explorer::ReplayOracle : public ScheduleOracle {
+ public:
+  explicit ReplayOracle(const ChoiceTrace& trace) : trace_(trace) {}
+
+  size_t Pick(Time when, const std::vector<Candidate>& cands) override {
+    (void)when;
+    const size_t node = next_node_++;
+    size_t choice = node < trace_.size() ? trace_[node] : 0;
+    if (choice >= cands.size()) {
+      choice = cands.size() - 1;
+    }
+    return choice;
+  }
+
+ private:
+  const ChoiceTrace& trace_;
+  size_t next_node_ = 0;
+};
+
+// Oracle for one random walk: seeded choices down to max_branch_depth, the
+// default schedule beyond. Records the trace for replay/shrinking.
+class Explorer::WalkOracle : public ScheduleOracle {
+ public:
+  WalkOracle(uint64_t seed, int max_depth, Result* result)
+      : rng_(seed), max_depth_(max_depth), result_(result) {}
+
+  size_t Pick(Time when, const std::vector<Candidate>& cands) override {
+    (void)when;
+    const size_t node = next_node_++;
+    ++result_->choice_points;
+    result_->max_depth =
+        std::max(result_->max_depth, static_cast<int>(node) + 1);
+    size_t choice = 0;
+    if (static_cast<int>(node) < max_depth_) {
+      choice = static_cast<size_t>(rng_.Next() % cands.size());
+    }
+    trace_.push_back(static_cast<uint32_t>(choice));
+    return choice;
+  }
+
+  const ChoiceTrace& trace() const { return trace_; }
+
+ private:
+  Rng rng_;
+  int max_depth_;
+  Result* result_;
+  ChoiceTrace trace_;
+  size_t next_node_ = 0;
+};
+
+Explorer::Explorer(Scenario scenario, Options options)
+    : scenario_(std::move(scenario)), options_(options) {}
+
+Explorer::Result Explorer::Explore() {
+  Result result = options_.mode == Mode::kRandomWalk ? ExploreRandomWalk()
+                                                     : ExploreDfs();
+  if (result.violation_found) {
+    result.shrunk_trace = result.trace;
+    if (options_.shrink) {
+      Shrink(&result);
+    }
+  }
+  return result;
+}
+
+Explorer::Result Explorer::ExploreDfs() {
+  Result result;
+  std::vector<Frame> stack;
+
+  // First execution: pure default schedule.
+  {
+    DfsOracle oracle(&stack, /*prefix_len=*/0, {}, options_, &result);
+    std::string violation = scenario_(&oracle);
+    ++result.schedules;
+    if (!violation.empty()) {
+      result.violation_found = true;
+      result.violation = violation;
+      result.trace.clear();
+      for (const Frame& f : stack) {
+        result.trace.push_back(f.chosen);
+      }
+      if (options_.stop_at_first) {
+        return result;
+      }
+    }
+  }
+
+  while (result.schedules < options_.max_schedules) {
+    // Backtrack: deepest frame with an untried, non-sleeping alternative.
+    bool found = false;
+    uint32_t next_choice = 0;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      f.tried[f.chosen] = true;
+      if (static_cast<int>(stack.size()) - 1 < options_.max_branch_depth) {
+        for (uint32_t c = 0; c < f.cands.size(); ++c) {
+          if (f.tried[c]) {
+            continue;
+          }
+          if (options_.sleep_sets && InSleep(f.entry_sleep, f.cands[c].seq)) {
+            f.tried[c] = true;
+            ++result.pruned;
+            continue;
+          }
+          next_choice = c;
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        break;
+      }
+      stack.pop_back();
+    }
+    if (!found) {
+      break;  // schedule space exhausted
+    }
+
+    Frame& f = stack.back();
+    // Sleep set entering the new child: everything asleep at node entry plus
+    // the already-explored siblings, minus whatever the new choice wakes.
+    std::vector<Candidate> post_sleep = f.entry_sleep;
+    for (uint32_t c = 0; c < f.cands.size(); ++c) {
+      if (f.tried[c] && !InSleep(post_sleep, f.cands[c].seq)) {
+        post_sleep.push_back(f.cands[c]);
+      }
+    }
+    f.chosen = next_choice;
+    FireUpdate(&post_sleep, f.cands[next_choice]);
+
+    const size_t prefix_len = stack.size();
+    DfsOracle oracle(&stack, prefix_len, std::move(post_sleep), options_,
+                     &result);
+    std::string violation = scenario_(&oracle);
+    ++result.schedules;
+    if (!violation.empty() && !result.violation_found) {
+      result.violation_found = true;
+      result.violation = violation;
+      result.trace.clear();
+      for (const Frame& fr : stack) {
+        result.trace.push_back(fr.chosen);
+      }
+      if (options_.stop_at_first) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Explorer::Result Explorer::ExploreRandomWalk() {
+  Result result;
+  for (uint64_t walk = 0; walk < options_.max_schedules; ++walk) {
+    WalkOracle oracle(options_.seed + walk, options_.max_branch_depth, &result);
+    std::string violation = scenario_(&oracle);
+    ++result.schedules;
+    if (!violation.empty()) {
+      result.violation_found = true;
+      result.violation = violation;
+      result.trace = oracle.trace();
+      if (options_.stop_at_first) {
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::string Explorer::Replay(const ChoiceTrace& trace) {
+  ReplayOracle oracle(trace);
+  return scenario_(&oracle);
+}
+
+// Greedy ddmin over non-default choices: try resetting each to the default
+// order, keep the reduction iff the violation is unchanged; iterate to a
+// fixpoint, then drop the all-default tail (replay treats positions past the
+// trace as default, so the trimmed trace reproduces identically).
+void Explorer::Shrink(Result* result) {
+  ChoiceTrace best = result->trace;
+  const std::string target = FirstLine(result->violation);
+  bool progress = true;
+  while (progress && result->shrink_runs < options_.max_shrink_runs) {
+    progress = false;
+    for (size_t i = 0; i < best.size(); ++i) {
+      if (best[i] == 0 || result->shrink_runs >= options_.max_shrink_runs) {
+        continue;
+      }
+      ChoiceTrace candidate = best;
+      candidate[i] = 0;
+      ++result->shrink_runs;
+      if (FirstLine(Replay(candidate)) == target) {
+        best = std::move(candidate);
+        progress = true;
+      }
+    }
+  }
+  while (!best.empty() && best.back() == 0) {
+    best.pop_back();
+  }
+  result->shrunk_trace = std::move(best);
+}
+
+bool Explorer::SaveTrace(const std::string& path, const std::string& scenario_name,
+                         const std::string& violation, const ChoiceTrace& trace) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "# ghost-sim explorer replay v1\n";
+  out << "scenario: " << scenario_name << "\n";
+  out << "violation: " << FirstLine(violation) << "\n";
+  out << "choices:";
+  for (uint32_t c : trace) {
+    out << " " << c;
+  }
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+bool Explorer::LoadTrace(const std::string& path, std::string* scenario_name,
+                         ChoiceTrace* trace) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  scenario_name->clear();
+  trace->clear();
+  std::string line;
+  bool saw_choices = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("scenario: ", 0) == 0) {
+      *scenario_name = line.substr(10);
+    } else if (line.rfind("choices:", 0) == 0) {
+      saw_choices = true;
+      std::istringstream fields(line.substr(8));
+      uint32_t c;
+      while (fields >> c) {
+        trace->push_back(c);
+      }
+    }
+  }
+  return !scenario_name->empty() && saw_choices;
+}
+
+}  // namespace gs

@@ -1,0 +1,127 @@
+// Schedule-space explorer: a DPOR-lite stateless model checker for the
+// mechanism layer.
+//
+// The simulator is deterministic, so one seed explores one schedule. Real
+// kernels hit races because hardware reorders concurrent work; the explorer
+// reintroduces that adversarial freedom in a controlled way. Whenever the
+// EventLoop has more than one event due at the same timestamp (a "batch"),
+// the installed ScheduleOracle is asked which fires next — each such batch is
+// a choice point. A Scenario builds a fresh machine + workload, installs the
+// oracle, runs, and reports whether an invariant broke. The explorer then:
+//
+//  * enumerates interleavings by iterative depth-first search, re-executing
+//    the scenario from scratch with a forced choice prefix (stateless model
+//    checking — no snapshotting, the simulator's determinism is the
+//    checkpoint);
+//  * prunes commutative orderings with sleep sets over a conservative
+//    independence relation on event tags (src/sim/sched_tag.h): only strictly
+//    per-CPU kernel mechanics on distinct CPUs commute, everything untagged
+//    or shared is dependent;
+//  * falls back to seeded bounded-depth random walks when the space is too
+//    large to exhaust;
+//  * delta-debugs the choice trace of the first violating schedule down to a
+//    minimal reproducer and can save/load it as a text replay file that
+//    re-executes byte-deterministically.
+//
+// Scenarios should return a *time-normalized* violation description (strip
+// the "[invariant t=..ns]" prefix; NormalizeViolation() does this): shrinking
+// keeps a reduction only if the violation's first line is unchanged, and
+// reordered schedules legitimately detect the same violation at different
+// virtual times.
+#ifndef GHOST_SIM_SRC_VERIFY_EXPLORER_H_
+#define GHOST_SIM_SRC_VERIFY_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/sim/event_loop.h"
+
+namespace gs {
+
+class Explorer {
+ public:
+  enum class Mode {
+    kExhaustive,   // DFS with sleep-set pruning, up to max_schedules
+    kRandomWalk,   // seeded random choices, max_schedules independent walks
+  };
+
+  struct Options {
+    Mode mode = Mode::kExhaustive;
+    // Budget: total scenario executions (DFS backtracks or random walks).
+    uint64_t max_schedules = 4096;
+    // Choice points deeper than this are not branched (DFS) / not randomized
+    // (walk); the default schedule is taken. Bounds the search depth without
+    // truncating the execution itself.
+    int max_branch_depth = 64;
+    bool sleep_sets = true;
+    uint64_t seed = 1;  // random-walk seed
+    // Delta-debug the first violating trace down to a minimal one.
+    bool shrink = true;
+    uint64_t max_shrink_runs = 512;
+    bool stop_at_first = true;
+  };
+
+  // Builds a fresh deterministic world, installs `oracle` on its EventLoop,
+  // runs a fixed workload, and returns a violation description ("" if clean).
+  // Must be repeatable: same oracle decisions => same execution.
+  using Scenario = std::function<std::string(ScheduleOracle* oracle)>;
+
+  // trace[k] = candidate index taken at the k-th choice point. Positions
+  // beyond the trace (and index 0) mean "default order".
+  using ChoiceTrace = std::vector<uint32_t>;
+
+  struct Result {
+    bool violation_found = false;
+    std::string violation;     // first violation seen (normalized by scenario)
+    ChoiceTrace trace;         // choices of the first violating schedule
+    ChoiceTrace shrunk_trace;  // after delta-debugging (== trace if !shrink)
+    uint64_t schedules = 0;    // scenario executions (excluding shrink runs)
+    uint64_t choice_points = 0;  // total oracle consultations across runs
+    uint64_t pruned = 0;         // branches skipped by sleep sets
+    int max_depth = 0;           // deepest choice point seen in any run
+    uint64_t shrink_runs = 0;
+  };
+
+  Explorer(Scenario scenario, Options options);
+
+  Result Explore();
+
+  // Re-executes the scenario forcing `trace`; returns the violation ("" if
+  // none). Deterministic: the same trace always yields the same execution.
+  std::string Replay(const ChoiceTrace& trace);
+
+  // Text replay-file round trip. Format:
+  //   # ghost-sim explorer replay v1
+  //   scenario: <name>
+  //   violation: <description>   (informational)
+  //   choices: c0 c1 c2 ...
+  static bool SaveTrace(const std::string& path, const std::string& scenario_name,
+                        const std::string& violation, const ChoiceTrace& trace);
+  static bool LoadTrace(const std::string& path, std::string* scenario_name,
+                        ChoiceTrace* trace);
+
+ private:
+  struct Frame;
+  class DfsOracle;
+  class ReplayOracle;
+  class WalkOracle;
+
+  Result ExploreDfs();
+  Result ExploreRandomWalk();
+  void Shrink(Result* result);
+
+  Scenario scenario_;
+  Options options_;
+};
+
+// Strips the "[invariant t=<...>ns] " prefix from the first line of an
+// InvariantChecker report so that the same logical violation compares equal
+// across schedules that detect it at different virtual times.
+std::string NormalizeViolation(const std::string& report);
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_VERIFY_EXPLORER_H_

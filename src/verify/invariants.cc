@@ -257,6 +257,15 @@ void InvariantChecker::CheckEnclave(Enclave* enclave) {
       Violation("cpu " + std::to_string(cpu) + " latch holds task '" +
                 latched->name() + "' that does not point back");
     }
+    // A latched thread must not execute anywhere before its latch is
+    // consumed: commit validation rejects placed/mid-switch threads and the
+    // fast path skips latched ones, so this firing means a pick path handed
+    // out a thread the agent had already scheduled elsewhere.
+    if (latched->state() == TaskState::kRunning && latched->cpu() != cpu) {
+      Violation("cpu " + std::to_string(cpu) + " latch holds task '" +
+                latched->name() + "' that is running on cpu " +
+                std::to_string(latched->cpu()));
+    }
   }
 
   // Queue accounting: per-task pending counts tally messages that really sit

@@ -94,5 +94,43 @@ TEST(HotHandoffTest, NoIdleCpuMeansNoHandoff) {
   EXPECT_EQ(policy_ptr->global_cpu(), 0);
 }
 
+TEST(HotHandoffTest, AgentUpgradeResetsWatchdogClock) {
+  // Regression for the watchdog-vs-upgrade race: a thread's runnable wait is
+  // measured from runnable_since(), which an agent handoff does not reset. A
+  // freshly registered agent inherits threads that may have been runnable
+  // through the whole upgrade window; without restarting the measurement the
+  // watchdog destroys the enclave before the new agent had any chance.
+  Machine m(Topology::Make("t", 1, 2, 1, 2));
+  Enclave::Config config;
+  config.watchdog_timeout = Milliseconds(5);
+  config.watchdog_period = Milliseconds(1);
+  auto enclave = m.CreateEnclave(CpuMask::AllUpTo(2), config);
+
+  // A runnable ghOSt thread with no agent: the watchdog clock is ticking.
+  Task* w = m.kernel().CreateTask("w");
+  enclave->AddTask(w);
+  m.kernel().StartBurst(w, Microseconds(10),
+                        [&m](Task* t) { m.kernel().Exit(t); });
+  m.kernel().Wake(w);
+  m.RunFor(Milliseconds(4));  // runnable 4 ms < 5 ms timeout
+  ASSERT_FALSE(enclave->destroyed());
+
+  // Agent upgrade at t=4ms: the handoff must restart the wait accounting.
+  Task* agent = m.kernel().CreateTask("agent2", m.agent_class());
+  enclave->RegisterAgentTask(1, agent);
+  m.RunFor(Milliseconds(4));
+  // t=8ms: 8 ms since the wakeup (over the timeout) but only 4 ms since the
+  // handoff — the fresh agent still has time.
+  EXPECT_FALSE(enclave->destroyed())
+      << "watchdog charged the new agent for its predecessor's backlog";
+
+  // The new agent never schedules the thread either: now blame is deserved.
+  m.RunFor(Milliseconds(3));  // 7 ms since the handoff
+  EXPECT_TRUE(enclave->destroyed());
+  // Destruction moved the thread back to CFS, where it finishes.
+  m.RunFor(Milliseconds(2));
+  EXPECT_EQ(w->state(), TaskState::kDead);
+}
+
 }  // namespace
 }  // namespace gs

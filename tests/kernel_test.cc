@@ -264,6 +264,54 @@ TEST(KernelTest, KillRunnableAndBlockedTasks) {
   EXPECT_TRUE(m.kernel().CpuIdle(0));
 }
 
+TEST(KernelTest, BlockRewakeInDeschedWindowIsFreshPlacement) {
+  // ttwu wake_pending regression: a task that blocks and is re-woken before
+  // its deschedule completes is re-picked as next == old, but it went through
+  // schedule() — it must be treated as freshly placed, so its on-scheduled
+  // hook fires again. (The broken resume path silently swallowed the hook,
+  // which wedged a blocked-then-instantly-rewoken agent forever.)
+  Machine m(SmallTopo(1));
+  Task* task = m.kernel().CreateTask("t");
+  int scheduled = 0;
+  m.kernel().SetOnScheduled(task, [&](Task*) { ++scheduled; });
+  m.kernel().StartBurst(task, Microseconds(10), [&m](Task* t) {
+    // Block, then wake while still on-CPU (the deschedule resched event is
+    // pending): Wake() must defer via wake_pending, exactly the ttwu-on_cpu
+    // race, and the rewake lands in the same event-loop batch.
+    m.kernel().Block(t);
+    m.kernel().StartBurst(t, Microseconds(10),
+                          [&m](Task* t2) { m.kernel().Exit(t2); });
+    m.kernel().Wake(t);
+  });
+  m.kernel().Wake(task);
+  m.RunFor(Milliseconds(1));
+  EXPECT_EQ(task->state(), TaskState::kDead);
+  EXPECT_EQ(task->total_runtime(), Microseconds(20));
+  EXPECT_EQ(scheduled, 2) << "re-pick after block+rewake must re-run the "
+                             "on-scheduled hook";
+}
+
+TEST(KernelTest, ZeroLengthBurstSurvivesSameInstantPreemption) {
+  // A zero-length burst arms a zero-delay completion event; the redundant
+  // resched queued by the rewake's wakeup-preemption check fires first (same
+  // timestamp, earlier sequence), deschedules the task, and cancels that
+  // completion. Re-placement must re-arm it — has_burst() is false for a
+  // zero-length burst, so without has_pending_burst_done() the completion
+  // callback is lost and the task wedges forever.
+  Machine m(SmallTopo(1));
+  Task* task = m.kernel().CreateTask("t");
+  m.kernel().StartBurst(task, Microseconds(10), [&m](Task* t) {
+    m.kernel().Block(t);
+    m.kernel().StartBurst(t, Duration{0},
+                          [&m](Task* t2) { m.kernel().Exit(t2); });
+    m.kernel().Wake(t);
+  });
+  m.kernel().Wake(task);
+  m.RunFor(Milliseconds(1));
+  EXPECT_EQ(task->state(), TaskState::kDead)
+      << "zero-length burst completion was lost across the preemption";
+}
+
 TEST(KernelTest, BusyTimeAccounting) {
   Machine m(SmallTopo(2));
   SpawnOneShot(m.kernel(), "t", Milliseconds(3));

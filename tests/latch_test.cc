@@ -2,6 +2,10 @@
 // state) and commit validation interleavings.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "src/ghost/fastpath.h"
 #include "src/ghost/machine.h"
 #include "tests/test_util.h"
 
@@ -180,6 +184,158 @@ TEST_F(LatchTest, SyncGroupRejectsDuplicateTargets) {
   enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
   EXPECT_EQ(t5.status, TxnStatus::kCommitted);
   EXPECT_EQ(t6.status, TxnStatus::kCommitted);
+}
+
+TEST_F(LatchTest, SyncGroupFailingMemberRollsBackLatchedSiblings) {
+  // Regression for the partial-latch bug: members latch as they validate, so
+  // when a later member fails, the already-latched siblings must be rolled
+  // back — kEAborted, latches cleared, target CPUs untouched — not left to
+  // run half a synchronized group.
+  Build(4);
+  Task* a = GhostTask_("a", Microseconds(50));
+  Task* b = GhostTask_("b", Microseconds(50));  // never woken -> kENotRunnable
+  machine_->kernel().Wake(a);
+  machine_->RunFor(Microseconds(1));
+
+  Transaction ta;
+  ta.tid = a->tid();
+  ta.target_cpu = 1;
+  ta.sync_group = 9;
+  Transaction tb;
+  tb.tid = b->tid();
+  tb.target_cpu = 2;
+  tb.sync_group = 9;
+  std::vector<Transaction*> txns = {&ta, &tb};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(ta.status, TxnStatus::kEAborted);
+  EXPECT_EQ(tb.status, TxnStatus::kENotRunnable);
+  // The rolled-back sibling left no trace: no latch, and `a` never runs.
+  EXPECT_FALSE(machine_->ghost_class()->HasLatch(1));
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(a->state(), TaskState::kRunnable);
+  EXPECT_EQ(a->total_runtime(), Duration{0});
+
+  // The CPUs stay usable: a well-formed retry commits and runs.
+  machine_->kernel().Wake(b);
+  machine_->RunFor(Microseconds(1));
+  ta.sync_group = 10;
+  ta.status = TxnStatus::kPending;
+  tb.sync_group = 10;
+  tb.status = TxnStatus::kPending;
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(ta.status, TxnStatus::kCommitted);
+  EXPECT_EQ(tb.status, TxnStatus::kCommitted);
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(a->state(), TaskState::kDead);
+  EXPECT_EQ(b->state(), TaskState::kDead);
+}
+
+TEST_F(LatchTest, SyncGroupRollbackSparesIdleMarkerSibling) {
+  // An idle-marker member takes no latch, so a group abort must not deliver
+  // its forced-idle side effect either: the CPU stays schedulable.
+  Build(4);
+  Task* b = GhostTask_("b", Microseconds(50));  // never woken -> group fails
+
+  Transaction tidle;
+  tidle.tid = 0;
+  tidle.idle = true;
+  tidle.target_cpu = 1;
+  tidle.sync_group = 11;
+  Transaction tb;
+  tb.tid = b->tid();
+  tb.target_cpu = 2;
+  tb.sync_group = 11;
+  std::vector<Transaction*> txns = {&tidle, &tb};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(tidle.status, TxnStatus::kEAborted);
+  EXPECT_EQ(tb.status, TxnStatus::kENotRunnable);
+  EXPECT_FALSE(machine_->ghost_class()->forced_idle(1))
+      << "aborted idle marker must not force the CPU idle";
+}
+
+TEST_F(LatchTest, SyncGroupRollbackRestoresForcedIdleMarker) {
+  // Latching clears an existing forced-idle marker on the target CPU; a
+  // rollback must put it back, or the abort silently un-idles a CPU that
+  // core scheduling deliberately parked.
+  Build(4);
+  Task* a = GhostTask_("a", Microseconds(50));
+  Task* b = GhostTask_("b", Microseconds(50));  // never woken
+  machine_->kernel().Wake(a);
+  machine_->RunFor(Microseconds(1));
+
+  machine_->ghost_class()->SetForcedIdle(1, true);
+  Transaction ta;
+  ta.tid = a->tid();
+  ta.target_cpu = 1;
+  ta.sync_group = 12;
+  Transaction tb;
+  tb.tid = b->tid();
+  tb.target_cpu = 2;
+  tb.sync_group = 12;
+  std::vector<Transaction*> txns = {&ta, &tb};
+  enclave_->TxnsCommit(txns, nullptr, [](int) { return Duration{0}; });
+  EXPECT_EQ(ta.status, TxnStatus::kEAborted);
+  EXPECT_TRUE(machine_->ghost_class()->forced_idle(1))
+      << "rollback must restore the forced-idle marker the latch displaced";
+}
+
+TEST_F(LatchTest, FastpathSkipsTidLatchedByRemoteCommit) {
+  // Regression for the stale fast-path pick: an agent publishes a tid to the
+  // idle ring, then commits the same thread to another CPU. When the idle
+  // CPU later pops the stale entry, the pick must re-validate and skip it —
+  // otherwise the thread is double-placed on two CPUs at once.
+  Build(3);
+  std::shared_ptr<RingFastPath> ring = RingFastPath::Global(3);
+  RingFastPath* ring_ptr = ring.get();
+  enclave_->InstallFastPath(std::move(ring));
+
+  Task* task = GhostTask_("w", Microseconds(200));
+  machine_->kernel().Wake(task);
+  machine_->RunFor(Microseconds(1));
+  ASSERT_TRUE(ring_ptr->Publish(0, task->tid()));
+
+  // Remote commit wins the race: the thread is latched on CPU 2.
+  ASSERT_EQ(CommitOne(task->tid(), 2), TxnStatus::kCommitted);
+  // Now CPU 1 goes looking for work and pops the stale published tid.
+  machine_->kernel().ReschedCpu(1);
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(task->state(), TaskState::kDead);
+  EXPECT_EQ(task->last_cpu(), 2) << "stale fast-path entry must be skipped";
+  EXPECT_EQ(task->total_runtime(), Microseconds(200));
+}
+
+TEST_F(LatchTest, FastpathSkipsTidMidSwitchOntoAnotherCpu) {
+  // Same race, later window: the latch was already consumed by CPU 2's pick
+  // and the thread is mid-context-switch (still kRunnable, inbound_cpu == 2).
+  // The fast-path pick on CPU 1 must still skip it, and a remote commit in
+  // that window must fail kENotRunnable.
+  Build(3);
+  std::shared_ptr<RingFastPath> ring = RingFastPath::Global(3);
+  RingFastPath* ring_ptr = ring.get();
+  enclave_->InstallFastPath(std::move(ring));
+
+  Task* task = GhostTask_("w", Microseconds(200));
+  machine_->kernel().Wake(task);
+  machine_->RunFor(Microseconds(1));
+  ASSERT_EQ(CommitOne(task->tid(), 2), TxnStatus::kCommitted);
+  // Step until the latch is consumed but the switch hasn't finished: the
+  // thread is still kRunnable with a context switch inbound on CPU 2.
+  while (machine_->ghost_class()->HasLatch(2) ||
+         task->state() != TaskState::kRunnable) {
+    ASSERT_LT(machine_->now(), Milliseconds(1)) << "never reached mid-switch";
+    machine_->RunFor(Nanoseconds(100));
+    if (task->state() == TaskState::kRunning) {
+      GTEST_SKIP() << "switch window too small to observe";
+    }
+  }
+  ASSERT_EQ(task->inbound_cpu(), 2);
+  EXPECT_EQ(CommitOne(task->tid(), 1), TxnStatus::kENotRunnable);
+  ASSERT_TRUE(ring_ptr->Publish(0, task->tid()));
+  machine_->kernel().ReschedCpu(1);
+  machine_->RunFor(Milliseconds(1));
+  EXPECT_EQ(task->state(), TaskState::kDead);
+  EXPECT_EQ(task->last_cpu(), 2);
+  EXPECT_EQ(task->total_runtime(), Microseconds(200));
 }
 
 }  // namespace

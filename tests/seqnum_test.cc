@@ -146,5 +146,53 @@ TEST_F(SeqTest, AgentWakeupOnQueueConfigOnly) {
   EXPECT_NE(agent->state(), TaskState::kBlocked) << "queue wakeup fired";
 }
 
+TEST_F(SeqTest, OverflowedMessageStillAdvancesAseq) {
+  // Regression for the silent-overflow staleness hole: when the queue is full
+  // the message is dropped, but the Aseq must advance anyway — the queue no
+  // longer reflects the world, so an in-flight commit built on the pre-drop
+  // view has to fail kEStale instead of acting on a stale task set.
+  Build(2);
+  Task* agent = machine_->kernel().CreateTask("agent", machine_->agent_class());
+  enclave_->RegisterAgentTask(1, agent);
+  MessageQueue* tiny = enclave_->CreateQueue(/*capacity=*/1);
+  enclave_->ConfigQueueWakeup(tiny, agent);
+
+  Task* task = machine_->kernel().CreateTask("w");
+  enclave_->AddTask(task);  // THREAD_CREATED -> default queue
+  // Drain the creation message first: re-association requires an empty view.
+  while (enclave_->PopMessage(enclave_->default_queue()).has_value()) {
+  }
+  ASSERT_TRUE(enclave_->AssociateQueue(task->tid(), tiny));
+  machine_->kernel().StartBurst(task, Microseconds(10),
+                                [this](Task* t) { machine_->kernel().Exit(t); });
+  machine_->kernel().Wake(task);  // WAKEUP fills the 1-slot queue
+  const uint32_t aseq_before_drop = enclave_->agent_status(agent).aseq;
+  ASSERT_EQ(tiny->size(), 1u);
+
+  // The agent reads its Aseq and builds a commit on the current view...
+  Transaction txn;
+  txn.tid = task->tid();
+  txn.target_cpu = 0;
+  txn.expected_aseq = aseq_before_drop;
+
+  // ...meanwhile an affinity change posts a message that the full queue
+  // drops. The drop must not be silent: Aseq advances and staleness state is
+  // latched even though no message landed.
+  machine_->kernel().SetAffinity(task, CpuMask::Single(1));
+  EXPECT_EQ(tiny->size(), 1u) << "message should have been dropped";
+  EXPECT_EQ(tiny->overflows(), 1u);
+  EXPECT_TRUE(enclave_->overflow_pending());
+  EXPECT_EQ(enclave_->agent_status(agent).aseq, aseq_before_drop + 1)
+      << "dropped message must still advance the Aseq";
+
+  Transaction* ptr = &txn;
+  enclave_->TxnsCommit(std::span<Transaction*>(&ptr, 1), agent,
+                       [](int) { return Duration{0}; });
+  EXPECT_EQ(txn.status, TxnStatus::kEStale)
+      << "in-flight commit across an overflow must fail, not act on the "
+         "pre-drop view (target CPU 0 is outside the new affinity)";
+  EXPECT_NE(task->last_cpu(), 0);
+}
+
 }  // namespace
 }  // namespace gs
