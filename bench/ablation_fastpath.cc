@@ -29,8 +29,6 @@ constexpr double kLoadKqps = 300;  // over 7 worker CPUs: ~64% utilization
 constexpr Duration kWarmup = Milliseconds(100);
 Duration kMeasure = Milliseconds(900);
 
-bench::Harness* g_harness = nullptr;
-
 struct Result {
   double p50_us = 0;
   double p99_us = 0;
@@ -39,9 +37,10 @@ struct Result {
   uint64_t agent_schedules = 0;
 };
 
-Result Run(bool use_fastpath, uint64_t seed) {
-  Machine m(Topology::Make("small-8", 1, 8, 1, 8));
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+Result Run(bench::Run& run, bool use_fastpath, uint64_t seed) {
+  Machine m(Topology::Make("small-8", 1, 8, 1, 8), CostModel(),
+            /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(8));
   CentralizedFifoPolicy::Options options;
   options.global_cpu = 0;
@@ -77,8 +76,8 @@ Result Run(bool use_fastpath, uint64_t seed) {
   return r;
 }
 
-void Record(const char* fastpath, const Result& r) {
-  g_harness->AddRow()
+void Record(bench::Run& run, const char* fastpath, const Result& r) {
+  run.AddRow()
       .Set("fastpath", fastpath)
       .Set("p50_us", r.p50_us)
       .Set("p99_us", r.p99_us)
@@ -93,11 +92,9 @@ void Record(const char* fastpath, const Result& r) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("ablation_fastpath", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kMeasure = Milliseconds(300);
   }
-  const uint64_t seed = harness.SeedOr(7);
   harness.Param("service_us", static_cast<int64_t>(kService / 1000));
   harness.Param("slow_loop_us", static_cast<int64_t>(kSlowLoop / 1000));
   harness.Param("load_kqps", kLoadKqps);
@@ -105,19 +102,21 @@ int main(int argc, char** argv) {
   std::printf("Ablation: BPF-analog fast path closing agent-loop scheduling gaps.\n"
               "8 CPUs, slow (30us/loop) global agent, 15us requests at %.0fk req/s.\n\n",
               kLoadKqps);
-  const Result off = Run(false, seed);
-  const Result on = Run(true, seed);
-  std::printf("%-14s %10s %10s %10s %14s %12s\n", "fastpath", "p50_us", "p99_us",
-              "ach_kqps", "fastpath_picks", "agent_txns");
-  std::printf("%-14s %10.1f %10.1f %10.1f %14llu %12llu\n", "off", off.p50_us, off.p99_us,
-              off.achieved_kqps, (unsigned long long)off.fastpath_picks,
-              (unsigned long long)off.agent_schedules);
-  std::printf("%-14s %10.1f %10.1f %10.1f %14llu %12llu\n", "on", on.p50_us, on.p99_us,
-              on.achieved_kqps, (unsigned long long)on.fastpath_picks,
-              (unsigned long long)on.agent_schedules);
-  Record("off", off);
-  Record("on", on);
-  harness.Metric("p99_reduction_pct", 100.0 * (1.0 - on.p99_us / off.p99_us));
-  std::printf("\np99 reduction: %.1f%%\n", 100.0 * (1.0 - on.p99_us / off.p99_us));
+  harness.RunAll(7, [](bench::Run& run) {
+    const Result off = Run(run, false, run.seed());
+    const Result on = Run(run, true, run.seed());
+    std::printf("%-14s %10s %10s %10s %14s %12s\n", "fastpath", "p50_us", "p99_us",
+                "ach_kqps", "fastpath_picks", "agent_txns");
+    std::printf("%-14s %10.1f %10.1f %10.1f %14llu %12llu\n", "off", off.p50_us,
+                off.p99_us, off.achieved_kqps, (unsigned long long)off.fastpath_picks,
+                (unsigned long long)off.agent_schedules);
+    std::printf("%-14s %10.1f %10.1f %10.1f %14llu %12llu\n", "on", on.p50_us, on.p99_us,
+                on.achieved_kqps, (unsigned long long)on.fastpath_picks,
+                (unsigned long long)on.agent_schedules);
+    Record(run, "off", off);
+    Record(run, "on", on);
+    run.Metric("p99_reduction_pct", 100.0 * (1.0 - on.p99_us / off.p99_us));
+    std::printf("\np99 reduction: %.1f%%\n", 100.0 * (1.0 - on.p99_us / off.p99_us));
+  });
   return harness.Finish();
 }

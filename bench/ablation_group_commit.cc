@@ -23,8 +23,6 @@ constexpr Duration kTaskBurst = Microseconds(10);
 Duration kMeasure = Milliseconds(200);
 constexpr int kCpus = 56;
 
-bench::Harness* g_harness = nullptr;
-
 void SpawnWorker(Kernel& kernel, Enclave& enclave, int index) {
   Task* task = kernel.CreateTask("w/" + std::to_string(index));
   enclave.AddTask(task);
@@ -41,9 +39,10 @@ void SpawnWorker(Kernel& kernel, Enclave& enclave, int index) {
   kernel.Wake(task);
 }
 
-double Run(int max_group) {
-  Machine m(Topology::IntelSkylake112());
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+double Run(bench::Run& run, int max_group) {
+  Machine m(Topology::IntelSkylake112(), CostModel(),
+            /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(kCpus));
   CentralizedFifoPolicy::Options options;
   options.global_cpu = 0;
@@ -66,7 +65,6 @@ double Run(int max_group) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("ablation_group_commit", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kMeasure = Milliseconds(100);
   }
@@ -76,17 +74,19 @@ int main(int argc, char** argv) {
   std::printf("Ablation: group-commit size vs global-agent throughput\n"
               "(Fig 5 setup: %d scheduled CPUs, 10us tasks, saturating load).\n\n", kCpus);
   std::printf("%12s %14s\n", "max group", "Mtxn/sec");
-  const std::vector<int> groups = harness.quick()
-                                      ? std::vector<int>{1, 8, INT32_MAX}
-                                      : std::vector<int>{1, 2, 4, 8, 16, 32, INT32_MAX};
-  for (int group : groups) {
-    const double mtxn = Run(group);
-    std::printf("%12d %14.3f\n", group == INT32_MAX ? 0 : group, mtxn);
-    std::fflush(stdout);
-    harness.AddRow()
-        .Set("max_group", group == INT32_MAX ? 0 : group)
-        .Set("mtxn_per_sec", mtxn);
-  }
+  harness.RunAll(1, [](bench::Run& run) {
+    const std::vector<int> groups = run.quick()
+                                        ? std::vector<int>{1, 8, INT32_MAX}
+                                        : std::vector<int>{1, 2, 4, 8, 16, 32, INT32_MAX};
+    for (int group : groups) {
+      const double mtxn = Run(run, group);
+      std::printf("%12d %14.3f\n", group == INT32_MAX ? 0 : group, mtxn);
+      std::fflush(stdout);
+      run.AddRow()
+          .Set("max_group", group == INT32_MAX ? 0 : group)
+          .Set("mtxn_per_sec", mtxn);
+    }
+  });
   std::printf("(0 = unlimited; the paper's Table 3 single-vs-10 txn numbers imply\n"
               " a 1.5M -> 2.5M/s theoretical gain from batching.)\n");
   return harness.Finish();

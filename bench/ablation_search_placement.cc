@@ -19,18 +19,16 @@ namespace gs {
 namespace {
 
 Duration kRun = Seconds(20);
-uint64_t g_seed = 33;
-
-bench::Harness* g_harness = nullptr;
 
 struct Result {
   double p99_a = 0, p99_b = 0, p99_c = 0;
   uint64_t deferred = 0;
 };
 
-Result Run(bool ccx_aware, Duration max_pending) {
-  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth());
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+Result Run(bench::Run& run, bool ccx_aware, Duration max_pending) {
+  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth(),
+            /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   SearchPolicy::Options options;
   options.global_cpu = 0;
@@ -41,7 +39,7 @@ Result Run(bool ccx_aware, Duration max_pending) {
   AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
   process.Start();
 
-  SearchWorkload workload(&m.kernel(), {.seed = g_seed});
+  SearchWorkload workload(&m.kernel(), {.seed = run.seed()});
   for (Task* worker : workload.workers()) {
     enclave->AddTask(worker);
   }
@@ -56,11 +54,11 @@ Result Run(bool ccx_aware, Duration max_pending) {
   return r;
 }
 
-void Print(const char* name, const Result& r) {
+void Print(bench::Run& run, const char* name, const Result& r) {
   std::printf("%-34s %10.0f %10.0f %10.0f %12llu\n", name, r.p99_a, r.p99_b, r.p99_c,
               (unsigned long long)r.deferred);
   std::fflush(stdout);
-  g_harness->AddRow()
+  run.AddRow()
       .Set("variant", name)
       .Set("p99_a_us", r.p99_a)
       .Set("p99_b_us", r.p99_b)
@@ -74,18 +72,18 @@ void Print(const char* name, const Result& r) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("ablation_search_placement", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kRun = Seconds(3);
   }
-  g_seed = harness.SeedOr(33);
   harness.Param("run_s", static_cast<int64_t>(kRun / 1000000000));
   std::printf("Ablation: Search policy placement features (Fig 8 workload, %lld s).\n\n",
               static_cast<long long>(kRun / 1000000000));
   std::printf("%-34s %10s %10s %10s %12s\n", "variant", "p99_A_us", "p99_B_us", "p99_C_us",
               "deferred");
-  Print("full policy", Run(true, Microseconds(100)));
-  Print("no 100us pending rule", Run(true, 0));
-  Print("no CCX tiers (first-idle)", Run(false, 0));
+  harness.RunAll(33, [](bench::Run& run) {
+    Print(run, "full policy", Run(run, true, Microseconds(100)));
+    Print(run, "no 100us pending rule", Run(run, true, 0));
+    Print(run, "no CCX tiers (first-idle)", Run(run, false, 0));
+  });
   return harness.Finish();
 }

@@ -25,19 +25,18 @@ namespace {
 
 Duration kWork = Seconds(1);
 
-bench::Harness* g_harness = nullptr;
-
 struct Result {
   double total_time = 0;
   uint64_t ticks = 0;
 };
 
-Result Run(bool tickless) {
+Result Run(bench::Run& run, bool tickless) {
   CostModel cost;
   cost.smt_contention_factor = 0.88;
   cost.tick_cost = Microseconds(4);  // VM-exit + cache pollution + re-entry
-  Machine m(Topology::Make("vmhost-24", 1, 12, 2, 12), cost);
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+  Machine m(Topology::Make("vmhost-24", 1, 12, 2, 12), cost,
+            /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   VmWorkload vms(&m.kernel(),
                  {.num_vms = 8, .vcpus_per_vm = 2, .work_per_vcpu = kWork});
@@ -72,31 +71,32 @@ Result Run(bool tickless) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("ablation_tickless", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kWork = Milliseconds(250);
   }
   harness.Param("work_per_vcpu_ms", static_cast<int64_t>(kWork / 1000000));
   std::printf("Ablation: tick-less centralized scheduling for VM guests (section 5).\n"
               "8 VMs x 2 vCPUs on 12 cores, 1s work each, 4us VM-exit per tick.\n\n");
-  const Result ticks = Run(false);
-  const Result tickless = Run(true);
-  std::printf("%-12s %14s %16s\n", "mode", "total_time_s", "ticks_delivered");
-  std::printf("%-12s %14.4f %16llu\n", "ticks on", ticks.total_time,
-              (unsigned long long)ticks.ticks);
-  std::printf("%-12s %14.4f %16llu\n", "tickless", tickless.total_time,
-              (unsigned long long)tickless.ticks);
-  harness.AddRow()
-      .Set("mode", "ticks_on")
-      .Set("total_time_s", ticks.total_time)
-      .Set("ticks_delivered", ticks.ticks);
-  harness.AddRow()
-      .Set("mode", "tickless")
-      .Set("total_time_s", tickless.total_time)
-      .Set("ticks_delivered", tickless.ticks);
-  harness.Metric("guest_time_recovered_pct",
-                 100.0 * (1.0 - tickless.total_time / ticks.total_time));
-  std::printf("\nguest time recovered: %.2f%%\n",
-              100.0 * (1.0 - tickless.total_time / ticks.total_time));
+  harness.RunAll(1, [](bench::Run& run) {
+    const Result ticks = Run(run, false);
+    const Result tickless = Run(run, true);
+    std::printf("%-12s %14s %16s\n", "mode", "total_time_s", "ticks_delivered");
+    std::printf("%-12s %14.4f %16llu\n", "ticks on", ticks.total_time,
+                (unsigned long long)ticks.ticks);
+    std::printf("%-12s %14.4f %16llu\n", "tickless", tickless.total_time,
+                (unsigned long long)tickless.ticks);
+    run.AddRow()
+        .Set("mode", "ticks_on")
+        .Set("total_time_s", ticks.total_time)
+        .Set("ticks_delivered", ticks.ticks);
+    run.AddRow()
+        .Set("mode", "tickless")
+        .Set("total_time_s", tickless.total_time)
+        .Set("ticks_delivered", tickless.ticks);
+    run.Metric("guest_time_recovered_pct",
+               100.0 * (1.0 - tickless.total_time / ticks.total_time));
+    std::printf("\nguest time recovered: %.2f%%\n",
+                100.0 * (1.0 - tickless.total_time / ticks.total_time));
+  });
   return harness.Finish();
 }

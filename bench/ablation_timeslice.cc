@@ -25,9 +25,6 @@ constexpr double kPLong = 0.005;
 constexpr double kLoadKqps = 240;
 constexpr Duration kWarmup = Milliseconds(100);
 Duration kMeasure = Milliseconds(900);
-uint64_t g_seed = 99;
-
-bench::Harness* g_harness = nullptr;
 
 CpuMask ServerCpus() {
   CpuMask mask;
@@ -47,12 +44,12 @@ struct Result {
   uint64_t preemptions = 0;
 };
 
-Result Run(Duration timeslice) {
+Result Run(bench::Run& run, Duration timeslice) {
   CostModel cost;
   cost.smt_contention_factor = 1.0;
   cost.agent_smt_contention_factor = 1.0;
-  Machine m(Topology::IntelE5_24(), cost);
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+  Machine m(Topology::IntelE5_24(), cost, /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   CpuMask enclave_cpus = ServerCpus();
   enclave_cpus.Set(1);
   auto enclave = m.CreateEnclave(enclave_cpus);
@@ -66,7 +63,7 @@ Result Run(Duration timeslice) {
     enclave->AddTask(worker);
   }
   BimodalServiceModel model(kShort, kLong, kPLong);
-  PoissonLoadGen gen(&m.loop(), &model, kLoadKqps * 1e3, g_seed,
+  PoissonLoadGen gen(&m.loop(), &model, kLoadKqps * 1e3, run.seed(),
                      [&server](Time t, Duration s) { server.Submit(t, s); });
   gen.Start(kWarmup + kMeasure);
   int64_t at_warmup = 0;
@@ -91,40 +88,41 @@ Result Run(Duration timeslice) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("ablation_timeslice", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kMeasure = Milliseconds(300);
   }
-  g_seed = harness.SeedOr(99);
   harness.Param("load_kqps", kLoadKqps);
   harness.Param("measure_ms", static_cast<int64_t>(kMeasure / 1000000));
   std::printf("Ablation: ghOSt-Shinjuku preemption timeslice on the dispersive\n"
               "workload (240 kqps; 99.5%% x 10us + 0.5%% x 10ms). The paper uses 30us.\n\n");
   std::printf("%12s %10s %10s %10s %12s\n", "slice_us", "p50_us", "p99_us", "ach_kqps",
               "preemptions");
-  const std::vector<Duration> slices =
-      harness.quick()
-          ? std::vector<Duration>{Microseconds(30), Milliseconds(5), 0}
-          : std::vector<Duration>{Microseconds(5),   Microseconds(15), Microseconds(30),
-                                  Microseconds(100), Microseconds(500), Milliseconds(5), 0};
-  for (Duration slice : slices) {
-    const Result r = Run(slice);
-    if (slice > 0) {
-      std::printf("%12lld %10.1f %10.1f %10.1f %12llu\n",
-                  static_cast<long long>(slice / 1000), r.p50_us, r.p99_us,
-                  r.achieved_kqps, (unsigned long long)r.preemptions);
-    } else {
-      std::printf("%12s %10.1f %10.1f %10.1f %12llu   (run-to-completion)\n", "inf",
-                  r.p50_us, r.p99_us, r.achieved_kqps, (unsigned long long)r.preemptions);
+  harness.RunAll(99, [](bench::Run& run) {
+    const std::vector<Duration> slices =
+        run.quick()
+            ? std::vector<Duration>{Microseconds(30), Milliseconds(5), 0}
+            : std::vector<Duration>{Microseconds(5),   Microseconds(15), Microseconds(30),
+                                    Microseconds(100), Microseconds(500), Milliseconds(5), 0};
+    for (Duration slice : slices) {
+      const Result r = Run(run, slice);
+      if (slice > 0) {
+        std::printf("%12lld %10.1f %10.1f %10.1f %12llu\n",
+                    static_cast<long long>(slice / 1000), r.p50_us, r.p99_us,
+                    r.achieved_kqps, (unsigned long long)r.preemptions);
+      } else {
+        std::printf("%12s %10.1f %10.1f %10.1f %12llu   (run-to-completion)\n", "inf",
+                    r.p50_us, r.p99_us, r.achieved_kqps,
+                    (unsigned long long)r.preemptions);
+      }
+      std::fflush(stdout);
+      run.AddRow()
+          .Set("slice_us", static_cast<int64_t>(slice / 1000))
+          .Set("run_to_completion", slice == 0)
+          .Set("p50_us", r.p50_us)
+          .Set("p99_us", r.p99_us)
+          .Set("achieved_kqps", r.achieved_kqps)
+          .Set("preemptions", r.preemptions);
     }
-    std::fflush(stdout);
-    harness.AddRow()
-        .Set("slice_us", static_cast<int64_t>(slice / 1000))
-        .Set("run_to_completion", slice == 0)
-        .Set("p50_us", r.p50_us)
-        .Set("p99_us", r.p99_us)
-        .Set("achieved_kqps", r.achieved_kqps)
-        .Set("preemptions", r.preemptions);
-  }
+  });
   return harness.Finish();
 }

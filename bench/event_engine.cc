@@ -12,6 +12,7 @@
 // firing sequences are FNV-hashed and must match exactly — a mismatch is a
 // determinism bug and the binary exits non-zero. Wall-clock events/sec and
 // the wheel/reference speedup are reported through the schema-v1 harness.
+#include <atomic>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -197,7 +198,7 @@ struct WorkloadResult {
   RunResult reference;
 };
 
-bool Report(bench::Harness& harness, std::vector<WorkloadResult>& results) {
+bool Report(bench::Run& run, std::vector<WorkloadResult>& results) {
   bool ok = true;
   for (const WorkloadResult& w : results) {
     if (w.wheel.checksum != w.reference.checksum ||
@@ -212,7 +213,7 @@ bool Report(bench::Harness& harness, std::vector<WorkloadResult>& results) {
     for (const char* engine : {"wheel", "reference"}) {
       const RunResult& r =
           engine == std::string("wheel") ? w.wheel : w.reference;
-      harness.AddRow()
+      run.AddRow()
           .Set("workload", w.name)
           .Set("engine", engine)
           .Set("events", r.events)
@@ -223,7 +224,7 @@ bool Report(bench::Harness& harness, std::vector<WorkloadResult>& results) {
     const double speedup = w.reference.seconds > 0 && w.wheel.seconds > 0
                                ? w.reference.seconds / w.wheel.seconds
                                : 0.0;
-    harness.Metric("speedup_" + w.name, speedup);
+    run.Metric("speedup_" + w.name, speedup);
     std::printf("%-16s wheel %10.0f ev/s   reference %10.0f ev/s   speedup %.2fx\n",
                 w.name.c_str(),
                 w.wheel.seconds > 0 ? w.wheel.events / w.wheel.seconds : 0.0,
@@ -239,7 +240,6 @@ bool Report(bench::Harness& harness, std::vector<WorkloadResult>& results) {
 
 int main(int argc, char** argv) {
   gs::bench::Harness harness("event_engine", argc, argv);
-  const uint64_t seed = harness.SeedOr(1000);
   const bool quick = harness.quick();
 
   const uint64_t mixed_events = quick ? 2000000 : 20000000;
@@ -256,35 +256,42 @@ int main(int argc, char** argv) {
   harness.Param("periodic_fires", static_cast<int64_t>(periodic_fires));
   harness.Param("storm_span_ns", static_cast<int64_t>(storm_span));
 
-  std::vector<gs::WorkloadResult> results;
+  std::atomic<int> divergences{0};
+  harness.RunAll(1000, [&](gs::bench::Run& run) {
+    const uint64_t seed = run.seed();
+    std::vector<gs::WorkloadResult> results;
 
-  {
-    gs::WorkloadResult w;
-    w.name = "mixed";
-    w.wheel = gs::RunMixed<gs::EventLoop>(seed, mixed_events);
-    w.reference = gs::RunMixed<gs::ReferenceEventLoop>(seed, mixed_events);
-    results.push_back(std::move(w));
-  }
-  {
-    gs::WorkloadResult w;
-    w.name = "periodic";
-    w.wheel = gs::RunPeriodicHeavy<gs::EventLoop>(seed, periodic_timers,
-                                                  periodic_fires);
-    w.reference = gs::RunPeriodicHeavy<gs::ReferenceEventLoop>(
-        seed, periodic_timers, periodic_fires);
-    results.push_back(std::move(w));
-  }
-  for (int cpus : storm_cpus) {
-    gs::WorkloadResult w;
-    w.name = "tick_storm_" + std::to_string(cpus);
-    w.wheel = gs::RunTickStorm<gs::EventLoop>(cpus, storm_span);
-    w.reference = gs::RunTickStorm<gs::ReferenceEventLoop>(cpus, storm_span);
-    results.push_back(std::move(w));
-  }
+    {
+      gs::WorkloadResult w;
+      w.name = "mixed";
+      w.wheel = gs::RunMixed<gs::EventLoop>(seed, mixed_events);
+      w.reference = gs::RunMixed<gs::ReferenceEventLoop>(seed, mixed_events);
+      results.push_back(std::move(w));
+    }
+    {
+      gs::WorkloadResult w;
+      w.name = "periodic";
+      w.wheel = gs::RunPeriodicHeavy<gs::EventLoop>(seed, periodic_timers,
+                                                    periodic_fires);
+      w.reference = gs::RunPeriodicHeavy<gs::ReferenceEventLoop>(
+          seed, periodic_timers, periodic_fires);
+      results.push_back(std::move(w));
+    }
+    for (int cpus : storm_cpus) {
+      gs::WorkloadResult w;
+      w.name = "tick_storm_" + std::to_string(cpus);
+      w.wheel = gs::RunTickStorm<gs::EventLoop>(cpus, storm_span);
+      w.reference = gs::RunTickStorm<gs::ReferenceEventLoop>(cpus, storm_span);
+      results.push_back(std::move(w));
+    }
 
-  const bool ok = gs::Report(harness, results);
+    if (!gs::Report(run, results)) {
+      divergences.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
   const int finish = harness.Finish();
-  if (!ok) {
+  if (divergences.load() > 0) {
     return 1;  // determinism failure between the two engines
   }
   return finish;

@@ -15,6 +15,7 @@
 //   --no-sleep-sets      disable DPOR-lite pruning (coverage comparison)
 //   --replay-out=<dir>   write a replay file per caught mutant
 //   --replay=<file>      re-execute a saved replay file and exit
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -127,7 +128,6 @@ int main(int argc, char** argv) {
   }
 
   bench::Harness harness("explorer", argc, argv);
-  const uint64_t seed = harness.SeedOr(1);
   const uint64_t budget =
       flags.budget > 0 ? flags.budget : (harness.quick() ? 2000 : 50000);
   harness.Param("mode", flags.mode);
@@ -135,21 +135,38 @@ int main(int argc, char** argv) {
   harness.Param("sleep_sets", flags.sleep_sets);
 
   std::printf("Schedule-space explorer: %s search, %llu schedules/scenario "
-              "budget, sleep sets %s.\n\n",
+              "budget, sleep sets %s, %d job(s).\n\n",
               flags.mode == "walk" ? "random-walk" : "exhaustive DFS",
-              (unsigned long long)budget, flags.sleep_sets ? "on" : "off");
+              (unsigned long long)budget, flags.sleep_sets ? "on" : "off",
+              harness.jobs());
   std::printf("%-22s %-6s %10s %10s %8s %7s %6s  %s\n", "scenario", "code",
               "schedules", "choicepts", "pruned", "depth", "trace", "result");
 
-  int failures = 0;
+  std::atomic<int> failures{0};
+  harness.RunAll(1, [&](bench::Run& run) {
+  const uint64_t seed = run.seed();
+  // Random-walk searches fan their walk budget across the harness's --jobs
+  // pool; DFS is inherently sequential (each branch extends the last), so
+  // it always runs single-threaded.
+  auto search = [&](const char* name, bool mutate,
+                    bool stop_at_first) -> Explorer::Result {
+    const Explorer::Options options =
+        MakeOptions(flags, budget, seed, stop_at_first);
+    if (flags.mode == "walk" && harness.jobs() != 1) {
+      return Explorer::ExploreParallelWalks(
+          [name, mutate] { return MakeExplorerScenario(name, mutate); },
+          options, harness.jobs());
+    }
+    Explorer explorer(MakeExplorerScenario(name, mutate), options);
+    return explorer.Explore();
+  };
   for (const ExplorerScenarioInfo& info : AllExplorerScenarios()) {
     if (!flags.scenario.empty() && flags.scenario != info.name) {
       continue;
     }
     // Fixed code: the full budget must sweep clean.
-    Explorer fixed(MakeExplorerScenario(info.name, /*mutate=*/false),
-                   MakeOptions(flags, budget, seed, /*stop_at_first=*/false));
-    Explorer::Result clean = fixed.Explore();
+    Explorer::Result clean = search(info.name, /*mutate=*/false,
+                                    /*stop_at_first=*/false);
     std::printf("%-22s %-6s %10llu %10llu %8llu %7d %6s  %s\n", info.name,
                 "fixed", (unsigned long long)clean.schedules,
                 (unsigned long long)clean.choice_points,
@@ -160,12 +177,13 @@ int main(int argc, char** argv) {
     }
 
     // Mutant: must be caught, and the shrunken trace must replay.
-    Explorer mutant(MakeExplorerScenario(info.name, /*mutate=*/true),
-                    MakeOptions(flags, budget, seed, /*stop_at_first=*/true));
-    Explorer::Result caught = mutant.Explore();
+    Explorer::Result caught = search(info.name, /*mutate=*/true,
+                                     /*stop_at_first=*/true);
     bool replays = false;
     if (caught.violation_found) {
-      replays = mutant.Replay(caught.shrunk_trace) == caught.violation;
+      Explorer replayer(MakeExplorerScenario(info.name, /*mutate=*/true),
+                        Explorer::Options());
+      replays = replayer.Replay(caught.shrunk_trace) == caught.violation;
     }
     std::printf("%-22s %-6s %10llu %10llu %8llu %7d %6zu  %s\n", info.name,
                 "mutant", (unsigned long long)caught.schedules,
@@ -189,7 +207,7 @@ int main(int argc, char** argv) {
       }
     }
 
-    harness.AddRow()
+    run.AddRow()
         .Set("scenario", info.name)
         .Set("fixed_schedules", clean.schedules)
         .Set("fixed_choice_points", clean.choice_points)
@@ -202,11 +220,12 @@ int main(int argc, char** argv) {
         .Set("shrink_runs", caught.shrink_runs)
         .Set("violation", caught.violation);
   }
-  harness.Metric("failures", static_cast<int64_t>(failures));
+  run.Metric("failures", static_cast<int64_t>(failures.load()));
+  });
 
   const int harness_rc = harness.Finish();
-  if (failures > 0) {
-    std::fprintf(stderr, "\n%d scenario check(s) FAILED\n", failures);
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "\n%d scenario check(s) FAILED\n", failures.load());
     return 1;
   }
   return harness_rc;

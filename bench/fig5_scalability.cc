@@ -29,8 +29,6 @@ namespace {
 constexpr Duration kTaskBurst = Microseconds(10);
 constexpr Duration kMeasure = Milliseconds(300);
 
-bench::Harness* g_harness = nullptr;
-
 // CPU fill order: agent's socket cores first (skipping the agent CPU), then
 // its hyperthreads (the agent's sibling first — the ❷ dip), then the remote
 // socket.
@@ -76,9 +74,9 @@ void SpawnWorker(Kernel& kernel, Enclave& enclave, int index) {
   kernel.Wake(task);
 }
 
-double RunPoint(const Topology& topo, int num_cpus) {
-  Machine m(topo);
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+double RunPoint(bench::Run& run, const Topology& topo, int num_cpus) {
+  Machine m(topo, CostModel(), /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   const int agent_cpu = 0;
   const std::vector<int> order = FillOrder(m.kernel().topology(), agent_cpu);
 
@@ -105,21 +103,22 @@ double RunPoint(const Topology& topo, int num_cpus) {
   return static_cast<double>(after - before) / ToSeconds(kMeasure) / 1e6;
 }
 
-void RecordPoint(const char* machine, const Topology& topo, int n) {
-  const double mtxn = RunPoint(topo, n);
+void RecordPoint(bench::Run& run, const char* machine, const Topology& topo, int n) {
+  const double mtxn = RunPoint(run, topo, n);
   std::printf("%8d %14.3f\n", n, mtxn);
   std::fflush(stdout);
-  g_harness->AddRow().Set("machine", machine).Set("cpus", n).Set("mtxn_per_sec", mtxn);
+  run.AddRow().Set("machine", machine).Set("cpus", n).Set("mtxn_per_sec", mtxn);
 }
 
-void RunMachine(const char* label, const char* machine, const Topology& topo) {
+void RunMachine(bench::Run& run, const char* label, const char* machine,
+                const Topology& topo) {
   std::printf("\n-- %s --\n%8s %14s\n", label, "cpus", "Mtxn/sec");
   const int max = topo.num_cpus() - 1;
-  const int stride = g_harness->quick() ? 16 : 4;
+  const int stride = run.quick() ? 16 : 4;
   for (int n = 4; n <= max; n += stride) {
-    RecordPoint(machine, topo, n);
+    RecordPoint(run, machine, topo, n);
   }
-  RecordPoint(machine, topo, max);
+  RecordPoint(run, machine, topo, max);
 }
 
 }  // namespace
@@ -127,13 +126,16 @@ void RunMachine(const char* label, const char* machine, const Topology& topo) {
 
 int main(int argc, char** argv) {
   gs::bench::Harness harness("fig5_scalability", argc, argv);
-  gs::g_harness = &harness;
   harness.Param("task_burst_us", static_cast<int64_t>(gs::kTaskBurst / 1000));
   harness.Param("measure_ms", static_cast<int64_t>(gs::kMeasure / 1000000));
   std::printf("Fig 5 reproduction: global agent scalability (round-robin policy,\n"
               "%lld us tasks, group commits). Expect ramp, SMT dip, NUMA droop.\n",
               static_cast<long long>(gs::kTaskBurst / 1000));
-  gs::RunMachine("Skylake (112 CPUs)", "skylake112", gs::Topology::IntelSkylake112());
-  gs::RunMachine("Haswell (72 CPUs)", "haswell72", gs::Topology::IntelHaswell72());
+  harness.RunAll(1, [](gs::bench::Run& run) {
+    gs::RunMachine(run, "Skylake (112 CPUs)", "skylake112",
+                   gs::Topology::IntelSkylake112());
+    gs::RunMachine(run, "Haswell (72 CPUs)", "haswell72",
+                   gs::Topology::IntelHaswell72());
+  });
   return harness.Finish();
 }

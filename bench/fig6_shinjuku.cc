@@ -42,8 +42,6 @@ constexpr int kBatchThreads = 10;
 Duration kWarmup = Milliseconds(100);
 Duration kMeasure = Milliseconds(900);
 
-bench::Harness* g_harness = nullptr;
-
 // CPU plan on the 24-CPU socket: core 0 (CPUs 0,12) belongs to the load
 // generator. The agent/dispatcher takes core 1 (CPUs 1,13); request
 // processing gets the remaining 20 hyperthread CPUs.
@@ -76,11 +74,14 @@ CostModel Fig6Cost() {
   return cost;
 }
 
-Machine MakeMachine() { return Machine(Topology::IntelE5_24(), Fig6Cost()); }
+Machine MakeMachine(bench::Run& run) {
+  return Machine(Topology::IntelE5_24(), Fig6Cost(), /*with_core_sched=*/false,
+                 &run.stats());
+}
 
-Result RunGhost(double offered_kqps, bool with_batch, uint64_t seed) {
-  Machine m = MakeMachine();
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+Result RunGhost(bench::Run& run, double offered_kqps, bool with_batch, uint64_t seed) {
+  Machine m = MakeMachine(run);
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   CpuMask enclave_cpus = ServerCpus();
   enclave_cpus.Set(1);  // global agent home
   auto enclave = m.CreateEnclave(enclave_cpus);
@@ -139,8 +140,8 @@ Result RunGhost(double offered_kqps, bool with_batch, uint64_t seed) {
   return r;
 }
 
-Result RunCfs(double offered_kqps, bool with_batch, uint64_t seed) {
-  Machine m = MakeMachine();
+Result RunCfs(bench::Run& run, double offered_kqps, bool with_batch, uint64_t seed) {
+  Machine m = MakeMachine(run);
   CpuMask worker_cpus = ServerCpus();
   worker_cpus.Set(1);
   worker_cpus.Set(13);
@@ -186,8 +187,8 @@ Result RunCfs(double offered_kqps, bool with_batch, uint64_t seed) {
   return r;
 }
 
-Result RunShinjuku(double offered_kqps, bool with_batch, uint64_t seed) {
-  Machine m = MakeMachine();
+Result RunShinjuku(bench::Run& run, double offered_kqps, bool with_batch, uint64_t seed) {
+  Machine m = MakeMachine(run);
   ShinjukuDataplane::Options options;
   const CpuMask workers = ServerCpus();
   for (int cpu = workers.First(); cpu >= 0; cpu = workers.NextAfter(cpu)) {
@@ -249,9 +250,9 @@ void PrintRow(const char* system, const Result& r) {
   std::fflush(stdout);
 }
 
-void Record(const char* system, bool with_batch, const Result& r) {
+void Record(bench::Run& run, const char* system, bool with_batch, const Result& r) {
   PrintRow(system, r);
-  g_harness->AddRow()
+  run.AddRow()
       .Set("system", system)
       .Set("with_batch", with_batch)
       .Set("offered_kqps", r.offered_kqps)
@@ -262,17 +263,17 @@ void Record(const char* system, bool with_batch, const Result& r) {
       .Set("batch_share", r.batch_share);
 }
 
-void RunSweep(bool with_batch, uint64_t base_seed) {
+void RunSweep(bench::Run& run, bool with_batch) {
   PrintHeader(with_batch ? "Fig 6b/6c: RocksDB co-located with a batch app"
                          : "Fig 6a: tail latency for dispersive loads");
   const std::vector<double> loads =
-      g_harness->quick() ? std::vector<double>{25, 100}
-                         : std::vector<double>{25, 50, 100, 150, 200, 240, 270, 290, 310};
+      run.quick() ? std::vector<double>{25, 100}
+                  : std::vector<double>{25, 50, 100, 150, 200, 240, 270, 290, 310};
   for (double load : loads) {
-    const uint64_t seed = base_seed + static_cast<uint64_t>(load);
-    Record("shinjuku", with_batch, RunShinjuku(load, with_batch, seed));
-    Record("ghost-shinjuku", with_batch, RunGhost(load, with_batch, seed));
-    Record("cfs-shinjuku", with_batch, RunCfs(load, with_batch, seed));
+    const uint64_t seed = run.seed() + static_cast<uint64_t>(load);
+    Record(run, "shinjuku", with_batch, RunShinjuku(run, load, with_batch, seed));
+    Record(run, "ghost-shinjuku", with_batch, RunGhost(run, load, with_batch, seed));
+    Record(run, "cfs-shinjuku", with_batch, RunCfs(run, load, with_batch, seed));
   }
 }
 
@@ -281,13 +282,11 @@ void RunSweep(bool with_batch, uint64_t base_seed) {
 
 int main(int argc, char** argv) {
   gs::bench::Harness harness("fig6_shinjuku", argc, argv);
-  gs::g_harness = &harness;
   if (harness.quick()) {
     // CI smoke sizing: fewer load points, shorter windows.
     gs::kWarmup = gs::Milliseconds(50);
     gs::kMeasure = gs::Milliseconds(200);
   }
-  const uint64_t base_seed = harness.SeedOr(1000);
   harness.Param("timeslice_us", static_cast<int64_t>(gs::kTimeslice / 1000));
   harness.Param("num_workers", gs::kNumWorkers);
   harness.Param("batch_threads", gs::kBatchThreads);
@@ -298,7 +297,9 @@ int main(int argc, char** argv) {
   std::printf("workload: 99.5%% x %lld us + 0.5%% x %lld ms, 30 us timeslice, 200 workers\n",
               static_cast<long long>(gs::kShort / 1000),
               static_cast<long long>(gs::kLong / 1000000));
-  gs::RunSweep(/*with_batch=*/false, base_seed);
-  gs::RunSweep(/*with_batch=*/true, base_seed);
+  harness.RunAll(1000, [](gs::bench::Run& run) {
+    gs::RunSweep(run, /*with_batch=*/false);
+    gs::RunSweep(run, /*with_batch=*/true);
+  });
   return harness.Finish();
 }

@@ -28,8 +28,6 @@ constexpr int kAntagonists = 40;
 Duration kWarmup = Seconds(1);
 Duration kMeasure = Seconds(19);
 
-bench::Harness* g_harness = nullptr;
-
 Topology SnapTopo() {
   // Single socket of the Skylake machine: 28 cores / 56 CPUs.
   return Topology::Make("skylake1s-56", 1, 28, 2, 28);
@@ -50,8 +48,8 @@ struct RunResult {
   Tails large;
 };
 
-RunResult RunMicroQuanta(bool loaded, uint64_t seed) {
-  Machine m(SnapTopo());
+RunResult RunMicroQuanta(bench::Run& run, bool loaded, uint64_t seed) {
+  Machine m(SnapTopo(), CostModel(), /*with_core_sched=*/false, &run.stats());
   SnapSystem snap(&m.kernel(), {.seed = seed});
   for (Task* engine : snap.engine_threads()) {
     m.kernel().SetSchedClass(engine, m.mq_class());
@@ -67,9 +65,9 @@ RunResult RunMicroQuanta(bool loaded, uint64_t seed) {
   return RunResult{Collect(snap.small_latency()), Collect(snap.large_latency())};
 }
 
-RunResult RunGhost(bool loaded, uint64_t seed) {
-  Machine m(SnapTopo());
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+RunResult RunGhost(bench::Run& run, bool loaded, uint64_t seed) {
+  Machine m(SnapTopo(), CostModel(), /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   SnapSystem snap(&m.kernel(), {.seed = seed});
   BatchApp antagonists(&m.kernel(), {.num_threads = kAntagonists, .name_prefix = "antag"});
@@ -101,9 +99,9 @@ RunResult RunGhost(bool loaded, uint64_t seed) {
   return RunResult{Collect(snap.small_latency()), Collect(snap.large_latency())};
 }
 
-void RecordRows(const char* system, bool loaded, const RunResult& r) {
+void RecordRows(bench::Run& run, const char* system, bool loaded, const RunResult& r) {
   auto add = [&](const char* size, const Tails& t) {
-    g_harness->AddRow()
+    run.AddRow()
         .Set("system", system)
         .Set("loaded", loaded)
         .Set("msg_size", size)
@@ -135,30 +133,31 @@ void PrintMode(const char* title, const RunResult& mq, const RunResult& ghost) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("fig7_snap", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kWarmup = Milliseconds(200);
     kMeasure = Seconds(2);
   }
-  const uint64_t base_seed = harness.SeedOr(11);
   harness.Param("antagonists", kAntagonists);
   harness.Param("warmup_ms", static_cast<int64_t>(kWarmup / 1000000));
   harness.Param("measure_ms", static_cast<int64_t>(kMeasure / 1000000));
   std::printf("Fig 7 reproduction: Snap packet-processing latencies, 56-CPU socket.\n"
               "6 flows x 10k msg/s (1x64B + 5x64kB); engines under MicroQuanta vs ghOSt.\n");
-  {
-    RunResult mq = RunMicroQuanta(/*loaded=*/false, base_seed);
-    RunResult ghost = RunGhost(/*loaded=*/false, base_seed);
-    PrintMode("Fig 7a: quiet (networking load only)", mq, ghost);
-    RecordRows("microquanta", false, mq);
-    RecordRows("ghost", false, ghost);
-  }
-  {
-    RunResult mq = RunMicroQuanta(/*loaded=*/true, base_seed + 1);
-    RunResult ghost = RunGhost(/*loaded=*/true, base_seed + 1);
-    PrintMode("Fig 7b: loaded (40 antagonist threads)", mq, ghost);
-    RecordRows("microquanta", true, mq);
-    RecordRows("ghost", true, ghost);
-  }
+  harness.RunAll(11, [](bench::Run& run) {
+    const uint64_t base_seed = run.seed();
+    {
+      RunResult mq = RunMicroQuanta(run, /*loaded=*/false, base_seed);
+      RunResult ghost = RunGhost(run, /*loaded=*/false, base_seed);
+      PrintMode("Fig 7a: quiet (networking load only)", mq, ghost);
+      RecordRows(run, "microquanta", false, mq);
+      RecordRows(run, "ghost", false, ghost);
+    }
+    {
+      RunResult mq = RunMicroQuanta(run, /*loaded=*/true, base_seed + 1);
+      RunResult ghost = RunGhost(run, /*loaded=*/true, base_seed + 1);
+      PrintMode("Fig 7b: loaded (40 antagonist threads)", mq, ghost);
+      RecordRows(run, "microquanta", true, mq);
+      RecordRows(run, "ghost", true, ghost);
+    }
+  });
   return harness.Finish();
 }

@@ -23,8 +23,6 @@ namespace {
 
 Duration kRun = Seconds(60);
 
-bench::Harness* g_harness = nullptr;
-
 struct Series {
   std::vector<double> qps[3];
   std::vector<double> p99_us[3];
@@ -32,7 +30,7 @@ struct Series {
   double total_qps[3];
 };
 
-Series Collect(SearchWorkload& workload, const char* system) {
+Series Collect(bench::Run& run, SearchWorkload& workload, const char* system) {
   const int seconds = static_cast<int>(ToSeconds(kRun));
   Series out;
   for (int type = 0; type < 3; ++type) {
@@ -46,28 +44,30 @@ Series Collect(SearchWorkload& workload, const char* system) {
     out.total_qps[type] =
         static_cast<double>(workload.completed(q)) / ToSeconds(kRun);
     static const char* kNames[3] = {"A", "B", "C"};
-    g_harness->AddRow()
+    run.AddRow()
         .Set("system", system)
         .Set("query_type", kNames[type])
         .Set("total_qps", out.total_qps[type])
         .Set("overall_p99_us", out.overall_p99[type]);
-    g_harness->HistogramJson(
+    run.HistogramJson(
         std::string("windows_") + system + "_" + kNames[type], series.ToJson());
   }
   return out;
 }
 
-Series RunCfs(uint64_t seed) {
-  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth());
+Series RunCfs(bench::Run& run, uint64_t seed) {
+  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth(),
+            /*with_core_sched=*/false, &run.stats());
   SearchWorkload workload(&m.kernel(), {.seed = seed});
   workload.Start(kRun);
   m.RunFor(kRun + Milliseconds(200));
-  return Collect(workload, "cfs");
+  return Collect(run, workload, "cfs");
 }
 
-Series RunGhost(uint64_t seed) {
-  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth());
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+Series RunGhost(bench::Run& run, uint64_t seed) {
+  Machine m(Topology::AmdRome256(), CostModel().WithCacheWarmth(),
+            /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   SearchPolicy::Options options;
   options.global_cpu = 0;
@@ -81,7 +81,7 @@ Series RunGhost(uint64_t seed) {
   }
   workload.Start(kRun);
   m.RunFor(kRun + Milliseconds(200));
-  return Collect(workload, "ghost");
+  return Collect(run, workload, "ghost");
 }
 
 void PrintPanels(const Series& cfs, const Series& ghost) {
@@ -119,20 +119,20 @@ void PrintPanels(const Series& cfs, const Series& ghost) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("fig8_search", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kRun = Seconds(5);
   }
-  const uint64_t seed = harness.SeedOr(21);
   harness.Param("run_s", static_cast<int64_t>(kRun / 1000000000));
   std::printf("Fig 8 reproduction: Google Search on AMD Rome (256 CPUs), %lld s.\n"
               "Query A: 25k qps x 3ms (NUMA-tied); B: 50k qps x 0.4ms + 2ms SSD;\n"
               "C: 8k qps x 8ms (long-living workers).\n",
               static_cast<long long>(kRun / 1000000000));
-  Series cfs = RunCfs(seed);
-  std::printf("[cfs run done]\n");
-  Series ghost = RunGhost(seed);
-  std::printf("[ghost run done]\n");
-  PrintPanels(cfs, ghost);
+  harness.RunAll(21, [](bench::Run& run) {
+    Series cfs = RunCfs(run, run.seed());
+    std::printf("[cfs run done]\n");
+    Series ghost = RunGhost(run, run.seed());
+    std::printf("[ghost run done]\n");
+    PrintPanels(cfs, ghost);
+  });
   return harness.Finish();
 }

@@ -1,12 +1,13 @@
 #include "bench/harness.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/base/logging.h"
+#include "src/sim/batch_runner.h"
 #include "src/sim/trace.h"
-#include "src/stats/stats.h"
 
 namespace gs {
 namespace bench {
@@ -52,15 +53,29 @@ const char* FlagValue(const char* arg, const char* flag) {
   return nullptr;
 }
 
-[[noreturn]] void UsageError(const std::string& name, const std::string& detail) {
-  std::fprintf(stderr,
-               "%s: %s\n"
-               "harness flags:\n"
+void PrintUsage(std::FILE* out, const std::string& name,
+                const Harness::Options& options) {
+  std::fprintf(out,
+               "%s: harness flags:\n"
                "  --json=<path>       write machine-readable results\n"
                "  --seed=<N>          override the base RNG seed\n"
+               "  --seeds=<N>         run N repetitions, seeds base..base+N-1\n"
+               "  --jobs=<N>          worker threads for the repetitions\n"
+               "                      (0 = one per hardware thread, default 1)\n"
                "  --scale=quick|paper sweep size (default: paper)\n"
                "  --trace-out=<path>  write a Chrome-trace/Perfetto JSON\n",
-               name.c_str(), detail.c_str());
+               name.c_str());
+  for (const std::string& prefix : options.passthrough_prefixes) {
+    std::fprintf(out, "  %s...        passed through to the benchmark\n",
+                 prefix.c_str());
+  }
+}
+
+[[noreturn]] void UsageError(const std::string& name,
+                             const Harness::Options& options,
+                             const std::string& detail) {
+  std::fprintf(stderr, "%s: %s\n", name.c_str(), detail.c_str());
+  PrintUsage(stderr, name, options);
   std::exit(2);
 }
 
@@ -91,8 +106,57 @@ Row& Row::SetRaw(const std::string& key, std::string json) {
   return *this;
 }
 
+Run::Run(Harness* harness, uint64_t seed, int index)
+    : harness_(harness), seed_(seed), index_(index) {
+  if (harness_->json_requested() || !harness_->trace_path_.empty()) {
+    stats_.Enable();
+  }
+}
+
+Scale Run::scale() const { return harness_->scale(); }
+bool Run::quick() const { return harness_->quick(); }
+
+Row& Run::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+void Run::Metric(const std::string& name, double v) {
+  metrics_.emplace_back(name, RenderDouble(v));
+}
+void Run::Metric(const std::string& name, int64_t v) {
+  metrics_.emplace_back(name, RenderInt(v));
+}
+
+void Run::HistogramJson(const std::string& name, std::string json) {
+  histograms_.emplace_back(name, std::move(json));
+}
+
+bool Run::MaybeAttachTrace(Trace& trace) {
+  return harness_->AttachTrace(*this, trace);
+}
+
+ChromeTraceExporter* Run::trace_exporter() {
+  return index_ == 0 ? harness_->exporter_.get() : nullptr;
+}
+
 Harness::Harness(std::string benchmark_name, int& argc, char** argv)
-    : name_(std::move(benchmark_name)) {
+    : Harness(std::move(benchmark_name), argc, argv, Options()) {}
+
+Harness::Harness(std::string benchmark_name, int& argc, char** argv,
+                 Options options)
+    : name_(std::move(benchmark_name)), options_(std::move(options)) {
+  auto parse_positive = [&](const char* v, const char* flag, int min) {
+    char* end = nullptr;
+    const long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || n < min || n > 1 << 20) {
+      UsageError(name_, options_,
+                 std::string("bad ") + flag + " value: " + v + " (want an integer >= " +
+                     std::to_string(min) + ")");
+    }
+    return static_cast<int>(n);
+  };
+
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -102,35 +166,56 @@ Harness::Harness(std::string benchmark_name, int& argc, char** argv)
       char* end = nullptr;
       seed_override_ = std::strtoull(v, &end, 10);
       if (end == v || *end != '\0') {
-        UsageError(name_, "bad --seed value: " + std::string(v));
+        UsageError(name_, options_, "bad --seed value: " + std::string(v));
       }
       seed_overridden_ = true;
+    } else if (const char* v = FlagValue(arg, "--seeds")) {
+      num_seeds_ = parse_positive(v, "--seeds", 1);
+    } else if (const char* v = FlagValue(arg, "--jobs")) {
+      jobs_ = parse_positive(v, "--jobs", 0);
     } else if (const char* v = FlagValue(arg, "--scale")) {
       if (std::strcmp(v, "quick") == 0) {
         scale_ = Scale::kQuick;
       } else if (std::strcmp(v, "paper") == 0) {
         scale_ = Scale::kPaper;
       } else {
-        UsageError(name_, "bad --scale value: " + std::string(v) +
-                              " (want quick or paper)");
+        UsageError(name_, options_, "bad --scale value: " + std::string(v) +
+                                        " (want quick or paper)");
       }
     } else if (const char* v = FlagValue(arg, "--trace-out")) {
       trace_path_ = v;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage(stdout, name_, options_);
+      std::exit(0);
+    } else if (std::strncmp(arg, "--", 2) == 0 && arg[2] != '\0') {
+      // A "--" flag the harness does not know: either the benchmark declared
+      // its prefix, or it is a typo — reject so a misspelled flag cannot
+      // silently run the wrong configuration.
+      bool passthrough = false;
+      for (const std::string& prefix : options_.passthrough_prefixes) {
+        if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+          passthrough = true;
+          break;
+        }
+      }
+      if (!passthrough) {
+        UsageError(name_, options_, "unknown flag: " + std::string(arg));
+      }
+      argv[out++] = argv[i];
     } else {
-      argv[out++] = argv[i];  // not ours; leave for the benchmark
-      continue;
+      argv[out++] = argv[i];  // positional; leave for the benchmark
     }
   }
   argc = out;
   argv[argc] = nullptr;
 
+  if (!options_.allow_parallel && (num_seeds_ != 1 || jobs_ != 1)) {
+    UsageError(name_, options_,
+               "--seeds/--jobs are not supported by this benchmark (it wraps "
+               "a framework with process-global state)");
+  }
   if (!trace_path_.empty()) {
     exporter_ = std::make_unique<ChromeTraceExporter>(name_);
-  }
-  // A result file without the stats snapshot would be hollow; traces imply
-  // introspection too. Plain stdout runs keep the zero-overhead default.
-  if (!json_path_.empty() || !trace_path_.empty()) {
-    GlobalStats().Enable();
   }
 }
 
@@ -153,29 +238,176 @@ void Harness::Param(const std::string& key, bool v) {
   params_.emplace_back(key, RenderBool(v));
 }
 
-Row& Harness::AddRow() {
-  rows_.emplace_back();
-  return rows_.back();
+void Harness::RunAll(uint64_t fallback_seed,
+                     const std::function<void(Run&)>& body) {
+  CHECK(!ran_all_) << "Harness::RunAll called twice";
+  CHECK(runs_.empty()) << "Harness::RunAll mixed with single-run sinks";
+  ran_all_ = true;
+  const uint64_t base = SeedOr(fallback_seed);
+  for (int i = 0; i < num_seeds_; ++i) {
+    runs_.emplace_back(new Run(this, base + static_cast<uint64_t>(i), i));
+  }
+  const BatchRunner runner(num_seeds_ > 1 ? jobs_ : 1);
+  const auto start = std::chrono::steady_clock::now();
+  runner.Run(num_seeds_, [&](int i) { body(*runs_[i]); });
+  wall_clock_s_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (num_seeds_ > 1) {
+    std::fprintf(stderr, "ran %d seeds with %d job(s) in %.2fs\n", num_seeds_,
+                 runner.jobs(), wall_clock_s_);
+  }
 }
 
+Run& Harness::DefaultRun() {
+  CHECK(!ran_all_) << "single-run sinks mixed with Harness::RunAll";
+  if (runs_.empty()) {
+    runs_.emplace_back(new Run(this, seed_used_, 0));
+  }
+  return *runs_.front();
+}
+
+Row& Harness::AddRow() { return DefaultRun().AddRow(); }
 void Harness::Metric(const std::string& name, double v) {
-  metrics_.emplace_back(name, RenderDouble(v));
+  DefaultRun().Metric(name, v);
 }
 void Harness::Metric(const std::string& name, int64_t v) {
-  metrics_.emplace_back(name, RenderInt(v));
+  DefaultRun().Metric(name, v);
 }
-
 void Harness::HistogramJson(const std::string& name, std::string json) {
-  histograms_.emplace_back(name, std::move(json));
+  DefaultRun().HistogramJson(name, std::move(json));
+}
+bool Harness::MaybeAttachTrace(Trace& trace) {
+  return AttachTrace(DefaultRun(), trace);
 }
 
-bool Harness::MaybeAttachTrace(Trace& trace) {
-  if (exporter_ == nullptr || trace_attached_) {
+bool Harness::AttachTrace(const Run& run, Trace& trace) {
+  // Only run 0 traces (virtual time restarts at 0 every run; a second
+  // attachment would interleave restarted timestamps), so `trace_attached_`
+  // is only ever touched from the thread executing run 0.
+  if (exporter_ == nullptr || run.index_ != 0 || trace_attached_) {
     return false;
   }
   trace.AddSink(exporter_.get());
   trace_attached_ = true;
   return true;
+}
+
+void Harness::AppendDocHeader(JsonWriter& w, uint64_t seed) const {
+  w.KV("schema_version", 1);
+  w.KV("benchmark", name_);
+  if (seed_recorded_) {
+    w.Key("seed");
+    w.UInt(seed);
+  }
+  w.KV("scale", quick() ? "quick" : "paper");
+}
+
+void Harness::AppendRunBlocks(JsonWriter& w, const Run& run) const {
+  w.Key("series");
+  w.BeginArray();
+  for (const Row& row : run.rows_) {
+    w.BeginObject();
+    for (const auto& [key, json] : row.cells_) {
+      w.Key(key);
+      w.Raw(json);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  w.BeginObject();
+  for (const auto& [key, json] : run.metrics_) {
+    w.Key(key);
+    w.Raw(json);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [key, json] : run.histograms_) {
+    w.Key(key);
+    w.Raw(json);
+  }
+  w.EndObject();
+  w.Key("stats");
+  run.stats_.AppendJson(w);
+}
+
+void Harness::AppendAggregateBlocks(JsonWriter& w) const {
+  w.Key("series");
+  w.BeginArray();
+  for (const auto& run : runs_) {
+    for (const Row& row : run->rows_) {
+      w.BeginObject();
+      w.Key("seed");
+      w.UInt(run->seed_);
+      for (const auto& [key, json] : row.cells_) {
+        w.Key(key);
+        w.Raw(json);
+      }
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("wall_clock_s");
+  w.Double(wall_clock_s_);
+  for (const auto& run : runs_) {
+    const std::string suffix = "{seed=" + std::to_string(run->seed_) + "}";
+    for (const auto& [key, json] : run->metrics_) {
+      w.Key(key + suffix);
+      w.Raw(json);
+    }
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& run : runs_) {
+    const std::string suffix = "{seed=" + std::to_string(run->seed_) + "}";
+    for (const auto& [key, json] : run->histograms_) {
+      w.Key(key + suffix);
+      w.Raw(json);
+    }
+  }
+  w.EndObject();
+  w.Key("stats");
+  StatsRegistry merged;
+  for (const auto& run : runs_) {
+    merged.MergeFrom(run->stats_);
+  }
+  merged.AppendJson(w);
+}
+
+int Harness::WriteJsonFile(const std::string& path,
+                           const std::string& json) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot open %s\n", name_.c_str(), path.c_str());
+    return 1;
+  }
+  int rc = 0;
+  if (std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+      std::fputc('\n', f) == EOF) {
+    std::fprintf(stderr, "%s: short write to %s\n", name_.c_str(), path.c_str());
+    rc = 1;
+  }
+  std::fclose(f);
+  if (rc == 0) {
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+  return rc;
+}
+
+std::string Harness::SeedPath(uint64_t seed) const {
+  const std::string insert = ".seed" + std::to_string(seed);
+  const size_t dot = json_path_.rfind('.');
+  const size_t slash = json_path_.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return json_path_ + insert;  // no extension: append
+  }
+  return json_path_.substr(0, dot) + insert + json_path_.substr(dot);
 }
 
 int Harness::Finish() {
@@ -184,65 +416,58 @@ int Harness::Finish() {
   int rc = 0;
 
   if (!json_path_.empty()) {
-    JsonWriter w;
-    w.BeginObject();
-    w.KV("schema_version", 1);
-    w.KV("benchmark", name_);
-    if (seed_recorded_) {
-      w.Key("seed");
-      w.UInt(seed_used_);
+    if (runs_.empty()) {
+      // A benchmark that recorded nothing still emits a schema-valid file.
+      CHECK(!ran_all_);
+      runs_.emplace_back(new Run(this, seed_used_, 0));
     }
-    w.KV("scale", quick() ? "quick" : "paper");
-    w.Key("params");
-    w.BeginObject();
-    for (const auto& [key, json] : params_) {
-      w.Key(key);
-      w.Raw(json);
-    }
-    w.EndObject();
-    w.Key("series");
-    w.BeginArray();
-    for (const Row& row : rows_) {
+    if (runs_.size() == 1) {
+      JsonWriter w;
       w.BeginObject();
-      for (const auto& [key, json] : row.cells_) {
+      AppendDocHeader(w, runs_.front()->seed_);
+      w.Key("params");
+      w.BeginObject();
+      for (const auto& [key, json] : params_) {
         w.Key(key);
         w.Raw(json);
       }
       w.EndObject();
-    }
-    w.EndArray();
-    w.Key("metrics");
-    w.BeginObject();
-    for (const auto& [key, json] : metrics_) {
-      w.Key(key);
-      w.Raw(json);
-    }
-    w.EndObject();
-    w.Key("histograms");
-    w.BeginObject();
-    for (const auto& [key, json] : histograms_) {
-      w.Key(key);
-      w.Raw(json);
-    }
-    w.EndObject();
-    w.Key("stats");
-    GlobalStats().AppendJson(w);
-    w.EndObject();
-
-    std::FILE* f = std::fopen(json_path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "%s: cannot open %s\n", name_.c_str(), json_path_.c_str());
-      rc = 1;
+      AppendRunBlocks(w, *runs_.front());
+      w.EndObject();
+      rc |= WriteJsonFile(json_path_, w.str());
     } else {
-      const std::string& json = w.str();
-      if (std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
-          std::fputc('\n', f) == EOF) {
-        std::fprintf(stderr, "%s: short write to %s\n", name_.c_str(),
-                     json_path_.c_str());
-        rc = 1;
+      // One standalone per-seed document each (byte-identical for any
+      // --jobs), then the aggregate at the --json path itself.
+      for (const auto& run : runs_) {
+        JsonWriter w;
+        w.BeginObject();
+        AppendDocHeader(w, run->seed_);
+        w.Key("params");
+        w.BeginObject();
+        for (const auto& [key, json] : params_) {
+          w.Key(key);
+          w.Raw(json);
+        }
+        w.EndObject();
+        AppendRunBlocks(w, *run);
+        w.EndObject();
+        rc |= WriteJsonFile(SeedPath(run->seed_), w.str());
       }
-      std::fclose(f);
-      std::fprintf(stderr, "wrote %s\n", json_path_.c_str());
+      JsonWriter w;
+      w.BeginObject();
+      AppendDocHeader(w, seed_used_);
+      w.KV("seeds", static_cast<int64_t>(num_seeds_));
+      w.KV("jobs", static_cast<int64_t>(jobs_));
+      w.Key("params");
+      w.BeginObject();
+      for (const auto& [key, json] : params_) {
+        w.Key(key);
+        w.Raw(json);
+      }
+      w.EndObject();
+      AppendAggregateBlocks(w);
+      w.EndObject();
+      rc |= WriteJsonFile(json_path_, w.str());
     }
   }
 

@@ -4,11 +4,11 @@
 // Declare one of these right after constructing the Machine:
 //
 //   Machine m = MakeMachine();
-//   ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+//   ScopedMachineTrace trace_scope(run, m.kernel());
 //
 // On construction it attaches the exporter to this run's kernel trace (only
-// the harness's first run actually attaches — see
-// Harness::MaybeAttachTrace). On destruction — while the kernel is still
+// the first machine of the harness's run 0 actually attaches — see
+// Run::MaybeAttachTrace). On destruction — while the kernel is still
 // alive — it snapshots every task's tid -> name mapping into the exporter's
 // task namer and installs the ghOSt enum namers, so the exported slices read
 // "agent/3" / "msg task_wakeup" / "txn_fail estale" instead of raw integers.
@@ -29,9 +29,8 @@ namespace bench {
 
 class ScopedMachineTrace {
  public:
-  ScopedMachineTrace(Harness& harness, Kernel& kernel)
-      : harness_(harness), kernel_(kernel) {
-    traced_ = harness_.MaybeAttachTrace(kernel_.trace());
+  ScopedMachineTrace(Run& run, Kernel& kernel) : run_(run), kernel_(kernel) {
+    traced_ = run_.MaybeAttachTrace(kernel_.trace());
   }
 
   ~ScopedMachineTrace() {
@@ -42,7 +41,7 @@ class ScopedMachineTrace {
     for (const auto& task : kernel_.tasks()) {
       (*names)[task->tid()] = task->name();
     }
-    ChromeTraceExporter* exporter = harness_.trace_exporter();
+    ChromeTraceExporter* exporter = run_.trace_exporter();
     exporter->SetTaskNamer([names](int64_t tid) {
       auto it = names->find(tid);
       return it == names->end() ? std::string() : it->second;
@@ -66,7 +65,7 @@ class ScopedMachineTrace {
   bool traced() const { return traced_; }
 
  private:
-  Harness& harness_;
+  Run& run_;
   Kernel& kernel_;
   bool traced_ = false;
 };

@@ -75,41 +75,42 @@ int CountDirLoc(const fs::path& dir, const std::vector<std::string>& only = {}) 
   return total;
 }
 
-gs::bench::Harness* g_harness = nullptr;
-
-void Row(const char* name, int loc, const char* paper) {
+void Row(gs::bench::Harness& harness, const char* name, int loc, const char* paper) {
   std::printf("%-46s %6d LOC   (paper: %s)\n", name, loc, paper);
-  g_harness->AddRow().Set("component", name).Set("loc", loc).Set("paper_loc", paper);
+  harness.AddRow().Set("component", name).Set("loc", loc).Set("paper_loc", paper);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  gs::bench::Harness harness("table2_loc", argc, argv);
-  g_harness = &harness;
+  // LOC counting is a pure host-filesystem walk: no simulation, nothing to
+  // fan out, so multi-seed runs are rejected up front.
+  gs::bench::Harness::Options options;
+  options.allow_parallel = false;
+  gs::bench::Harness harness("table2_loc", argc, argv, options);
   const fs::path root = GHOST_SIM_SOURCE_DIR;
   const fs::path src = root / "src";
 
   std::printf("Table 2 reproduction: lines of code (non-blank, non-comment)\n\n");
 
-  Row("Simulated kernel substrate (src/kernel, sim, ...)",
+  Row(harness, "Simulated kernel substrate (src/kernel, sim, ...)",
       CountDirLoc(src / "kernel") + CountDirLoc(src / "sim") + CountDirLoc(src / "topology") +
           CountDirLoc(src / "base"),
       "Linux CFS alone is 6,217");
-  Row("ghOSt kernel scheduling class (src/ghost)", CountDirLoc(src / "ghost"),
+  Row(harness, "ghOSt kernel scheduling class (src/ghost)", CountDirLoc(src / "ghost"),
       "3,777");
-  Row("ghOSt userspace support library (src/agent)", CountDirLoc(src / "agent"),
+  Row(harness, "ghOSt userspace support library (src/agent)", CountDirLoc(src / "agent"),
       "3,115");
-  Row("Shinjuku policy", CountDirLoc(src / "policies", {"centralized_fifo", "shinjuku"}),
+  Row(harness, "Shinjuku policy", CountDirLoc(src / "policies", {"centralized_fifo", "shinjuku"}),
       "710 (+17 for Shenango ext)");
-  Row("Per-CPU FIFO policy", CountDirLoc(src / "policies", {"per_cpu_fifo"}), "n/a");
-  Row("Google Search policy", CountDirLoc(src / "policies", {"search"}), "929");
-  Row("Secure VM (core scheduling) policy",
+  Row(harness, "Per-CPU FIFO policy", CountDirLoc(src / "policies", {"per_cpu_fifo"}), "n/a");
+  Row(harness, "Google Search policy", CountDirLoc(src / "policies", {"search"}), "929");
+  Row(harness, "Secure VM (core scheduling) policy",
       CountDirLoc(src / "policies", {"vm_core_sched"}), "4,702 (ghOSt) vs 7,164 (kernel)");
-  Row("Shinjuku dataplane baseline (src/baselines)", CountDirLoc(src / "baselines"),
+  Row(harness, "Shinjuku dataplane baseline (src/baselines)", CountDirLoc(src / "baselines"),
       "Shinjuku system: 3,900");
-  Row("Workloads (src/workloads)", CountDirLoc(src / "workloads"), "n/a");
-  Row("Whole repository (src/)", CountDirLoc(src), "-");
+  Row(harness, "Workloads (src/workloads)", CountDirLoc(src / "workloads"), "n/a");
+  Row(harness, "Whole repository (src/)", CountDirLoc(src), "-");
 
   std::printf(
       "\nThe paper's structural claim to check: policies are small (100s of\n"

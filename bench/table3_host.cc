@@ -133,9 +133,12 @@ class HarnessReporter : public benchmark::ConsoleReporter {
 }  // namespace gs
 
 int main(int argc, char** argv) {
-  // The harness strips its own flags first; google-benchmark then parses the
-  // rest (e.g. --benchmark_filter).
-  gs::bench::Harness harness("table3_host", argc, argv);
+  // The harness strips its own flags first; --benchmark_* flags pass
+  // through to google-benchmark, whose global registry cannot run multi-seed
+  // repetitions in one process.
+  gs::bench::Harness harness("table3_host", argc, argv,
+                             {.passthrough_prefixes = {"--benchmark_"},
+                              .allow_parallel = false});
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -21,8 +21,6 @@ namespace {
 
 Topology BenchTopo() { return Topology::IntelSkylake112(); }
 
-bench::Harness* g_harness = nullptr;
-
 struct Sample {
   double ns = 0;
   const char* note = "";
@@ -31,8 +29,8 @@ struct Sample {
 // 1-2. Message delivery: post -> consumer observes.
 //    Global agent: spinning consumer (produce + poll-detect + dequeue).
 //    Local agent: blocked consumer (produce + wakeup + agent switch + dequeue).
-Sample MessageDeliveryGlobal() {
-  Machine m(BenchTopo());
+Sample MessageDeliveryGlobal(bench::Run& run) {
+  Machine m(BenchTopo(), CostModel(), /*with_core_sched=*/false, &run.stats());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(4));
   Task* task = m.kernel().CreateTask("t");
   enclave->AddTask(task);
@@ -52,11 +50,11 @@ Sample MessageDeliveryGlobal() {
   return {observe, "produce+detect+dequeue"};
 }
 
-Sample MessageDeliveryLocal() {
+Sample MessageDeliveryLocal(bench::Run& run) {
   // Measured end-to-end with a real (blocked) per-CPU agent: post ->
   // agent running and first message popped.
-  Machine m(BenchTopo());
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+  Machine m(BenchTopo(), CostModel(), /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(2));
   auto policy = std::make_unique<PerCpuFifoPolicy>();
   AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
@@ -96,8 +94,8 @@ Sample LocalSchedule() {
 
 // 4-6. Remote schedule (1 txn): agent-side cost, target-side cost, and
 // end-to-end latency until the thread runs.
-void RemoteSchedule(Sample* agent_side, Sample* target_side, Sample* e2e) {
-  Machine m(BenchTopo());
+void RemoteSchedule(bench::Run& run, Sample* agent_side, Sample* target_side, Sample* e2e) {
+  Machine m(BenchTopo(), CostModel(), /*with_core_sched=*/false, &run.stats());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(4));
   Task* task = m.kernel().CreateTask("t");
   enclave->AddTask(task);
@@ -128,8 +126,8 @@ void RemoteSchedule(Sample* agent_side, Sample* target_side, Sample* e2e) {
 }
 
 // 7-9. Group commit of 10 transactions to 10 CPUs.
-void GroupSchedule(Sample* agent_side, Sample* target_side, Sample* e2e) {
-  Machine m(BenchTopo());
+void GroupSchedule(bench::Run& run, Sample* agent_side, Sample* target_side, Sample* e2e) {
+  Machine m(BenchTopo(), CostModel(), /*with_core_sched=*/false, &run.stats());
   auto enclave = m.CreateEnclave(CpuMask::AllUpTo(12));
   std::vector<Task*> tasks;
   std::vector<Time> started(10, -1);
@@ -170,10 +168,10 @@ void GroupSchedule(Sample* agent_side, Sample* target_side, Sample* e2e) {
   *e2e = {static_cast<double>(last - commit_at), "commit->last thread running"};
 }
 
-void Print(int line, const char* name, const Sample& s, int paper_ns) {
+void Print(bench::Run& run, int line, const char* name, const Sample& s, int paper_ns) {
   std::printf("%2d. %-42s %8.0f ns   (paper: %5d ns)  [%s]\n", line, name, s.ns,
               paper_ns, s.note);
-  g_harness->AddRow()
+  run.AddRow()
       .Set("line", line)
       .Set("name", name)
       .Set("ns", s.ns)
@@ -187,37 +185,41 @@ void Print(int line, const char* name, const Sample& s, int paper_ns) {
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("table3_microbench", argc, argv);
-  g_harness = &harness;
   std::printf("Table 3 reproduction: ghOSt microbenchmarks (simulated Skylake)\n\n");
 
-  Print(1, "Message Delivery to Local Agent", MessageDeliveryLocal(), 725);
-  Print(2, "Message Delivery to Global Agent", MessageDeliveryGlobal(), 265);
-  Print(3, "Local Schedule (1 txn)", LocalSchedule(), 888);
+  harness.RunAll(1, [](bench::Run& run) {
+    Print(run, 1, "Message Delivery to Local Agent", MessageDeliveryLocal(run), 725);
+    Print(run, 2, "Message Delivery to Global Agent", MessageDeliveryGlobal(run), 265);
+    Print(run, 3, "Local Schedule (1 txn)", LocalSchedule(), 888);
 
-  Sample agent_side, target_side, e2e;
-  RemoteSchedule(&agent_side, &target_side, &e2e);
-  Print(4, "Remote Schedule: Agent Overhead", agent_side, 668);
-  Print(5, "Remote Schedule: Target CPU Overhead", target_side, 1064);
-  Print(6, "Remote Schedule: End-to-End Latency", e2e, 1772);
+    Sample agent_side, target_side, e2e;
+    RemoteSchedule(run, &agent_side, &target_side, &e2e);
+    Print(run, 4, "Remote Schedule: Agent Overhead", agent_side, 668);
+    Print(run, 5, "Remote Schedule: Target CPU Overhead", target_side, 1064);
+    Print(run, 6, "Remote Schedule: End-to-End Latency", e2e, 1772);
 
-  GroupSchedule(&agent_side, &target_side, &e2e);
-  Print(7, "Group (10 txns): Agent Overhead", agent_side, 3964);
-  Print(8, "Group (10 txns): Target CPU Overhead", target_side, 1821);
-  Print(9, "Group (10 txns): End-to-End Latency", e2e, 5688);
+    GroupSchedule(run, &agent_side, &target_side, &e2e);
+    Print(run, 7, "Group (10 txns): Agent Overhead", agent_side, 3964);
+    Print(run, 8, "Group (10 txns): Target CPU Overhead", target_side, 1821);
+    Print(run, 9, "Group (10 txns): End-to-End Latency", e2e, 5688);
 
-  CostModel cost;
-  Print(10, "Syscall Overhead", {static_cast<double>(cost.syscall), "constant"}, 72);
-  Print(11, "pthread Minimal Context Switch",
-        {static_cast<double>(cost.agent_context_switch), "constant"}, 410);
-  Print(12, "CFS Context Switch", {static_cast<double>(cost.context_switch), "constant"},
-        599);
+    CostModel cost;
+    Print(run, 10, "Syscall Overhead", {static_cast<double>(cost.syscall), "constant"}, 72);
+    Print(run, 11, "pthread Minimal Context Switch",
+          {static_cast<double>(cost.agent_context_switch), "constant"}, 410);
+    Print(run, 12, "CFS Context Switch",
+          {static_cast<double>(cost.context_switch), "constant"}, 599);
 
-  const double single = static_cast<double>(cost.remote_commit_fixed + cost.remote_commit_per_txn);
-  const double grouped = static_cast<double>(cost.remote_commit_fixed + 10 * cost.remote_commit_per_txn) / 10.0;
-  std::printf("\nTheoretical max schedule rate per agent:\n");
-  std::printf("  single commits: %.2f M threads/sec (paper: 1.50 M)\n", 1e3 / single);
-  std::printf("  group commits : %.2f M threads/sec (paper: 2.52 M)\n", 1e3 / grouped);
-  harness.Metric("max_rate_single_mtps", 1e3 / single);
-  harness.Metric("max_rate_grouped_mtps", 1e3 / grouped);
+    const double single =
+        static_cast<double>(cost.remote_commit_fixed + cost.remote_commit_per_txn);
+    const double grouped =
+        static_cast<double>(cost.remote_commit_fixed + 10 * cost.remote_commit_per_txn) /
+        10.0;
+    std::printf("\nTheoretical max schedule rate per agent:\n");
+    std::printf("  single commits: %.2f M threads/sec (paper: 1.50 M)\n", 1e3 / single);
+    std::printf("  group commits : %.2f M threads/sec (paper: 2.52 M)\n", 1e3 / grouped);
+    run.Metric("max_rate_single_mtps", 1e3 / single);
+    run.Metric("max_rate_grouped_mtps", 1e3 / grouped);
+  });
   return harness.Finish();
 }

@@ -27,8 +27,6 @@ namespace {
 // CPU demand per vCPU; --scale=quick shrinks it (relative rates unchanged).
 Duration kWork = Seconds(2);
 
-bench::Harness* g_harness = nullptr;
-
 // bwaves is memory-bandwidth-bound: SMT contention costs it ~12%, far less
 // than integer codes (the paper's rates imply a mild penalty).
 CostModel VmCost() {
@@ -62,16 +60,16 @@ Result Finish(Machine& m, VmWorkload& vms) {
   return r;
 }
 
-Result RunCfs() {
-  Machine m(VmTopo(), VmCost());
+Result RunCfs(bench::Run& run) {
+  Machine m(VmTopo(), VmCost(), /*with_core_sched=*/false, &run.stats());
   VmWorkload vms(&m.kernel(), {.work_per_vcpu = kWork});
   vms.StartSecuritySampler();
   vms.Start();
   return Finish(m, vms);
 }
 
-Result RunKernelCoreSched() {
-  Machine m(VmTopo(), VmCost(), /*with_core_sched=*/true);
+Result RunKernelCoreSched(bench::Run& run) {
+  Machine m(VmTopo(), VmCost(), /*with_core_sched=*/true, &run.stats());
   VmWorkload vms(&m.kernel(), {.work_per_vcpu = kWork});
   for (Task* vcpu : vms.vcpus()) {
     m.kernel().SetSchedClass(vcpu, m.core_sched_class());
@@ -84,9 +82,9 @@ Result RunKernelCoreSched() {
   return r;
 }
 
-Result RunGhostCoreSched() {
-  Machine m(VmTopo(), VmCost());
-  bench::ScopedMachineTrace trace_scope(*g_harness, m.kernel());
+Result RunGhostCoreSched(bench::Run& run) {
+  Machine m(VmTopo(), VmCost(), /*with_core_sched=*/false, &run.stats());
+  bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
   VmWorkload vms(&m.kernel(), {.work_per_vcpu = kWork});
   VmCoreSchedPolicy::Options options;
@@ -104,12 +102,13 @@ Result RunGhostCoreSched() {
   return Finish(m, vms);
 }
 
-void Print(const char* system, const char* name, const Result& r, const char* paper) {
+void Print(bench::Run& run, const char* system, const char* name, const Result& r,
+           const char* paper) {
   std::printf("%-28s rate=%6.1f  total_time=%6.3fs  coresidency_violations=%llu   (paper: %s)\n",
               name, r.rate, r.total_time, static_cast<unsigned long long>(r.violations),
               paper);
   std::fflush(stdout);
-  g_harness->AddRow()
+  run.AddRow()
       .Set("system", system)
       .Set("rate", r.rate)
       .Set("total_time_s", r.total_time)
@@ -123,15 +122,18 @@ void Print(const char* system, const char* name, const Result& r, const char* pa
 int main(int argc, char** argv) {
   using namespace gs;
   bench::Harness harness("table4_vms", argc, argv);
-  g_harness = &harness;
   if (harness.quick()) {
     kWork = Milliseconds(500);
   }
   harness.Param("work_per_vcpu_ms", static_cast<int64_t>(kWork / 1000000));
   std::printf("Table 4 reproduction: secure VM core scheduling.\n"
               "32 vCPUs (16 VMs x 2) on 25 cores / 50 CPUs, bwaves-like CPU-bound work.\n\n");
-  Print("cfs", "CFS (no security)", RunCfs(), "rate 489, 888 s");
-  Print("core_sched", "In-kernel Core Scheduling", RunKernelCoreSched(), "rate 464, 937 s");
-  Print("ghost", "ghOSt Core Scheduling", RunGhostCoreSched(), "rate 468, 929 s");
+  harness.RunAll(1, [](bench::Run& run) {
+    Print(run, "cfs", "CFS (no security)", RunCfs(run), "rate 489, 888 s");
+    Print(run, "core_sched", "In-kernel Core Scheduling", RunKernelCoreSched(run),
+          "rate 464, 937 s");
+    Print(run, "ghost", "ghOSt Core Scheduling", RunGhostCoreSched(run),
+          "rate 468, 929 s");
+  });
   return harness.Finish();
 }

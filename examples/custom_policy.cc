@@ -10,10 +10,9 @@
 #include <cstdio>
 #include <memory>
 
-#include "src/agent/agent_process.h"
 #include "src/agent/runqueue.h"
 #include "src/agent/task_table.h"
-#include "src/ghost/machine.h"
+#include "src/sim/simulation.h"
 
 using namespace gs;
 
@@ -85,27 +84,28 @@ class HintPriorityPolicy : public Policy {
 }  // namespace
 
 int main() {
-  Machine machine(Topology::Make("custom", 1, 2, 1, 2));
-  auto enclave = machine.CreateEnclave(CpuMask::AllUpTo(2));
+  SimulationContext::Options options;
+  options.topology = Topology::Make("custom", 1, 2, 1, 2);
+  SimulationContext sim(std::move(options));
+  auto enclave = sim.CreateEnclave(CpuMask::AllUpTo(2));
   auto policy = std::make_unique<HintPriorityPolicy>();
   HintPriorityPolicy* policy_ptr = policy.get();
-  AgentProcess agents(&machine.kernel(), machine.ghost_class(), enclave.get(),
-                      std::move(policy));
-  agents.Start();
+  auto agents = sim.CreateAgentProcess(enclave.get(), std::move(policy));
+  agents->Start();
 
   // Ten runnable threads with shuffled priorities; with one worker CPU they
   // must be dispatched in priority order.
   const uint64_t priorities[] = {7, 2, 9, 1, 5, 8, 3, 10, 4, 6};
   for (uint64_t prio : priorities) {
-    Task* t = machine.kernel().CreateTask("prio" + std::to_string(prio));
+    Task* t = sim.kernel().CreateTask("prio" + std::to_string(prio));
     enclave->AddTask(t);
     enclave->SetHint(t->tid(), prio);
-    machine.kernel().StartBurst(t, Microseconds(200), [&machine](Task* task) {
-      machine.kernel().Exit(task);
+    sim.kernel().StartBurst(t, Microseconds(200), [&sim](Task* task) {
+      sim.kernel().Exit(task);
     });
-    machine.kernel().Wake(t);
+    sim.kernel().Wake(t);
   }
-  machine.RunFor(Milliseconds(10));
+  sim.RunFor(Milliseconds(10));
 
   std::printf("custom_policy: dispatched priorities in order:");
   bool sorted = true;

@@ -1,7 +1,8 @@
 // Quickstart: delegate scheduling of a few threads to a userspace agent.
 //
 // This walks the whole ghOSt flow end to end on a small simulated machine:
-//   1. build a machine (kernel + scheduling-class hierarchy),
+//   1. build a SimulationContext (one owned machine: kernel + scheduling-
+//      class hierarchy + stats registry + RNG seed),
 //   2. carve out an enclave over some CPUs,
 //   3. attach an agent process running a per-CPU FIFO policy (Fig 3),
 //   4. move native threads into the enclave,
@@ -9,25 +10,31 @@
 #include <cstdio>
 #include <memory>
 
-#include "src/agent/agent_process.h"
-#include "src/ghost/machine.h"
 #include "src/policies/per_cpu_fifo.h"
+#include "src/sim/simulation.h"
 
 using namespace gs;
 
 int main() {
-  // A small machine: 1 socket, 4 cores, no SMT.
-  Machine machine(Topology::Make("quickstart", 1, 4, 1, 4));
-  Kernel& kernel = machine.kernel();
+  // A small machine as one owned value: 1 socket, 4 cores, no SMT. The
+  // context owns the event loop, kernel, and this run's stats registry —
+  // several of these can coexist (even on different threads) without
+  // sharing anything.
+  SimulationContext::Options options;
+  options.topology = Topology::Make("quickstart", 1, 4, 1, 4);
+  options.seed = 1;
+  options.enable_stats = true;
+  SimulationContext sim(std::move(options));
+  Kernel& kernel = sim.kernel();
 
   // The enclave owns CPUs 0-3; its threads are scheduled by our agent.
-  auto enclave = machine.CreateEnclave(CpuMask::AllUpTo(4));
+  auto enclave = sim.CreateEnclave(CpuMask::AllUpTo(4));
 
   // Launch the agent process: one agent pthread pinned per enclave CPU,
   // running the per-CPU FIFO policy from userspace.
-  AgentProcess agents(&kernel, machine.ghost_class(), enclave.get(),
-                      std::make_unique<PerCpuFifoPolicy>());
-  agents.Start();
+  auto agents =
+      sim.CreateAgentProcess(enclave.get(), std::make_unique<PerCpuFifoPolicy>());
+  agents->Start();
 
   // Create eight native threads that each perform 5 bursts of 200us of work
   // with 100us sleeps in between, then exit. AddTask() moves them into the
@@ -39,13 +46,13 @@ int main() {
     enclave->AddTask(t);
     auto remaining = std::make_shared<int>(5);
     auto loop = std::make_shared<std::function<void(Task*)>>();
-    *loop = [&kernel, &machine, remaining, loop](Task* task) {
+    *loop = [&kernel, &sim, remaining, loop](Task* task) {
       if (--*remaining == 0) {
         kernel.Exit(task);
         return;
       }
       kernel.Block(task);
-      machine.loop().ScheduleAfter(Microseconds(100), [&kernel, task, loop] {
+      sim.loop().ScheduleAfter(Microseconds(100), [&kernel, task, loop] {
         kernel.StartBurst(task, Microseconds(200), *loop);
         kernel.Wake(task);
       });
@@ -55,7 +62,7 @@ int main() {
     threads.push_back(t);
   }
 
-  machine.RunFor(Milliseconds(20));
+  sim.RunFor(Milliseconds(20));
 
   std::printf("quickstart: %d threads scheduled by the ghOSt per-CPU FIFO agent\n",
               static_cast<int>(threads.size()));
@@ -69,7 +76,7 @@ int main() {
               (unsigned long long)enclave->messages_posted(),
               (unsigned long long)enclave->txns_committed(),
               (unsigned long long)enclave->txns_failed());
-  auto* policy = static_cast<PerCpuFifoPolicy*>(agents.policy());
+  auto* policy = static_cast<PerCpuFifoPolicy*>(agents->policy());
   std::printf("policy: %llu local schedules, %llu ESTALE retries\n",
               (unsigned long long)policy->scheduled(),
               (unsigned long long)policy->estale_failures());

@@ -10,7 +10,7 @@ AgentProcess::AgentProcess(Kernel* kernel, GhostClass* ghost_class, Enclave* enc
       ghost_class_(ghost_class),
       enclave_(enclave),
       policy_(std::move(policy)) {
-  StatsRegistry& stats = GlobalStats();
+  StatsRegistry& stats = *kernel_->stats();
   stat_iteration_cost_ns_ = stats.GetHistogram("agent_iteration_cost_ns");
   stat_runqueue_depth_ =
       stats.GetHistogram("policy_runqueue_depth", {{"policy", policy_->name()}});

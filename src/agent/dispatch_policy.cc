@@ -1,0 +1,59 @@
+#include "src/agent/dispatch_policy.h"
+
+namespace gs {
+
+void DispatchPolicy::Dispatch(AgentContext& ctx, const Message& msg) {
+  PolicyTask* task = nullptr;
+  const TaskTable::Event event = table_.Apply(msg, &task);
+  switch (event) {
+    case TaskTable::Event::kNone:
+      // CPU-scoped or about an unknown (already dead) thread.
+      if (msg.type == MessageType::kTimerTick) {
+        TimerTick(ctx, msg);
+      } else if (msg.type == MessageType::kAgentWakeup) {
+        AgentWakeup(ctx, msg);
+      }
+      break;
+    case TaskTable::Event::kNew:
+      TaskNew(ctx, task, msg);
+      break;
+    case TaskTable::Event::kRunnable:
+      if (msg.type == MessageType::kTaskPreempted) {
+        TaskPreempted(ctx, task, msg);
+      } else if (msg.type == MessageType::kTaskYield) {
+        TaskYield(ctx, task, msg);
+      } else {
+        TaskWakeup(ctx, task, msg);
+      }
+      break;
+    case TaskTable::Event::kBlocked:
+      TaskBlocked(ctx, task, msg);
+      break;
+    case TaskTable::Event::kDead:
+      if (msg.type == MessageType::kTaskDeparted) {
+        TaskDeparted(ctx, task, msg);
+      } else {
+        TaskDead(ctx, task, msg);
+      }
+      table_.Remove(msg.tid);
+      break;
+    case TaskTable::Event::kAffinity:
+      TaskAffinity(ctx, task, msg);
+      break;
+  }
+}
+
+AgentAction DispatchPolicy::RunAgent(AgentContext& ctx) {
+  scratch_queues_.clear();
+  CollectQueues(ctx, &scratch_queues_);
+  scratch_msgs_.clear();
+  for (MessageQueue* queue : scratch_queues_) {
+    ctx.Drain(queue, &scratch_msgs_);
+  }
+  for (const Message& msg : scratch_msgs_) {
+    Dispatch(ctx, msg);
+  }
+  return Schedule(ctx);
+}
+
+}  // namespace gs

@@ -1,0 +1,81 @@
+// DispatchPolicy: a typed message-dispatch adapter layered over
+// Policy::RunAgent, in the style of upstream ghost-userspace's
+// BasicDispatchScheduler.
+//
+// A raw Policy drains queues and switches on MessageType by hand. A
+// DispatchPolicy factors that boilerplate into the base class: each
+// iteration drains the queues the subclass nominates, folds every message
+// into the shared TaskTable, routes it to a per-type virtual hook
+// (TaskNew/TaskWakeup/TaskBlocked/TaskPreempted/TaskYield/TaskDead/
+// TaskDeparted/TaskAffinity/TimerTick/AgentWakeup), and then asks the
+// subclass to Schedule(). Subclasses keep only the decisions that make a
+// policy a policy: where a task goes when it becomes runnable, and what to
+// commit.
+//
+// Hook contract:
+//  * `task` is the TaskTable entry, already updated from the message
+//    (runnable/tseq/affinity/last_cpu reflect the message's effect);
+//  * for TaskDead/TaskDeparted the entry is removed from the table right
+//    after the hook returns — drop runqueue links and `user` state inside;
+//  * CPU-scoped messages (TimerTick) and bookkeeping wakeups (AgentWakeup)
+//    carry no task; hooks receive the raw message only;
+//  * messages about threads the table does not know (already dead) are
+//    dropped before any hook fires, exactly as hand-written policies do.
+//
+// PerCpuFifoPolicy is the reference consumer (src/policies/per_cpu_fifo.*).
+#ifndef GHOST_SIM_SRC_AGENT_DISPATCH_POLICY_H_
+#define GHOST_SIM_SRC_AGENT_DISPATCH_POLICY_H_
+
+#include <vector>
+
+#include "src/agent/agent_context.h"
+#include "src/agent/policy.h"
+#include "src/agent/task_table.h"
+
+namespace gs {
+
+class DispatchPolicy : public Policy {
+ public:
+  // Drains, dispatches, then defers to Schedule(). Final: the adapter owns
+  // the iteration shape; subclasses customize through the hooks below.
+  AgentAction RunAgent(AgentContext& ctx) final;
+
+ protected:
+  // ---- Subclass obligations --------------------------------------------------
+  // Appends the queues this agent drains each iteration, in drain order
+  // (e.g. the boss agent adds the enclave default queue before its own).
+  virtual void CollectQueues(AgentContext& ctx, std::vector<MessageQueue*>* queues) = 0;
+
+  // Runs after every drained message has been dispatched: pick, commit, and
+  // return what the agent thread does next.
+  virtual AgentAction Schedule(AgentContext& ctx) = 0;
+
+  // ---- Typed message hooks (default: accept the table update, do nothing) ---
+  virtual void TaskNew(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskWakeup(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskPreempted(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskYield(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskBlocked(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskDead(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskDeparted(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TaskAffinity(AgentContext& ctx, PolicyTask* task, const Message& msg) {}
+  virtual void TimerTick(AgentContext& ctx, const Message& msg) {}
+  virtual void AgentWakeup(AgentContext& ctx, const Message& msg) {}
+
+  // The message-driven thread view shared by the adapter and the subclass
+  // (Restore() paths may rebuild it directly).
+  TaskTable& table() { return table_; }
+
+  // Routes one message through the table and the hooks; exposed for
+  // Restore()-style resync code that replays synthesized messages.
+  void Dispatch(AgentContext& ctx, const Message& msg);
+
+ private:
+  TaskTable table_;
+  std::vector<MessageQueue*> scratch_queues_;
+  std::vector<Message> scratch_msgs_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_AGENT_DISPATCH_POLICY_H_

@@ -69,7 +69,7 @@ Enclave::Enclave(Kernel* kernel, GhostClass* ghost_class, AgentClass* agent_clas
       config_(config) {
   CHECK(!cpus_.Empty());
 
-  StatsRegistry& stats = GlobalStats();
+  StatsRegistry& stats = *kernel_->stats();
   for (int t = 0; t <= static_cast<int>(MessageType::kAgentWakeup); ++t) {
     stat_msg_post_.push_back(stats.GetCounter(
         "ghost_msg_post_total", {{"type", ToString(static_cast<MessageType>(t))}}));

@@ -24,9 +24,12 @@ namespace gs {
 
 class Machine {
  public:
+  // `stats` is forwarded to the Kernel (borrowed; nullptr => the kernel backs
+  // its metrics with a private disabled registry). SimulationContext passes
+  // its own registry here; bare Machine construction stays zero-config.
   explicit Machine(Topology topology, CostModel cost = CostModel(),
-                   bool with_core_sched = false)
-      : kernel_(&loop_, std::move(topology), cost) {
+                   bool with_core_sched = false, StatsRegistry* stats = nullptr)
+      : kernel_(&loop_, std::move(topology), cost, stats) {
     auto agent = std::make_unique<AgentClass>();
     auto mq = std::make_unique<MicroQuantaClass>();
     auto cfs = std::make_unique<CfsClass>();

@@ -24,9 +24,15 @@ const char* ToString(TaskState state) {
   return "?";
 }
 
-Kernel::Kernel(EventLoop* loop, Topology topology, CostModel cost)
-    : loop_(loop), topology_(std::move(topology)), cost_(cost) {
-  StatsRegistry& stats = GlobalStats();
+Kernel::Kernel(EventLoop* loop, Topology topology, CostModel cost,
+               StatsRegistry* stats_registry)
+    : loop_(loop),
+      topology_(std::move(topology)),
+      cost_(cost),
+      owned_stats_(stats_registry == nullptr ? std::make_unique<StatsRegistry>()
+                                             : nullptr),
+      stats_(stats_registry == nullptr ? owned_stats_.get() : stats_registry) {
+  StatsRegistry& stats = *stats_;
   stat_switch_task_ = stats.GetCounter("kernel_context_switch_total", {{"kind", "task"}});
   stat_switch_agent_ = stats.GetCounter("kernel_context_switch_total", {{"kind", "agent"}});
   stat_ipi_local_ = stats.GetCounter("kernel_ipi_total", {{"cross_numa", "false"}});

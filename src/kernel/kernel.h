@@ -65,7 +65,12 @@ struct CpuState {
 
 class Kernel {
  public:
-  Kernel(EventLoop* loop, Topology topology, CostModel cost = CostModel());
+  // `stats` is the registry instrumentation lands in; the kernel does not own
+  // it (a SimulationContext typically does). nullptr => the kernel creates a
+  // private, disabled registry so metric pointers stay valid at zero cost —
+  // handy for tests that build a bare Kernel/Machine without a context.
+  Kernel(EventLoop* loop, Topology topology, CostModel cost = CostModel(),
+         StatsRegistry* stats = nullptr);
   ~Kernel();
 
   Kernel(const Kernel&) = delete;
@@ -76,6 +81,10 @@ class Kernel {
   void InstallClasses(std::vector<std::unique_ptr<SchedClass>> classes, int default_index);
 
   EventLoop* loop() { return loop_; }
+  // The registry this simulated machine's instrumentation lands in. Enclaves,
+  // agent processes, and policies reach their registry through here instead
+  // of any process-global. Never nullptr.
+  StatsRegistry* stats() { return stats_; }
   Time now() const { return loop_->now(); }
   const Topology& topology() const { return topology_; }
   const CostModel& cost() const { return cost_; }
@@ -194,6 +203,9 @@ class Kernel {
   EventLoop* loop_;
   Topology topology_;
   CostModel cost_;
+  // Fallback registry when the constructor got no external one.
+  std::unique_ptr<StatsRegistry> owned_stats_;
+  StatsRegistry* stats_;
 
   std::vector<std::unique_ptr<SchedClass>> classes_;
   int default_index_ = -1;
@@ -210,7 +222,7 @@ class Kernel {
   Trace trace_;
   FaultInjector* fault_injector_ = nullptr;
 
-  // Hot-path metrics (global registry; pointers cached at construction).
+  // Hot-path metrics (pointers into *stats_, cached at construction).
   Counter* stat_switch_task_;
   Counter* stat_switch_agent_;
   Counter* stat_ipi_local_;

@@ -25,9 +25,9 @@ void PerCpuFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
     sched.runqueue.Clear();
   }
   home_cpu_.clear();
-  table_.Clear();
+  table().Clear();
   for (const Enclave::TaskInfo& info : dump) {
-    PolicyTask* task = table_.Add(info.tid);
+    PolicyTask* task = table().Add(info.tid);
     task->tseq = info.tseq;
     task->affinity = info.affinity;
     task->runnable = info.runnable;
@@ -52,84 +52,110 @@ int PerCpuFifoPolicy::NextHomeCpu() {
   return cpu;
 }
 
-void PerCpuFifoPolicy::HandleMessage(AgentContext& ctx, int cpu, const Message& msg) {
-  if (msg.type == MessageType::kTimerTick) {
-    return;  // rotation decision is made by the caller
+void PerCpuFifoPolicy::CollectQueues(AgentContext& ctx,
+                                     std::vector<MessageQueue*>* queues) {
+  const int cpu = ctx.agent_cpu();
+  if (cpu == boss_cpu_) {
+    queues->push_back(enclave_->default_queue());
   }
-  PolicyTask* task = nullptr;
-  const TaskTable::Event event = table_.Apply(msg, &task);
-  switch (event) {
-    case TaskTable::Event::kNew: {
-      const int home = NextHomeCpu();
-      home_cpu_[msg.tid] = home;
-      ctx.Charge(ctx.kernel()->cost().syscall);
-      // May fail if more messages are pending on the default queue for this
-      // thread; retried when they are drained.
-      enclave_->AssociateQueue(msg.tid, cpus_[home].queue);
-      if (task->runnable && !task->queued) {
-        task->queued = true;
-        cpus_[home].runqueue.Push(task);
-        NotifyAgent(ctx, home);
-      }
-      break;
-    }
-    case TaskTable::Event::kRunnable: {
-      const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
-      if (!task->queued) {
-        task->queued = true;
-        if (msg.type == MessageType::kTaskPreempted) {
-          cpus_[home].runqueue.PushFront(task);  // resume after the interruption
-        } else {
-          cpus_[home].runqueue.Push(task);
-        }
-        NotifyAgent(ctx, home);
-      }
-      break;
-    }
-    case TaskTable::Event::kBlocked:
-      if (task->queued) {
-        const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
-        cpus_[home].runqueue.Remove(task);
-        task->queued = false;
-      }
-      break;
-    case TaskTable::Event::kDead: {
-      if (task->queued) {
-        const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
-        cpus_[home].runqueue.Remove(task);
-      }
-      home_cpu_.erase(msg.tid);
-      table_.Remove(msg.tid);
-      break;
-    }
-    case TaskTable::Event::kAffinity: {
-      // sched_setaffinity may have excluded the task's home CPU: re-home it
-      // to an allowed enclave CPU (and move any queued entry along).
-      const int home = home_cpu_.count(msg.tid) > 0 ? home_cpu_[msg.tid] : cpu;
-      if (!task->affinity.IsSet(home)) {
-        int new_home = -1;
-        for (int candidate : cpu_list_) {
-          if (task->affinity.IsSet(candidate)) {
-            new_home = candidate;
-            break;
-          }
-        }
-        if (new_home >= 0) {
-          if (task->queued) {
-            cpus_[home].runqueue.Remove(task);
-            cpus_[new_home].runqueue.Push(task);
-          }
-          home_cpu_[msg.tid] = new_home;
-          ctx.Charge(ctx.kernel()->cost().syscall);
-          enclave_->AssociateQueue(msg.tid, cpus_[new_home].queue);
-          NotifyAgent(ctx, new_home);
-        }
-      }
-      break;
-    }
-    case TaskTable::Event::kNone:
-      break;
+  queues->push_back(cpus_[cpu].queue);
+}
+
+void PerCpuFifoPolicy::TimerTick(AgentContext& ctx, const Message& msg) {
+  rotate_ = true;  // rotation decision is made in Schedule()
+}
+
+void PerCpuFifoPolicy::TaskNew(AgentContext& ctx, PolicyTask* task, const Message& msg) {
+  const int home = NextHomeCpu();
+  home_cpu_[msg.tid] = home;
+  ctx.Charge(ctx.kernel()->cost().syscall);
+  // May fail if more messages are pending on the default queue for this
+  // thread; retried when they are drained.
+  enclave_->AssociateQueue(msg.tid, cpus_[home].queue);
+  if (task->runnable && !task->queued) {
+    task->queued = true;
+    cpus_[home].runqueue.Push(task);
+    NotifyAgent(ctx, home);
   }
+}
+
+void PerCpuFifoPolicy::EnqueueRunnable(AgentContext& ctx, PolicyTask* task, bool front) {
+  if (task->queued) {
+    return;
+  }
+  const int home = HomeOf(task->tid, ctx.agent_cpu());
+  task->queued = true;
+  if (front) {
+    cpus_[home].runqueue.PushFront(task);  // resume after the interruption
+  } else {
+    cpus_[home].runqueue.Push(task);
+  }
+  NotifyAgent(ctx, home);
+}
+
+void PerCpuFifoPolicy::TaskWakeup(AgentContext& ctx, PolicyTask* task, const Message& msg) {
+  EnqueueRunnable(ctx, task, /*front=*/false);
+}
+
+void PerCpuFifoPolicy::TaskPreempted(AgentContext& ctx, PolicyTask* task,
+                                     const Message& msg) {
+  EnqueueRunnable(ctx, task, /*front=*/true);
+}
+
+void PerCpuFifoPolicy::TaskYield(AgentContext& ctx, PolicyTask* task, const Message& msg) {
+  EnqueueRunnable(ctx, task, /*front=*/false);
+}
+
+void PerCpuFifoPolicy::TaskBlocked(AgentContext& ctx, PolicyTask* task, const Message& msg) {
+  if (task->queued) {
+    cpus_[HomeOf(task->tid, ctx.agent_cpu())].runqueue.Remove(task);
+    task->queued = false;
+  }
+}
+
+void PerCpuFifoPolicy::Evict(AgentContext& ctx, PolicyTask* task) {
+  if (task->queued) {
+    cpus_[HomeOf(task->tid, ctx.agent_cpu())].runqueue.Remove(task);
+  }
+  home_cpu_.erase(task->tid);
+  // The DispatchPolicy base removes the TaskTable entry after this hook.
+}
+
+void PerCpuFifoPolicy::TaskDead(AgentContext& ctx, PolicyTask* task, const Message& msg) {
+  Evict(ctx, task);
+}
+
+void PerCpuFifoPolicy::TaskDeparted(AgentContext& ctx, PolicyTask* task,
+                                    const Message& msg) {
+  Evict(ctx, task);
+}
+
+void PerCpuFifoPolicy::TaskAffinity(AgentContext& ctx, PolicyTask* task,
+                                    const Message& msg) {
+  // sched_setaffinity may have excluded the task's home CPU: re-home it
+  // to an allowed enclave CPU (and move any queued entry along).
+  const int home = HomeOf(task->tid, ctx.agent_cpu());
+  if (task->affinity.IsSet(home)) {
+    return;
+  }
+  int new_home = -1;
+  for (int candidate : cpu_list_) {
+    if (task->affinity.IsSet(candidate)) {
+      new_home = candidate;
+      break;
+    }
+  }
+  if (new_home < 0) {
+    return;
+  }
+  if (task->queued) {
+    cpus_[home].runqueue.Remove(task);
+    cpus_[new_home].runqueue.Push(task);
+  }
+  home_cpu_[task->tid] = new_home;
+  ctx.Charge(ctx.kernel()->cost().syscall);
+  enclave_->AssociateQueue(task->tid, cpus_[new_home].queue);
+  NotifyAgent(ctx, new_home);
 }
 
 void PerCpuFifoPolicy::NotifyAgent(AgentContext& ctx, int cpu) {
@@ -152,23 +178,12 @@ void PerCpuFifoPolicy::NotifyAgent(AgentContext& ctx, int cpu) {
   }
 }
 
-AgentAction PerCpuFifoPolicy::RunAgent(AgentContext& ctx) {
+AgentAction PerCpuFifoPolicy::Schedule(AgentContext& ctx) {
   const int cpu = ctx.agent_cpu();
   CpuSched& cs = cpus_[cpu];
   const uint32_t aseq = ctx.ReadAseq();
-
-  bool rotate = false;
-  scratch_msgs_.clear();
-  if (cpu == boss_cpu_) {
-    ctx.Drain(enclave_->default_queue(), &scratch_msgs_);
-  }
-  ctx.Drain(cs.queue, &scratch_msgs_);
-  for (const Message& msg : scratch_msgs_) {
-    if (msg.type == MessageType::kTimerTick) {
-      rotate = true;
-    }
-    HandleMessage(ctx, cpu, msg);
-  }
+  const bool rotate = rotate_;
+  rotate_ = false;
 
   if (cs.runqueue.empty()) {
     return AgentAction::kBlock;

@@ -6,6 +6,11 @@
 // ASSOCIATE_QUEUE. An agent iteration drains its queue, dequeues the next
 // thread, commits a local transaction tagged with its Aseq, and yields; an
 // ESTALE failure sends it back around the loop, exactly as in Fig 3.
+//
+// Reference consumer of the DispatchPolicy adapter: message boilerplate
+// (queue draining, TaskTable upkeep, per-type routing) lives in the base
+// class; this file keeps only the FIFO decisions — which runqueue a task
+// lands in per message type, and what Schedule() commits.
 #ifndef GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_
 #define GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_
 
@@ -14,18 +19,17 @@
 
 #include "src/agent/agent_context.h"
 #include "src/agent/agent_process.h"
-#include "src/agent/policy.h"
+#include "src/agent/dispatch_policy.h"
 #include "src/agent/runqueue.h"
 #include "src/agent/task_table.h"
 
 namespace gs {
 
-class PerCpuFifoPolicy : public Policy {
+class PerCpuFifoPolicy : public DispatchPolicy {
  public:
   const char* name() const override { return "per-cpu-fifo"; }
   void Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) override;
   void Restore(const std::vector<Enclave::TaskInfo>& dump) override;
-  AgentAction RunAgent(AgentContext& ctx) override;
 
   uint64_t scheduled() const { return scheduled_; }
   uint64_t estale_failures() const { return estale_failures_; }
@@ -38,27 +42,48 @@ class PerCpuFifoPolicy : public Policy {
     return total;
   }
 
+ protected:
+  // DispatchPolicy hooks.
+  void CollectQueues(AgentContext& ctx, std::vector<MessageQueue*>* queues) override;
+  AgentAction Schedule(AgentContext& ctx) override;
+  void TaskNew(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskWakeup(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskPreempted(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskYield(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskBlocked(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskDead(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskDeparted(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TaskAffinity(AgentContext& ctx, PolicyTask* task, const Message& msg) override;
+  void TimerTick(AgentContext& ctx, const Message& msg) override;
+
  private:
   struct CpuSched {
     MessageQueue* queue = nullptr;
     FifoRunqueue runqueue;
   };
 
-  void HandleMessage(AgentContext& ctx, int cpu, const Message& msg);
+  // Queues a freshly runnable task on its home CPU (front = resume-after-
+  // preemption semantics) and notifies that CPU's agent.
+  void EnqueueRunnable(AgentContext& ctx, PolicyTask* task, bool front);
+  // Drops a task's runqueue link and home mapping (dead/departed).
+  void Evict(AgentContext& ctx, PolicyTask* task);
   // Wakes the (blocked) agent of `cpu` so it notices freshly queued work.
   void NotifyAgent(AgentContext& ctx, int cpu);
   // Round-robin target for newly arrived threads.
   int NextHomeCpu();
+  int HomeOf(int64_t tid, int fallback) {
+    auto it = home_cpu_.find(tid);
+    return it == home_cpu_.end() ? fallback : it->second;
+  }
 
   Enclave* enclave_ = nullptr;
   AgentProcess* process_ = nullptr;
-  TaskTable table_;
   std::map<int, CpuSched> cpus_;
   std::map<int64_t, int> home_cpu_;  // tid -> owning CPU
   std::vector<int> cpu_list_;
   size_t rr_next_ = 0;
   int boss_cpu_ = -1;  // drains the default queue (new-thread announcements)
-  std::vector<Message> scratch_msgs_;
+  bool rotate_ = false;  // a TIMER_TICK landed this iteration
 
   uint64_t scheduled_ = 0;
   uint64_t estale_failures_ = 0;

@@ -1,0 +1,70 @@
+#include "src/sim/batch_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace gs {
+
+BatchRunner::BatchRunner(int jobs) {
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs_ = hw == 0 ? 1 : static_cast<int>(hw);
+  } else {
+    jobs_ = jobs < 1 ? 1 : jobs;
+  }
+}
+
+void BatchRunner::Run(int num_runs,
+                      const std::function<void(int run_index)>& body) const {
+  if (num_runs <= 0) {
+    return;
+  }
+  if (jobs_ <= 1 || num_runs == 1) {
+    for (int k = 0; k < num_runs; ++k) {
+      body(k);
+    }
+    return;
+  }
+
+  std::atomic<int> next{0};
+  // First failure by run index; workers keep draining so every index still
+  // executes at most once and the pool always joins.
+  std::mutex error_mu;
+  int error_index = -1;
+  std::exception_ptr error;
+
+  auto worker = [&]() {
+    for (;;) {
+      const int k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_runs) {
+        return;
+      }
+      try {
+        body(k);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (error_index < 0 || k < error_index) {
+          error_index = k;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const int workers = jobs_ < num_runs ? jobs_ : num_runs;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace gs

@@ -1,0 +1,59 @@
+// BatchRunner: fan N independent, run-indexed jobs across a fixed-size
+// thread pool with deterministic aggregation.
+//
+// The simulator's multi-run workloads — multi-seed bench sweeps, explorer
+// random walks, the chaos battery — are embarrassingly parallel once each
+// run owns its whole world (see SimulationContext): run k depends only on
+// its index/seed, never on its siblings. BatchRunner exploits exactly that
+// shape:
+//
+//  * the body receives the run index; workers claim indices from an atomic
+//    counter, so scheduling is work-stealing-free and allocation-free;
+//  * results are written into slot `index` of a pre-sized vector, so the
+//    aggregate is byte-identical no matter how runs interleave or how many
+//    workers there are (jobs=1 and jobs=N produce the same vector);
+//  * an exception in any body is captured and rethrown on the calling thread
+//    after all workers join (first one by run index wins).
+//
+// With jobs <= 1 the bodies run inline on the calling thread — no threads
+// are spawned, which keeps single-job runs easy to debug and exactly as
+// deterministic as a hand-written loop.
+#ifndef GHOST_SIM_SRC_SIM_BATCH_RUNNER_H_
+#define GHOST_SIM_SRC_SIM_BATCH_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+namespace gs {
+
+class BatchRunner {
+ public:
+  // jobs == 0 => one job per hardware thread; otherwise clamped to >= 1.
+  explicit BatchRunner(int jobs);
+
+  int jobs() const { return jobs_; }
+
+  // Invokes body(0) .. body(num_runs - 1), each exactly once, across up to
+  // jobs() threads (never more than num_runs). Returns when all runs have
+  // finished. Rethrows the lowest-indexed captured exception, if any. The
+  // body must confine itself to run-local state (a SimulationContext it
+  // builds itself, its slot of a results vector); it runs concurrently with
+  // other indices.
+  void Run(int num_runs, const std::function<void(int run_index)>& body) const;
+
+  // Convenience: materializes `Run` into an index-ordered result vector.
+  // fn(k) fills slot k; the returned vector is independent of jobs().
+  template <typename R>
+  std::vector<R> Map(int num_runs, const std::function<R(int run_index)>& fn) const {
+    std::vector<R> results(static_cast<size_t>(num_runs < 0 ? 0 : num_runs));
+    Run(num_runs, [&results, &fn](int k) { results[static_cast<size_t>(k)] = fn(k); });
+    return results;
+  }
+
+ private:
+  int jobs_;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SIM_BATCH_RUNNER_H_

@@ -27,10 +27,14 @@ const char* ToString(FaultKind kind) {
 }
 
 FaultInjector::FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed,
-                             Config config)
+                             Config config, StatsRegistry* stats)
     : loop_(loop), trace_(trace), rng_(seed), config_(config) {
+  if (stats == nullptr) {
+    owned_stats_ = std::make_unique<StatsRegistry>();
+    stats = owned_stats_.get();
+  }
   for (int k = 0; k < kNumFaultKinds; ++k) {
-    stat_injected_[k] = GlobalStats().GetCounter(
+    stat_injected_[k] = stats->GetCounter(
         "fault_injected_total", {{"kind", ToString(static_cast<FaultKind>(k))}});
   }
 }

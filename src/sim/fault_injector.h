@@ -21,11 +21,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "src/base/rng.h"
 #include "src/base/time.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/trace.h"
+#include "src/stats/stats.h"
 
 namespace gs {
 
@@ -68,7 +70,10 @@ class FaultInjector {
     double estale_probability = 0;
   };
 
-  FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed, Config config);
+  // `stats` is borrowed (a SimulationContext or Kernel registry); nullptr =>
+  // a private, disabled registry backs the fault counters.
+  FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed, Config config,
+                class StatsRegistry* stats = nullptr);
   FaultInjector(EventLoop* loop, Trace* trace, uint64_t seed)
       : FaultInjector(loop, trace, seed, Config()) {}
 
@@ -115,6 +120,7 @@ class FaultInjector {
   std::array<uint64_t, kNumFaultKinds> counts_{};
   // Per-kind `fault_injected_total{kind=...}` counters, cached at
   // construction (see src/stats/stats.h).
+  std::unique_ptr<class StatsRegistry> owned_stats_;
   std::array<class Counter*, kNumFaultKinds> stat_injected_{};
 };
 

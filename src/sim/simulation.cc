@@ -1,0 +1,57 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+namespace gs {
+
+namespace {
+
+StatsRegistry* MakeOrBorrowStats(const SimulationContext::Options& options,
+                                 std::unique_ptr<StatsRegistry>* owned) {
+  if (options.stats != nullptr) {
+    return options.stats;
+  }
+  *owned = std::make_unique<StatsRegistry>();
+  return owned->get();
+}
+
+}  // namespace
+
+SimulationContext::SimulationContext(Options options)
+    : options_(std::move(options)),
+      stats_(MakeOrBorrowStats(options_, &owned_stats_)),
+      prev_current_stats_(SetCurrentStats(stats_)),
+      machine_(options_.topology, options_.cost, options_.with_core_sched, stats_),
+      rng_(options_.seed) {
+  if (options_.enable_stats) {
+    stats_->Enable();
+  }
+  if (options_.enable_trace) {
+    machine_.kernel().trace().Enable();
+  }
+  if (options_.faults.has_value()) {
+    // The injector gets its own seed stream (derived, so faults and workload
+    // sampling stay decoupled) and records into this context's registry.
+    fault_injector_ = std::make_unique<FaultInjector>(
+        &machine_.loop(), &machine_.kernel().trace(),
+        options_.seed ^ 0x5eedfa17bad5eedULL, *options_.faults, stats_);
+    machine_.kernel().set_fault_injector(fault_injector_.get());
+  }
+}
+
+SimulationContext::~SimulationContext() {
+  // The fault injector must outlive nothing that might fire into it: tear it
+  // off the kernel before members destruct in reverse order.
+  if (fault_injector_ != nullptr) {
+    machine_.kernel().set_fault_injector(nullptr);
+  }
+  SetCurrentStats(prev_current_stats_);
+}
+
+std::unique_ptr<AgentProcess> SimulationContext::CreateAgentProcess(
+    Enclave* enclave, std::unique_ptr<Policy> policy) {
+  return std::make_unique<AgentProcess>(&machine_.kernel(), machine_.ghost_class(),
+                                        enclave, std::move(policy));
+}
+
+}  // namespace gs

@@ -7,10 +7,28 @@
 
 namespace gs {
 
-StatsRegistry& StatsRegistry::Global() {
-  static StatsRegistry* registry = new StatsRegistry();
-  return *registry;
+namespace {
+// The innermost SimulationContext-installed registry on this thread, if any.
+thread_local StatsRegistry* tls_current_stats = nullptr;
+}  // namespace
+
+StatsRegistry* CurrentStats() {
+  if (tls_current_stats != nullptr) {
+    return tls_current_stats;
+  }
+  // Per-thread fallback so the deprecated shims never return null. Thread-
+  // local (not process-global) so concurrent simulations share nothing.
+  thread_local StatsRegistry* fallback = new StatsRegistry();
+  return fallback;
 }
+
+StatsRegistry* SetCurrentStats(StatsRegistry* registry) {
+  StatsRegistry* prev = tls_current_stats;
+  tls_current_stats = registry;
+  return prev;
+}
+
+StatsRegistry& StatsRegistry::Global() { return *CurrentStats(); }
 
 std::string StatsRegistry::FullName(const std::string& name, const Labels& labels) {
   if (labels.empty()) {
@@ -72,6 +90,38 @@ void StatsRegistry::Reset() {
   }
   for (auto& [name, hist] : histograms_) {
     hist->hist_.Reset();
+  }
+}
+
+void StatsRegistry::MergeFrom(const StatsRegistry& other) {
+  // Maps are keyed by full name, so metrics transfer without re-deriving
+  // labels. Slots are created on demand with this registry's enabled flag.
+  for (const auto& [full, counter] : other.counters_) {
+    CHECK_EQ(gauges_.count(full), 0u) << full << " already registered as a gauge";
+    CHECK_EQ(histograms_.count(full), 0u) << full << " already registered as a histogram";
+    auto& slot = counters_[full];
+    if (slot == nullptr) {
+      slot.reset(new Counter(&enabled_));
+    }
+    slot->value_ += counter->value_;
+  }
+  for (const auto& [full, gauge] : other.gauges_) {
+    CHECK_EQ(counters_.count(full), 0u) << full << " already registered as a counter";
+    CHECK_EQ(histograms_.count(full), 0u) << full << " already registered as a histogram";
+    auto& slot = gauges_[full];
+    if (slot == nullptr) {
+      slot.reset(new Gauge(&enabled_));
+    }
+    slot->value_ += gauge->value_;
+  }
+  for (const auto& [full, hist] : other.histograms_) {
+    CHECK_EQ(counters_.count(full), 0u) << full << " already registered as a counter";
+    CHECK_EQ(gauges_.count(full), 0u) << full << " already registered as a gauge";
+    auto& slot = histograms_[full];
+    if (slot == nullptr) {
+      slot.reset(new HistogramMetric(&enabled_));
+    }
+    slot->hist_.Merge(hist->hist_);
   }
 }
 

@@ -15,7 +15,16 @@
 // the returned pointer. Metric objects live as long as the registry and are
 // never invalidated by later registrations.
 //
-// Everything is single-threaded, like the simulator itself.
+// Ownership model: there is no process-wide registry anymore. Every
+// SimulationContext owns its registry and hands it to the components it
+// constructs (Kernel -> Enclave/AgentProcess, FaultInjector), so independent
+// simulations share nothing and can run on concurrent threads. A registry is
+// single-threaded, like the context that owns it.
+//
+// For out-of-tree callers, the deprecated GlobalStats()/StatsRegistry::
+// Global() shims resolve to the calling thread's "current" registry: the
+// innermost live SimulationContext on this thread, or a per-thread fallback
+// registry when no context is installed (see CurrentStats()).
 #ifndef GHOST_SIM_SRC_STATS_STATS_H_
 #define GHOST_SIM_SRC_STATS_STATS_H_
 
@@ -96,8 +105,12 @@ class StatsRegistry {
   StatsRegistry(const StatsRegistry&) = delete;
   StatsRegistry& operator=(const StatsRegistry&) = delete;
 
-  // The process-wide registry that the simulator's instrumentation sites
-  // use. Disabled by default; the bench harness (or a test) enables it.
+  // DEPRECATED compatibility shim — resolves to the calling thread's current
+  // registry (see CurrentStats()), NOT a process-wide singleton. Components
+  // take their registry from the SimulationContext / Kernel that owns them;
+  // do not add new callers.
+  [[deprecated("pass a StatsRegistry explicitly (see SimulationContext); this "
+               "shim resolves to the thread-local current registry")]]
   static StatsRegistry& Global();
 
   void Enable() { enabled_ = true; }
@@ -114,6 +127,12 @@ class StatsRegistry {
 
   // Zeroes every metric value (registrations survive).
   void Reset();
+
+  // Folds `other`'s values into this registry: counters/gauges add, histogram
+  // buckets merge; metrics missing here are registered first. Used to
+  // aggregate per-SimulationContext registries into a sweep-level one
+  // (deterministic as long as merge order is deterministic).
+  void MergeFrom(const StatsRegistry& other);
 
   // Deterministic snapshot of every registered metric:
   //   {"counters": {"name{k=v}": 123, ...},
@@ -135,8 +154,24 @@ class StatsRegistry {
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
 
-// Shorthand for instrumentation sites.
-inline StatsRegistry& GlobalStats() { return StatsRegistry::Global(); }
+// The calling thread's current registry: the one installed by the innermost
+// live SimulationContext on this thread, or — when no context is installed —
+// a lazily created per-thread fallback registry (so the deprecated shims keep
+// working in isolation, sharing nothing across threads). Never nullptr.
+StatsRegistry* CurrentStats();
+
+// Installs `registry` (may be nullptr to uninstall) as the calling thread's
+// current registry and returns the previous installation (nullptr if none).
+// SimulationContext calls this in its constructor/destructor; tests may use
+// it directly to scope the deprecated shims.
+StatsRegistry* SetCurrentStats(StatsRegistry* registry);
+
+// DEPRECATED shorthand — forwards to the thread-local current registry. Kept
+// so out-of-tree policies keep compiling; every in-tree instrumentation site
+// now receives its registry from its owning context.
+[[deprecated("pass a StatsRegistry explicitly (see SimulationContext); this "
+             "shim resolves to the thread-local current registry")]]
+inline StatsRegistry& GlobalStats() { return *CurrentStats(); }
 
 }  // namespace gs
 

@@ -6,6 +6,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/rng.h"
+#include "src/sim/batch_runner.h"
 #include "src/sim/sched_tag.h"
 
 namespace gs {
@@ -288,6 +289,58 @@ Explorer::Result Explorer::ExploreRandomWalk() {
     }
   }
   return result;
+}
+
+Explorer::Result Explorer::ExploreParallelWalks(const ScenarioFactory& factory,
+                                                const Options& options,
+                                                int jobs) {
+  BatchRunner runner(jobs);
+  const uint64_t searches = std::min<uint64_t>(
+      std::max(1, runner.jobs()), std::max<uint64_t>(1, options.max_schedules));
+  std::vector<Result> results(searches);
+
+  // Partition the global walk space seed+0 .. seed+budget-1 into contiguous
+  // blocks: block j covers walk indices [start_j, start_j + count_j). Every
+  // walk that a serial search would run is run exactly once, whatever the
+  // job count.
+  const uint64_t base = options.max_schedules / searches;
+  const uint64_t extra = options.max_schedules % searches;
+  runner.Run(static_cast<int>(searches), [&](int index) {
+    const uint64_t j = static_cast<uint64_t>(index);
+    const uint64_t start = j * base + std::min(j, extra);
+    Options sub = options;
+    sub.mode = Mode::kRandomWalk;
+    sub.shrink = false;  // shrink once, after the merge
+    sub.seed = options.seed + start;
+    sub.max_schedules = base + (j < extra ? 1 : 0);
+    Explorer sub_explorer(factory(), sub);
+    results[index] = sub_explorer.ExploreRandomWalk();
+  });
+
+  // Deterministic merge: totals sum run-indexed; the reported violation is
+  // the one from the lowest-indexed violating block, which (with
+  // stop_at_first) is the globally earliest violating walk — exactly what a
+  // serial search would have returned.
+  Result merged;
+  for (const Result& r : results) {
+    merged.schedules += r.schedules;
+    merged.choice_points += r.choice_points;
+    merged.pruned += r.pruned;
+    merged.max_depth = std::max(merged.max_depth, r.max_depth);
+    if (!merged.violation_found && r.violation_found) {
+      merged.violation_found = true;
+      merged.violation = r.violation;
+      merged.trace = r.trace;
+    }
+  }
+  if (merged.violation_found) {
+    merged.shrunk_trace = merged.trace;
+    if (options.shrink) {
+      Explorer shrinker(factory(), options);
+      shrinker.Shrink(&merged);
+    }
+  }
+  return merged;
 }
 
 std::string Explorer::Replay(const ChoiceTrace& trace) {

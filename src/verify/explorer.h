@@ -89,6 +89,24 @@ class Explorer {
 
   Result Explore();
 
+  // Builds a fresh, thread-confined Scenario for one parallel sub-search.
+  // Scenarios close over the world they build, so sharing one closure across
+  // threads would share that world; a factory keeps each walk's machine
+  // private to its worker.
+  using ScenarioFactory = std::function<Scenario()>;
+
+  // Random-walk search fanned across a BatchRunner pool of `jobs` workers
+  // (0 = one per hardware thread). The global walk space seed..seed+budget-1
+  // is split into contiguous per-worker blocks, so with stop_at_first the
+  // merged result reports exactly the violation a serial walk of the same
+  // budget would have found first — the outcome is independent of both the
+  // job count and thread interleaving. Totals (schedules, choice points,
+  // max depth) are merged run-indexed; shrinking happens once, after the
+  // merge, on the calling thread. options.mode is ignored (always
+  // kRandomWalk).
+  static Result ExploreParallelWalks(const ScenarioFactory& factory,
+                                     const Options& options, int jobs);
+
   // Re-executes the scenario forcing `trace`; returns the violation ("" if
   // none). Deterministic: the same trace always yields the same execution.
   std::string Replay(const ChoiceTrace& trace);

@@ -11,7 +11,9 @@
 #include "src/ghost/machine.h"
 #include "src/policies/centralized_fifo.h"
 #include "src/policies/per_cpu_fifo.h"
+#include "src/sim/batch_runner.h"
 #include "src/sim/fault_injector.h"
+#include "src/sim/simulation.h"
 #include "src/verify/invariants.h"
 #include "tests/test_util.h"
 
@@ -255,6 +257,130 @@ TEST_F(FaultInjectionTest, RemoveTaskMidRunAndReAdd) {
   EXPECT_EQ(injector_->injected(FaultKind::kRemoveTask), 1u);
   ExpectAllDone(tasks, Microseconds(500), 30);
   EXPECT_TRUE(checker_->ok()) << checker_->Report();
+}
+
+// The chaos battery as a parallel sweep: a matrix of fault mixes x seeds,
+// each run inside its own SimulationContext, fanned across a BatchRunner
+// pool. Every run must hold the invariants and lose no work, and because a
+// context shares nothing with its siblings, the parallel sweep must reach
+// exactly the per-run outcomes of a serial one.
+TEST(ChaosBatterySweep, ParallelMatrixMatchesSerialAndHoldsInvariants) {
+  struct Outcome {
+    uint64_t injected = 0;
+    uint64_t txns_committed = 0;
+    uint64_t messages_posted = 0;
+    int64_t total_runtime = 0;
+    bool all_done = false;
+    bool invariants_ok = false;
+
+    bool operator==(const Outcome& o) const {
+      return injected == o.injected && txns_committed == o.txns_committed &&
+             messages_posted == o.messages_posted &&
+             total_runtime == o.total_runtime && all_done == o.all_done &&
+             invariants_ok == o.invariants_ok;
+    }
+  };
+
+  constexpr int kSeeds = 3;
+  constexpr int kConfigs = 3;
+  constexpr int kRuns = kSeeds * kConfigs;
+
+  auto run_one = [](int index) -> Outcome {
+    FaultInjector::Config faults;
+    // IPI faults need remote commits, so that row runs the centralized
+    // policy; the others exercise the per-CPU fast path.
+    bool centralized = false;
+    switch (index / kSeeds) {
+      case 0:
+        faults.estale_probability = 0.3;
+        break;
+      case 1:
+        faults.ipi_delay_probability = 0.4;
+        faults.ipi_drop_probability = 0.2;
+        centralized = true;
+        break;
+      default:
+        faults.msg_drop_probability = 0.2;
+        faults.window_start = Milliseconds(2);
+        faults.window_end = Milliseconds(8);
+        break;
+    }
+    SimulationContext::Options options;
+    options.topology = SmallTopo(2);
+    options.seed = 42 + static_cast<uint64_t>(index % kSeeds);
+    options.faults = faults;
+    SimulationContext sim(std::move(options));
+
+    auto enclave = sim.CreateEnclave(CpuMask::AllUpTo(2));
+    std::unique_ptr<Policy> policy;
+    if (centralized) {
+      policy = std::make_unique<CentralizedFifoPolicy>();
+    } else {
+      policy = std::make_unique<PerCpuFifoPolicy>();
+    }
+    auto process = sim.CreateAgentProcess(enclave.get(), std::move(policy));
+    process->Start();
+    InvariantChecker checker(&sim.kernel());
+    checker.Watch(enclave.get());
+    checker.Start();
+
+    constexpr Duration kBurst = Microseconds(300);
+    constexpr int kBursts = 20;
+    std::vector<Task*> tasks;
+    for (int i = 0; i < 4; ++i) {
+      Task* task = sim.kernel().CreateTask("w" + std::to_string(i));
+      enclave->AddTask(task);
+      auto remaining = std::make_shared<int>(kBursts);
+      auto loop = std::make_shared<std::function<void(Task*)>>();
+      Kernel* kernel = &sim.kernel();
+      EventLoop* loop_ptr = &sim.loop();
+      *loop = [kernel, loop_ptr, remaining, loop](Task* t) {
+        if (--*remaining <= 0) {
+          kernel->Exit(t);
+          return;
+        }
+        kernel->Block(t);
+        loop_ptr->ScheduleAfter(Microseconds(100), [kernel, t, loop] {
+          kernel->StartBurst(t, kBurst, *loop);
+          kernel->Wake(t);
+        });
+      };
+      kernel->StartBurst(task, kBurst, *loop);
+      kernel->Wake(task);
+      tasks.push_back(task);
+    }
+    sim.RunFor(Milliseconds(400));
+
+    Outcome out;
+    out.injected = sim.fault_injector()->total_injected();
+    out.txns_committed = enclave->txns_committed();
+    out.messages_posted = enclave->messages_posted();
+    out.all_done = true;
+    for (Task* task : tasks) {
+      out.total_runtime += task->total_runtime();
+      out.all_done &= task->state() == TaskState::kDead &&
+                      task->total_runtime() == kBurst * kBursts;
+    }
+    out.invariants_ok = checker.ok();
+    return out;
+  };
+
+  std::vector<Outcome> serial(kRuns);
+  for (int i = 0; i < kRuns; ++i) {
+    serial[i] = run_one(i);
+  }
+  std::vector<Outcome> parallel(kRuns);
+  BatchRunner runner(4);
+  runner.Run(kRuns, [&](int i) { parallel[i] = run_one(i); });
+
+  for (int i = 0; i < kRuns; ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    EXPECT_TRUE(serial[i].invariants_ok);
+    EXPECT_TRUE(serial[i].all_done) << "work lost under faults";
+    EXPECT_GT(serial[i].injected, 0u);
+    EXPECT_TRUE(serial[i] == parallel[i])
+        << "parallel chaos run diverged from serial";
+  }
 }
 
 // The checker is not a rubber stamp: corrupting a status word is reported.

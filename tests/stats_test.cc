@@ -152,9 +152,16 @@ TEST(StatsTest, SnapshotIsDeterministic) {
   EXPECT_EQ(build(), build_reversed());
 }
 
-TEST(StatsTest, GlobalRegistryIsSingletonAndResettable) {
+// The deprecated shims must keep working for out-of-tree callers: both
+// resolve to the calling thread's current registry (here, the per-thread
+// fallback — no SimulationContext is live in this test).
+TEST(StatsTest, DeprecatedGlobalShimsResolveToCurrentRegistry) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   StatsRegistry& global = GlobalStats();
   EXPECT_EQ(&global, &StatsRegistry::Global());
+#pragma GCC diagnostic pop
+  EXPECT_EQ(&global, CurrentStats());
   const bool was_enabled = global.enabled();
   global.Enable();
   Counter* c = global.GetCounter("stats_test_global_counter");
