@@ -1,0 +1,101 @@
+// The scenario harness: runs any named built-in or user-authored scenario
+// file under the standard bench flag surface.
+//
+//   harness --scenario=<name|file.json> [--json=...] [--seed=N] [--seeds=N]
+//           [--jobs=N] [--trace-out=...]
+//   harness --list-scenarios
+//   harness --print-scenario=<name|file.json>   (canonical ToJson rendering)
+//
+// All the usual harness guarantees apply: schema-v1 result files, per-seed
+// outputs byte-independent of --jobs, strict flag validation (unknown flags
+// exit 2). Scenario-spec problems also exit 2, naming the offending key.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/scenario.h"
+#include "src/scenario/scenario_runner.h"
+
+namespace {
+
+// Value of `--flag=` in argv, nullptr if absent. (The bench harness leaves
+// our passthrough-prefixed flags in place.)
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+    if (std::strcmp(argv[i], flag) == 0) {
+      return "";
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gs::bench::Harness::Options options;
+  options.passthrough_prefixes = {"--scenario", "--list-scenarios", "--print-scenario"};
+  gs::bench::Harness harness("scenario", argc, argv, options);
+
+  if (FlagValue(argc, argv, "--list-scenarios") != nullptr) {
+    for (const std::string& name : gs::scenario::BuiltinScenarioNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (const char* arg = FlagValue(argc, argv, "--print-scenario")) {
+    if (*arg == '\0') {
+      std::fprintf(stderr, "usage: --print-scenario=<name|file.json>\n");
+      return 2;
+    }
+    const gs::scenario::ScenarioSpec spec = gs::scenario::LoadScenarioOrExit(arg);
+    std::printf("%s\n", spec.ToJson().c_str());
+    return 0;
+  }
+  const char* arg = FlagValue(argc, argv, "--scenario");
+  if (arg == nullptr || *arg == '\0') {
+    std::fprintf(stderr,
+                 "usage: harness --scenario=<name|file.json> [harness flags]\n"
+                 "       harness --list-scenarios\n"
+                 "       harness --print-scenario=<name|file.json>\n");
+    return 2;
+  }
+  const gs::scenario::ScenarioSpec spec = gs::scenario::LoadScenarioOrExit(arg);
+
+  harness.Param("scenario", spec.name);
+  harness.Param("policy", spec.policy.kind);
+  harness.Param("workload", spec.workload.kind);
+  std::printf("scenario %s: %s\n", spec.name.c_str(), spec.description.c_str());
+
+  harness.RunAll(spec.seed, [&spec](gs::bench::Run& run) {
+    gs::scenario::ScenarioSpec seeded = spec;
+    seeded.seed = run.seed();
+    const gs::scenario::ScenarioResult result =
+        gs::scenario::RunScenario(seeded, &run.stats());
+    gs::bench::Row& row = run.AddRow();
+    row.Set("scenario", result.name);
+    for (const auto& [key, value] : result.exact) {
+      row.Set(key, value);
+    }
+    for (const auto& [key, value] : result.envelopes) {
+      run.Metric(key, value);
+    }
+    std::printf("  seed %llu:", static_cast<unsigned long long>(result.seed));
+    for (const auto& [key, value] : result.envelopes) {
+      std::printf(" %s=%.2f", key.c_str(), value);
+    }
+    for (const auto& [key, value] : result.exact) {
+      std::printf(" %s=%lld", key.c_str(), static_cast<long long>(value));
+    }
+    std::printf("\n");
+    for (const std::string& violation : result.violations) {
+      std::printf("  invariant violation: %s\n", violation.c_str());
+    }
+  });
+  return harness.Finish();
+}

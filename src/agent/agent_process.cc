@@ -125,6 +125,20 @@ void AgentProcess::BeginIteration(Task* agent) {
     enclave_->FlushAllQueues();
     policy_->Restore(enclave_->TaskDump());
     resynced = true;
+    // The flush discarded every pending queue wakeup, and Restore() may have
+    // placed runnable threads on sibling CPUs whose agents already went to
+    // sleep — nothing else will ever wake them. Kick every sibling so the
+    // rebuilt runqueues are picked up.
+    for (auto& [cpu, sibling] : agents_) {
+      if (sibling == agent || sibling->state() == TaskState::kDead) {
+        continue;
+      }
+      if (sibling->state() == TaskState::kBlocked) {
+        kernel_->Wake(sibling);
+      } else {
+        enclave_->PokeAgent(sibling);
+      }
+    }
   }
 
   const uint64_t epoch = enclave_->poke_epoch();

@@ -158,12 +158,40 @@ class Parser {
     }
     SkipSpace();
     if (pos_ != text_.size()) {
-      return std::nullopt;  // trailing garbage
+      Fail("trailing garbage after document");
+      return std::nullopt;
     }
     return value;
   }
 
+  // First recorded failure, as "line L:C: reason". Empty if Run() succeeded.
+  std::string error() const {
+    if (error_reason_.empty()) {
+      return "";
+    }
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < error_pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return "line " + std::to_string(line) + ":" + std::to_string(col) + ": " +
+           error_reason_;
+  }
+
  private:
+  // Records the first failure (inner-most parse frames fail first, and their
+  // position is the interesting one).
+  bool Fail(const char* reason) {
+    if (error_reason_.empty()) {
+      error_reason_ = reason;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
   void SkipSpace() {
     while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
@@ -188,7 +216,7 @@ class Parser {
 
   bool ParseValue(JsonValue* out) {
     if (pos_ >= text_.size()) {
-      return false;
+      return Fail("unexpected end of input, expected a value");
     }
     switch (text_[pos_]) {
       case '{':
@@ -201,14 +229,14 @@ class Parser {
       case 't':
         out->type = JsonValue::Type::kBool;
         out->boolean = true;
-        return Literal("true");
+        return Literal("true") || Fail("bad literal, expected \"true\"");
       case 'f':
         out->type = JsonValue::Type::kBool;
         out->boolean = false;
-        return Literal("false");
+        return Literal("false") || Fail("bad literal, expected \"false\"");
       case 'n':
         out->type = JsonValue::Type::kNull;
-        return Literal("null");
+        return Literal("null") || Fail("bad literal, expected \"null\"");
       default:
         return ParseNumber(out);
     }
@@ -227,11 +255,11 @@ class Parser {
       SkipSpace();
       std::string key;
       if (!ParseString(&key)) {
-        return false;
+        return Fail("expected a quoted object key");
       }
       SkipSpace();
       if (!Eat(':')) {
-        return false;
+        return Fail("expected ':' after object key");
       }
       SkipSpace();
       JsonValue value;
@@ -244,7 +272,7 @@ class Parser {
         return true;
       }
       if (!Eat(',')) {
-        return false;
+        return Fail("expected ',' or '}' in object");
       }
     }
   }
@@ -270,7 +298,7 @@ class Parser {
         return true;
       }
       if (!Eat(',')) {
-        return false;
+        return Fail("expected ',' or ']' in array");
       }
     }
   }
@@ -350,10 +378,10 @@ class Parser {
           break;
         }
         default:
-          return false;
+          return Fail("bad escape sequence in string");
       }
     }
-    return false;  // unterminated
+    return Fail("unterminated string");
   }
 
   bool ParseNumber(JsonValue* out) {
@@ -368,13 +396,14 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) {
-      return false;
+      return Fail("expected a value");
     }
     const std::string token(text_.substr(start, pos_ - start));
     char* end = nullptr;
     out->number = std::strtod(token.c_str(), &end);
     if (end == nullptr || *end != '\0') {
-      return false;
+      pos_ = start;
+      return Fail("malformed number");
     }
     out->type = JsonValue::Type::kNumber;
     return true;
@@ -382,6 +411,8 @@ class Parser {
 
   std::string_view text_;
   size_t pos_ = 0;
+  std::string error_reason_;
+  size_t error_pos_ = 0;
 };
 
 }  // namespace
@@ -396,6 +427,15 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
 
 std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
   return Parser(text).Run();
+}
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text, std::string* error) {
+  Parser parser(text);
+  std::optional<JsonValue> value = parser.Run();
+  if (!value.has_value() && error != nullptr) {
+    *error = parser.error();
+  }
+  return value;
 }
 
 }  // namespace gs

@@ -95,6 +95,12 @@ struct JsonValue {
   // Parses a complete JSON document (surrounding whitespace allowed).
   // nullopt on any syntax error or trailing garbage.
   static std::optional<JsonValue> Parse(std::string_view text);
+
+  // As above; on failure `*error` receives a one-line description with the
+  // 1-based line:column of the first offending byte (e.g. "line 3:14:
+  // expected ':' after object key"). The scenario loader surfaces these
+  // verbatim, so they are written for humans editing config files.
+  static std::optional<JsonValue> Parse(std::string_view text, std::string* error);
 };
 
 }  // namespace gs

@@ -1,0 +1,285 @@
+#include "src/scenario/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+#include "src/base/logging.h"
+
+namespace gs {
+namespace scenario {
+namespace {
+
+struct Builtin {
+  const char* name;
+  const char* json;
+};
+
+// The built-in battery: production-shaped situations on deliberately small
+// topologies / short windows, so the whole golden suite runs in seconds.
+// Entries are grouped thematically; BuiltinScenarioNames() sorts.
+constexpr Builtin kBuiltins[] = {
+    // Fig 6b in miniature: latency-critical serving co-located with a nice-19
+    // CFS batch app on the same CPUs, ghOSt keeping tails down while the
+    // antagonist soaks idle cycles.
+    {"cfs_antagonist_colocation", R"json({
+  "name": "cfs_antagonist_colocation",
+  "description": "Shinjuku-style serving co-located with a nice-19 CFS batch app",
+  "seed": 42,
+  "warmup_ms": 20, "measure_ms": 60, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "shinjuku", "timeslice_us": 30},
+  "enclave": {"cpu_first": 1, "cpu_count": 6},
+  "workload": {
+    "kind": "request_service", "num_workers": 40,
+    "service": {"model": "bimodal", "short_us": 10, "long_us": 1000, "p_long": 0.01},
+    "phases": [{"duration_ms": 100, "qps": 40000}]
+  },
+  "antagonist": {"threads": 4, "placement": "cfs", "nice": 19, "chunk_us": 500}
+})json"},
+
+    // Fleet reality: load swings through a trough-peak-trough day. The policy
+    // must ride the swing without parking requests.
+    {"diurnal_load_swing", R"json({
+  "name": "diurnal_load_swing",
+  "description": "Trough-peak-trough offered load under a centralized preemptive policy",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 100, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "shinjuku", "timeslice_us": 30},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 40,
+    "service": {"model": "exponential", "mean_us": 25},
+    "phases": [
+      {"duration_ms": 35, "qps": 8000},
+      {"duration_ms": 40, "qps": 60000},
+      {"duration_ms": 35, "qps": 8000}
+    ]
+  }
+})json"},
+
+    // Offered load exceeds capacity, then drops: the backlog must drain and
+    // the system return to steady state (no stuck queues, no lost requests).
+    {"overload_recovery", R"json({
+  "name": "overload_recovery",
+  "description": "Transient overload then recovery; backlog must drain cleanly",
+  "seed": 42,
+  "warmup_ms": 5, "measure_ms": 90, "drain_ms": 40,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 2, "smt": 2, "cores_per_ccx": 2},
+  "policy": {"kind": "centralized_fifo", "timeslice_us": 50},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "fixed", "fixed_us": 100},
+    "phases": [
+      {"duration_ms": 30, "qps": 60000},
+      {"duration_ms": 65, "qps": 5000}
+    ]
+  }
+})json"},
+
+    // Tail-at-scale: every logical request fans out to 8 sub-requests and
+    // completes at the max — the workload shape that makes p99 of the parts
+    // the median of the whole.
+    {"tail_at_scale_fanout", R"json({
+  "name": "tail_at_scale_fanout",
+  "description": "Fan-out of 8 per request; group latency is the slowest leg",
+  "seed": 42,
+  "warmup_ms": 20, "measure_ms": 60, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "shinjuku", "timeslice_us": 30},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 60, "fanout": 8,
+    "service": {"model": "exponential", "mean_us": 20},
+    "phases": [{"duration_ms": 100, "qps": 5000}]
+  }
+})json"},
+
+    // High-priority serving sharing an O(1) multilevel queue with low-priority
+    // enclave antagonists; the expired-array swap must keep the antagonists
+    // alive while the timeslice map keeps the servers responsive.
+    {"priority_inversion_storm", R"json({
+  "name": "priority_inversion_storm",
+  "description": "O1 multilevel queue: high-prio servers vs low-prio enclave hogs",
+  "seed": 42,
+  "warmup_ms": 20, "measure_ms": 60, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "o1", "num_priorities": 8, "base_timeslice_ms": 6, "min_timeslice_ms": 1,
+             "worker_priority": 0, "antagonist_priority": 7},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "bimodal", "short_us": 20, "long_us": 2000, "p_long": 0.01},
+    "phases": [{"duration_ms": 100, "qps": 15000}]
+  },
+  "antagonist": {"threads": 6, "placement": "enclave", "chunk_us": 500},
+  "invariants": {"enabled": true, "period_us": 250, "ghost_starvation_bound_ms": 40}
+})json"},
+
+    // §3.4 robustness: the agent crashes mid-spike; the watchdog destroys the
+    // enclave and every thread falls back to CFS, which finishes the load.
+    {"agent_crash_midspike_fallback_cfs", R"json({
+  "name": "agent_crash_midspike_fallback_cfs",
+  "description": "Agent crash under load; watchdog tears down; CFS fallback completes",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 80, "drain_ms": 30,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "per_cpu_fifo"},
+  "enclave": {"cpu_first": 1, "watchdog_timeout_ms": 5, "watchdog_period_ms": 2},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "exponential", "mean_us": 50},
+    "phases": [{"duration_ms": 110, "qps": 20000}]
+  },
+  "faults": {"plan": [{"at_ms": 40, "kind": "agent_crash"}]}
+})json"},
+
+    // §4.5 in miniature: VMs under the core-scheduling policy; the golden
+    // pins zero cross-VM sibling co-residencies (the security property).
+    {"vm_colocation", R"json({
+  "name": "vm_colocation",
+  "description": "VMs under synchronized core scheduling; zero cross-VM SMT sharing",
+  "seed": 42,
+  "warmup_ms": 0, "measure_ms": 150, "drain_ms": 50,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "vm_core_sched", "vm_slice_ms": 6},
+  "enclave": {"cpu_first": 1},
+  "workload": {"kind": "vm", "num_vms": 4, "vcpus_per_vm": 2, "work_per_vcpu_ms": 15}
+})json"},
+
+    // §3.3 under stress: transaction validation forced stale 20% of the time
+    // inside the fault window; agents must retry through the storm.
+    {"estale_storm", R"json({
+  "name": "estale_storm",
+  "description": "Forced-ESTALE storm; per-CPU agents retry through it",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 80, "drain_ms": 30,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "per_cpu_fifo"},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "exponential", "mean_us": 40},
+    "phases": [{"duration_ms": 110, "qps": 15000}]
+  },
+  "faults": {"window_start_ms": 20, "window_end_ms": 70, "estale_probability": 0.2}
+})json"},
+
+    // Flaky interconnect: IPIs delayed or dropped (with redelivery);
+    // scheduling latencies stretch but nothing is lost.
+    {"ipi_flaky_fabric", R"json({
+  "name": "ipi_flaky_fabric",
+  "description": "Delayed/dropped IPIs with redelivery under a centralized policy",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 80, "drain_ms": 30,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "shinjuku", "timeslice_us": 30},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "exponential", "mean_us": 30},
+    "phases": [{"duration_ms": 110, "qps": 15000}]
+  },
+  "faults": {"window_start_ms": 20, "window_end_ms": 80,
+             "ipi_delay_probability": 0.3, "ipi_drop_probability": 0.1}
+})json"},
+
+    // Queue pressure: a fraction of message posts dropped as if queues were
+    // full; the enclave's overflow resync path has to keep the agent's view
+    // consistent (invariants stay on).
+    {"queue_overflow_pressure", R"json({
+  "name": "queue_overflow_pressure",
+  "description": "Message posts dropped under simulated queue overflow pressure",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 80, "drain_ms": 30,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 2, "smt": 2, "cores_per_ccx": 2},
+  "policy": {"kind": "per_cpu_fifo"},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 20,
+    "service": {"model": "exponential", "mean_us": 50},
+    "phases": [{"duration_ms": 110, "qps": 8000}]
+  },
+  "faults": {"window_start_ms": 20, "window_end_ms": 70, "msg_drop_probability": 0.02}
+})json"},
+
+    // The O1 satellite's own scenario: mixed priorities, diurnal-ish load,
+    // pinning array-swap behavior end to end.
+    {"o1_multilevel_mix", R"json({
+  "name": "o1_multilevel_mix",
+  "description": "O1 multilevel queue under a two-phase load swing",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 90, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "o1", "num_priorities": 16, "base_timeslice_ms": 4, "min_timeslice_ms": 1,
+             "worker_priority": 2, "antagonist_priority": 12},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "bimodal", "short_us": 15, "long_us": 1500, "p_long": 0.02},
+    "phases": [
+      {"duration_ms": 50, "qps": 10000},
+      {"duration_ms": 50, "qps": 30000}
+    ]
+  },
+  "antagonist": {"threads": 4, "placement": "enclave", "chunk_us": 300},
+  "invariants": {"enabled": true, "period_us": 250, "ghost_starvation_bound_ms": 40}
+})json"},
+};
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+std::vector<std::string> BuiltinScenarioNames() {
+  std::vector<std::string> names;
+  for (const Builtin& b : kBuiltins) {
+    names.push_back(b.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+const char* BuiltinScenarioJson(const std::string& name) {
+  for (const Builtin& b : kBuiltins) {
+    if (name == b.name) {
+      return b.json;
+    }
+  }
+  return nullptr;
+}
+
+ScenarioSpec GetBuiltinScenario(const std::string& name) {
+  const char* json = BuiltinScenarioJson(name);
+  CHECK(json != nullptr) << "unknown built-in scenario: " << name;
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(json, &error);
+  CHECK(spec.has_value()) << "built-in scenario " << name << ": " << error;
+  return *std::move(spec);
+}
+
+ScenarioSpec LoadScenarioOrExit(const std::string& name_or_path) {
+  if (BuiltinScenarioJson(name_or_path) != nullptr) {
+    return GetBuiltinScenario(name_or_path);
+  }
+  if (FileExists(name_or_path)) {
+    return ScenarioSpec::LoadFileOrExit(name_or_path);
+  }
+  std::fprintf(stderr,
+               "scenario: \"%s\" is neither a built-in scenario nor a file.\n"
+               "Built-in scenarios:\n",
+               name_or_path.c_str());
+  for (const Builtin& b : kBuiltins) {
+    std::fprintf(stderr, "  %s\n", b.name);
+  }
+  std::exit(2);
+}
+
+}  // namespace scenario
+}  // namespace gs

@@ -1,0 +1,37 @@
+// Registry of named built-in scenarios.
+//
+// Each built-in is stored as its JSON source text and goes through the same
+// strict ScenarioSpec::Parse as a user-supplied file — the library dogfoods
+// its own schema, and a scenario_test case fails if any built-in ever stops
+// parsing. The harness resolves `--scenario=<arg>` here: a built-in name
+// first, otherwise a path to a scenario JSON file.
+#ifndef GHOST_SIM_SRC_SCENARIO_REGISTRY_H_
+#define GHOST_SIM_SRC_SCENARIO_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+
+namespace gs {
+namespace scenario {
+
+// Names of all built-in scenarios, sorted.
+std::vector<std::string> BuiltinScenarioNames();
+
+// JSON source of a built-in; nullptr if `name` is not a built-in.
+const char* BuiltinScenarioJson(const std::string& name);
+
+// Parsed built-in. CHECK-fails on an unknown name (use BuiltinScenarioJson
+// to probe) or if the embedded JSON is invalid.
+ScenarioSpec GetBuiltinScenario(const std::string& name);
+
+// `--scenario=` resolution: a built-in name, else a file path. On an unknown
+// name that does not exist as a file, prints the available names and
+// exit(2)s; on a malformed file, ParseOrExit semantics apply.
+ScenarioSpec LoadScenarioOrExit(const std::string& name_or_path);
+
+}  // namespace scenario
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SCENARIO_REGISTRY_H_

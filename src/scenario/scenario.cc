@@ -1,0 +1,576 @@
+#include "src/scenario/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gs {
+namespace scenario {
+namespace {
+
+// Strict object reader: every getter marks its key consumed; Finish() rejects
+// anything left over, so typos surface as `unknown key "section.key"` instead
+// of silently running a default configuration.
+class ObjectReader {
+ public:
+  ObjectReader(const JsonValue& value, std::string path, std::string* error)
+      : value_(value), path_(std::move(path)), error_(error) {
+    if (!value_.is_object() && error_->empty()) {
+      *error_ = Quote(path_) + " must be an object";
+    }
+  }
+
+  bool ok() const { return error_->empty(); }
+  bool Has(const char* key) const { return value_.object.count(key) > 0; }
+
+  void String(const char* key, std::string* out) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) {
+      return;
+    }
+    if (!v->is_string()) {
+      Fail(Quote(Path(key)) + " must be a string");
+      return;
+    }
+    *out = v->string;
+  }
+
+  void Double(const char* key, double* out) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) {
+      return;
+    }
+    if (!v->is_number()) {
+      Fail(Quote(Path(key)) + " must be a number");
+      return;
+    }
+    *out = v->number;
+  }
+
+  void Int(const char* key, int* out) {
+    double d = 0;
+    const size_t before = consumed_.size();
+    Double(key, &d);
+    if (!ok() || consumed_.size() == before) {
+      return;  // error or key absent
+    }
+    *out = static_cast<int>(d);
+  }
+
+  void UInt64(const char* key, uint64_t* out) {
+    double d = 0;
+    const size_t before = consumed_.size();
+    Double(key, &d);
+    if (!ok() || consumed_.size() == before) {
+      return;
+    }
+    *out = static_cast<uint64_t>(d);
+  }
+
+  void Bool(const char* key, bool* out) {
+    const JsonValue* v = Take(key);
+    if (v == nullptr) {
+      return;
+    }
+    if (v->type != JsonValue::Type::kBool) {
+      Fail(Quote(Path(key)) + " must be a boolean");
+      return;
+    }
+    *out = v->boolean;
+  }
+
+  // Nested object/array member; nullptr when absent (defaults apply).
+  const JsonValue* Section(const char* key) { return Take(key); }
+
+  std::string Path(const char* key) const {
+    return path_.empty() ? key : path_ + "." + key;
+  }
+
+  void Require(const char* key) {
+    if (ok() && !Has(key)) {
+      Fail("missing required key " + Quote(Path(key)));
+    }
+  }
+
+  // Unknown-key check; call after all getters.
+  void Finish() {
+    if (!ok()) {
+      return;
+    }
+    for (const auto& [key, unused] : value_.object) {
+      bool known = false;
+      for (const std::string& c : consumed_) {
+        if (c == key) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        Fail("unknown key " + Quote(Path(key.c_str())));
+        return;
+      }
+    }
+  }
+
+  void Fail(const std::string& message) {
+    if (error_->empty()) {
+      *error_ = message;
+    }
+  }
+
+  static std::string Quote(const std::string& s) { return "\"" + s + "\""; }
+
+ private:
+  const JsonValue* Take(const char* key) {
+    if (!ok()) {
+      return nullptr;
+    }
+    const JsonValue* v = value_.Find(key);
+    if (v != nullptr) {
+      consumed_.push_back(key);
+    }
+    return v;
+  }
+
+  const JsonValue& value_;
+  std::string path_;
+  std::string* error_;
+  std::vector<std::string> consumed_;
+};
+
+bool OneOf(const std::string& value, std::initializer_list<const char*> allowed) {
+  for (const char* a : allowed) {
+    if (value == a) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string BadEnum(const std::string& path, const std::string& value,
+                    std::initializer_list<const char*> allowed) {
+  std::string msg = ObjectReader::Quote(path) + ": unknown value " +
+                    ObjectReader::Quote(value) + " (expected one of";
+  for (const char* a : allowed) {
+    msg += " ";
+    msg += a;
+  }
+  msg += ")";
+  return msg;
+}
+
+void ParseTopology(const JsonValue& v, TopologySpec* out, std::string* error) {
+  ObjectReader r(v, "topology", error);
+  r.String("preset", &out->preset);
+  static constexpr std::initializer_list<const char*> kPresets = {
+      "custom", "e5_24", "skylake112", "haswell72", "rome256"};
+  if (r.ok() && !OneOf(out->preset, kPresets)) {
+    r.Fail(BadEnum("topology.preset", out->preset, kPresets));
+  }
+  if (r.ok() && out->preset != "custom") {
+    for (const char* dim : {"sockets", "cores_per_socket", "smt", "cores_per_ccx"}) {
+      if (r.Has(dim)) {
+        r.Fail(ObjectReader::Quote(std::string("topology.") + dim) +
+               " is only valid with preset \"custom\"");
+      }
+    }
+  }
+  r.Int("sockets", &out->sockets);
+  r.Int("cores_per_socket", &out->cores_per_socket);
+  r.Int("smt", &out->smt);
+  r.Int("cores_per_ccx", &out->cores_per_ccx);
+  if (r.ok() && out->preset == "custom" &&
+      (out->sockets < 1 || out->cores_per_socket < 1 || out->smt < 1)) {
+    r.Fail("\"topology\": sockets, cores_per_socket and smt must be >= 1");
+  }
+  r.Finish();
+}
+
+void ParsePolicy(const JsonValue& v, PolicySpec* out, std::string* error) {
+  ObjectReader r(v, "policy", error);
+  r.String("kind", &out->kind);
+  static constexpr std::initializer_list<const char*> kKinds = {
+      "centralized_fifo", "shinjuku",      "shinjuku_shenango",
+      "snap",             "per_cpu_fifo",  "o1",
+      "vm_core_sched",    "cfs"};
+  if (r.ok() && !OneOf(out->kind, kKinds)) {
+    r.Fail(BadEnum("policy.kind", out->kind, kKinds));
+  }
+  r.Int("global_cpu", &out->global_cpu);
+  r.Double("timeslice_us", &out->timeslice_us);
+  r.Int("num_priorities", &out->num_priorities);
+  r.Double("base_timeslice_ms", &out->base_timeslice_ms);
+  r.Double("min_timeslice_ms", &out->min_timeslice_ms);
+  r.Int("worker_priority", &out->worker_priority);
+  r.Int("antagonist_priority", &out->antagonist_priority);
+  r.Double("vm_slice_ms", &out->vm_slice_ms);
+  if (r.ok() && (out->num_priorities < 1 || out->num_priorities > 64)) {
+    r.Fail("\"policy.num_priorities\" must be in [1, 64]");
+  }
+  if (r.ok() && out->min_timeslice_ms > out->base_timeslice_ms) {
+    r.Fail("\"policy.min_timeslice_ms\" must be <= \"policy.base_timeslice_ms\"");
+  }
+  r.Finish();
+}
+
+void ParseService(const JsonValue& v, ServiceSpec* out, std::string* error) {
+  ObjectReader r(v, "workload.service", error);
+  r.String("model", &out->model);
+  static constexpr std::initializer_list<const char*> kModels = {"fixed", "bimodal",
+                                                                 "exponential"};
+  if (r.ok() && !OneOf(out->model, kModels)) {
+    r.Fail(BadEnum("workload.service.model", out->model, kModels));
+  }
+  r.Double("fixed_us", &out->fixed_us);
+  r.Double("short_us", &out->short_us);
+  r.Double("long_us", &out->long_us);
+  r.Double("p_long", &out->p_long);
+  r.Double("mean_us", &out->mean_us);
+  if (r.ok() && (out->p_long < 0 || out->p_long > 1)) {
+    r.Fail("\"workload.service.p_long\" must be in [0, 1]");
+  }
+  r.Finish();
+}
+
+void ParsePhases(const JsonValue& v, std::vector<LoadPhase>* out, std::string* error) {
+  if (!v.is_array()) {
+    if (error->empty()) {
+      *error = "\"workload.phases\" must be an array";
+    }
+    return;
+  }
+  out->clear();
+  for (size_t i = 0; i < v.array.size(); ++i) {
+    const std::string path = "workload.phases[" + std::to_string(i) + "]";
+    ObjectReader r(v.array[i], path, error);
+    LoadPhase phase;
+    r.Require("duration_ms");
+    r.Double("duration_ms", &phase.duration_ms);
+    r.Double("qps", &phase.qps);
+    if (r.ok() && phase.duration_ms <= 0) {
+      r.Fail(ObjectReader::Quote(path + ".duration_ms") + " must be > 0");
+    }
+    if (r.ok() && phase.qps < 0) {
+      r.Fail(ObjectReader::Quote(path + ".qps") + " must be >= 0");
+    }
+    r.Finish();
+    if (!error->empty()) {
+      return;
+    }
+    out->push_back(phase);
+  }
+}
+
+void ParseWorkload(const JsonValue& v, WorkloadSpec* out, std::string* error) {
+  ObjectReader r(v, "workload", error);
+  r.String("kind", &out->kind);
+  static constexpr std::initializer_list<const char*> kKinds = {"request_service", "vm"};
+  if (r.ok() && !OneOf(out->kind, kKinds)) {
+    r.Fail(BadEnum("workload.kind", out->kind, kKinds));
+  }
+  r.Int("num_workers", &out->num_workers);
+  r.Int("fanout", &out->fanout);
+  if (const JsonValue* service = r.Section("service")) {
+    ParseService(*service, &out->service, error);
+  }
+  if (const JsonValue* phases = r.Section("phases")) {
+    ParsePhases(*phases, &out->phases, error);
+  }
+  r.Int("num_vms", &out->num_vms);
+  r.Int("vcpus_per_vm", &out->vcpus_per_vm);
+  r.Double("work_per_vcpu_ms", &out->work_per_vcpu_ms);
+  if (r.ok() && out->num_workers < 1) {
+    r.Fail("\"workload.num_workers\" must be >= 1");
+  }
+  if (r.ok() && out->fanout < 1) {
+    r.Fail("\"workload.fanout\" must be >= 1");
+  }
+  if (r.ok() && out->kind == "vm" && (out->num_vms < 1 || out->vcpus_per_vm < 1)) {
+    r.Fail("\"workload\": num_vms and vcpus_per_vm must be >= 1");
+  }
+  r.Finish();
+}
+
+void ParseAntagonist(const JsonValue& v, AntagonistSpec* out, std::string* error) {
+  ObjectReader r(v, "antagonist", error);
+  r.Int("threads", &out->threads);
+  r.String("placement", &out->placement);
+  static constexpr std::initializer_list<const char*> kPlacements = {"cfs", "enclave"};
+  if (r.ok() && !OneOf(out->placement, kPlacements)) {
+    r.Fail(BadEnum("antagonist.placement", out->placement, kPlacements));
+  }
+  r.Int("nice", &out->nice);
+  r.Double("chunk_us", &out->chunk_us);
+  if (r.ok() && out->threads < 0) {
+    r.Fail("\"antagonist.threads\" must be >= 0");
+  }
+  if (r.ok() && (out->nice < -20 || out->nice > 19)) {
+    r.Fail("\"antagonist.nice\" must be in [-20, 19]");
+  }
+  r.Finish();
+}
+
+void ParseFaults(const JsonValue& v, FaultsSpec* out, std::string* error) {
+  ObjectReader r(v, "faults", error);
+  r.Double("window_start_ms", &out->window_start_ms);
+  r.Double("window_end_ms", &out->window_end_ms);
+  r.Double("ipi_delay_probability", &out->ipi_delay_probability);
+  r.Double("ipi_drop_probability", &out->ipi_drop_probability);
+  r.Double("msg_drop_probability", &out->msg_drop_probability);
+  r.Double("estale_probability", &out->estale_probability);
+  for (const char* p : {"ipi_delay_probability", "ipi_drop_probability",
+                        "msg_drop_probability", "estale_probability"}) {
+    const JsonValue* pv = v.Find(p);
+    if (r.ok() && pv != nullptr && pv->is_number() &&
+        (pv->number < 0 || pv->number > 1)) {
+      r.Fail(ObjectReader::Quote(std::string("faults.") + p) + " must be in [0, 1]");
+    }
+  }
+  if (const JsonValue* plan = r.Section("plan")) {
+    if (!plan->is_array()) {
+      r.Fail("\"faults.plan\" must be an array");
+    } else {
+      out->plan.clear();
+      for (size_t i = 0; i < plan->array.size(); ++i) {
+        const std::string path = "faults.plan[" + std::to_string(i) + "]";
+        ObjectReader e(plan->array[i], path, error);
+        FaultEventSpec event;
+        e.Require("kind");
+        e.String("kind", &event.kind);
+        static constexpr std::initializer_list<const char*> kKinds = {
+            "agent_crash", "agent_stall", "agent_recover", "enclave_destroy"};
+        if (e.ok() && !OneOf(event.kind, kKinds)) {
+          e.Fail(BadEnum(path + ".kind", event.kind, kKinds));
+        }
+        e.Double("at_ms", &event.at_ms);
+        if (e.ok() && event.at_ms < 0) {
+          e.Fail(ObjectReader::Quote(path + ".at_ms") + " must be >= 0");
+        }
+        e.Finish();
+        if (!error->empty()) {
+          return;
+        }
+        out->plan.push_back(event);
+      }
+    }
+  }
+  r.Finish();
+}
+
+void ParseEnclave(const JsonValue& v, EnclaveSpec* out, std::string* error) {
+  ObjectReader r(v, "enclave", error);
+  r.Int("cpu_first", &out->cpu_first);
+  r.Int("cpu_count", &out->cpu_count);
+  r.Double("watchdog_timeout_ms", &out->watchdog_timeout_ms);
+  r.Double("watchdog_period_ms", &out->watchdog_period_ms);
+  if (r.ok() && out->cpu_first < 0) {
+    r.Fail("\"enclave.cpu_first\" must be >= 0");
+  }
+  if (r.ok() && out->watchdog_timeout_ms < 0) {
+    r.Fail("\"enclave.watchdog_timeout_ms\" must be >= 0");
+  }
+  r.Finish();
+}
+
+void ParseInvariants(const JsonValue& v, InvariantsSpec* out, std::string* error) {
+  ObjectReader r(v, "invariants", error);
+  r.Bool("enabled", &out->enabled);
+  r.Double("period_us", &out->period_us);
+  r.Double("ghost_starvation_bound_ms", &out->ghost_starvation_bound_ms);
+  if (r.ok() && out->period_us <= 0) {
+    r.Fail("\"invariants.period_us\" must be > 0");
+  }
+  r.Finish();
+}
+
+}  // namespace
+
+std::optional<ScenarioSpec> ScenarioSpec::Parse(std::string_view text,
+                                                std::string* error) {
+  std::string local_error;
+  if (error == nullptr) {
+    error = &local_error;
+  }
+  error->clear();
+  std::string json_error;
+  std::optional<JsonValue> doc = JsonValue::Parse(text, &json_error);
+  if (!doc.has_value()) {
+    *error = json_error.empty() ? "invalid JSON" : json_error;
+    return std::nullopt;
+  }
+
+  ScenarioSpec spec;
+  ObjectReader r(*doc, "", error);
+  r.Require("name");
+  r.String("name", &spec.name);
+  r.String("description", &spec.description);
+  r.UInt64("seed", &spec.seed);
+  r.Double("warmup_ms", &spec.warmup_ms);
+  r.Double("measure_ms", &spec.measure_ms);
+  r.Double("drain_ms", &spec.drain_ms);
+  if (r.ok() && spec.name.empty()) {
+    r.Fail("\"name\" must be a non-empty string");
+  }
+  if (r.ok() && (spec.warmup_ms < 0 || spec.measure_ms <= 0 || spec.drain_ms < 0)) {
+    r.Fail("\"measure_ms\" must be > 0 and \"warmup_ms\"/\"drain_ms\" >= 0");
+  }
+  if (const JsonValue* v = r.Section("topology")) {
+    ParseTopology(*v, &spec.topology, error);
+  }
+  if (const JsonValue* v = r.Section("policy")) {
+    ParsePolicy(*v, &spec.policy, error);
+  }
+  if (const JsonValue* v = r.Section("enclave")) {
+    ParseEnclave(*v, &spec.enclave, error);
+  }
+  if (const JsonValue* v = r.Section("workload")) {
+    ParseWorkload(*v, &spec.workload, error);
+  }
+  if (const JsonValue* v = r.Section("antagonist")) {
+    ParseAntagonist(*v, &spec.antagonist, error);
+  }
+  if (const JsonValue* v = r.Section("faults")) {
+    ParseFaults(*v, &spec.faults, error);
+  }
+  if (const JsonValue* v = r.Section("invariants")) {
+    ParseInvariants(*v, &spec.invariants, error);
+  }
+  r.Finish();
+  if (!error->empty()) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", name);
+  w.KV("description", description);
+  w.KV("seed", seed);
+  w.KV("warmup_ms", warmup_ms);
+  w.KV("measure_ms", measure_ms);
+  w.KV("drain_ms", drain_ms);
+
+  w.Key("topology");
+  w.BeginObject();
+  w.KV("preset", topology.preset);
+  if (topology.preset == "custom") {
+    w.KV("sockets", topology.sockets);
+    w.KV("cores_per_socket", topology.cores_per_socket);
+    w.KV("smt", topology.smt);
+    w.KV("cores_per_ccx", topology.cores_per_ccx);
+  }
+  w.EndObject();
+
+  w.Key("policy");
+  w.BeginObject();
+  w.KV("kind", policy.kind);
+  w.KV("global_cpu", policy.global_cpu);
+  w.KV("timeslice_us", policy.timeslice_us);
+  w.KV("num_priorities", policy.num_priorities);
+  w.KV("base_timeslice_ms", policy.base_timeslice_ms);
+  w.KV("min_timeslice_ms", policy.min_timeslice_ms);
+  w.KV("worker_priority", policy.worker_priority);
+  w.KV("antagonist_priority", policy.antagonist_priority);
+  w.KV("vm_slice_ms", policy.vm_slice_ms);
+  w.EndObject();
+
+  w.Key("enclave");
+  w.BeginObject();
+  w.KV("cpu_first", enclave.cpu_first);
+  w.KV("cpu_count", enclave.cpu_count);
+  w.KV("watchdog_timeout_ms", enclave.watchdog_timeout_ms);
+  w.KV("watchdog_period_ms", enclave.watchdog_period_ms);
+  w.EndObject();
+
+  w.Key("workload");
+  w.BeginObject();
+  w.KV("kind", workload.kind);
+  w.KV("num_workers", workload.num_workers);
+  w.KV("fanout", workload.fanout);
+  w.Key("service");
+  w.BeginObject();
+  w.KV("model", workload.service.model);
+  w.KV("fixed_us", workload.service.fixed_us);
+  w.KV("short_us", workload.service.short_us);
+  w.KV("long_us", workload.service.long_us);
+  w.KV("p_long", workload.service.p_long);
+  w.KV("mean_us", workload.service.mean_us);
+  w.EndObject();
+  w.Key("phases");
+  w.BeginArray();
+  for (const LoadPhase& phase : workload.phases) {
+    w.BeginObject();
+    w.KV("duration_ms", phase.duration_ms);
+    w.KV("qps", phase.qps);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.KV("num_vms", workload.num_vms);
+  w.KV("vcpus_per_vm", workload.vcpus_per_vm);
+  w.KV("work_per_vcpu_ms", workload.work_per_vcpu_ms);
+  w.EndObject();
+
+  w.Key("antagonist");
+  w.BeginObject();
+  w.KV("threads", antagonist.threads);
+  w.KV("placement", antagonist.placement);
+  w.KV("nice", antagonist.nice);
+  w.KV("chunk_us", antagonist.chunk_us);
+  w.EndObject();
+
+  w.Key("faults");
+  w.BeginObject();
+  w.KV("window_start_ms", faults.window_start_ms);
+  w.KV("window_end_ms", faults.window_end_ms);
+  w.KV("ipi_delay_probability", faults.ipi_delay_probability);
+  w.KV("ipi_drop_probability", faults.ipi_drop_probability);
+  w.KV("msg_drop_probability", faults.msg_drop_probability);
+  w.KV("estale_probability", faults.estale_probability);
+  w.Key("plan");
+  w.BeginArray();
+  for (const FaultEventSpec& event : faults.plan) {
+    w.BeginObject();
+    w.KV("at_ms", event.at_ms);
+    w.KV("kind", event.kind);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("invariants");
+  w.BeginObject();
+  w.KV("enabled", invariants.enabled);
+  w.KV("period_us", invariants.period_us);
+  w.KV("ghost_starvation_bound_ms", invariants.ghost_starvation_bound_ms);
+  w.EndObject();
+
+  w.EndObject();
+  return w.str();
+}
+
+ScenarioSpec ScenarioSpec::ParseOrExit(std::string_view text) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = Parse(text, &error);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "scenario: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return *std::move(spec);
+}
+
+ScenarioSpec ScenarioSpec::LoadFileOrExit(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "scenario: cannot open \"%s\"\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseOrExit(buffer.str());
+}
+
+}  // namespace scenario
+}  // namespace gs

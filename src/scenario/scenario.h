@@ -1,0 +1,168 @@
+// Declarative scenario descriptions: simulation composition as data.
+//
+// Following gem5's standard-library idea, a scenario composes everything a
+// runnable simulation needs — topology preset x policy x workload mix x load
+// shape x fault plan x invariant checking — into one JSON document, so new
+// policies and fleet features can be swept against a curated battery of
+// production-shaped situations without writing a bench. The harness loads a
+// scenario by built-in name or file path (`--scenario=<name|file.json>`),
+// and the golden-expectation suite (tests/scenario_runner) pins every
+// built-in scenario's deterministic verdicts.
+//
+// Parsing is strict, in the same spirit as the bench harness's flag
+// validation: an unknown key, a missing required field, or a wrong-typed
+// value is an error naming the offending key — a typo can never silently
+// run the wrong configuration. `ScenarioSpec::ToJson()` re-renders the
+// spec so parse -> ToJson -> parse is the identity (round-trip tested).
+#ifndef GHOST_SIM_SRC_SCENARIO_SCENARIO_H_
+#define GHOST_SIM_SRC_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/json.h"
+
+namespace gs {
+namespace scenario {
+
+// ---- Component specs --------------------------------------------------------
+
+struct TopologySpec {
+  // "e5_24", "skylake112", "haswell72", "rome256", or "custom" (which uses
+  // the fields below; they are rejected for presets).
+  std::string preset = "custom";
+  int sockets = 1;
+  int cores_per_socket = 4;
+  int smt = 2;
+  int cores_per_ccx = 4;
+};
+
+struct PolicySpec {
+  // "centralized_fifo" | "shinjuku" | "shinjuku_shenango" | "snap" |
+  // "per_cpu_fifo" | "o1" | "vm_core_sched" | "cfs" (no agent: the workload
+  // runs under the kernel's default scheduler).
+  std::string kind = "shinjuku";
+  int global_cpu = -1;          // centralized policies; -1 = first enclave CPU
+  double timeslice_us = 30;     // preemption timeslice (0 = run to completion)
+  // O1 parameters.
+  int num_priorities = 8;
+  double base_timeslice_ms = 6;
+  double min_timeslice_ms = 1;
+  int worker_priority = 1;      // priority assigned to workload threads
+  int antagonist_priority = 6;  // priority assigned to enclave antagonists
+  // vm_core_sched: guaranteed slice per VM per period.
+  double vm_slice_ms = 6;
+};
+
+struct ServiceSpec {
+  // "fixed" | "bimodal" | "exponential".
+  std::string model = "bimodal";
+  double fixed_us = 10;  // fixed
+  double short_us = 10;  // bimodal
+  double long_us = 10000;
+  double p_long = 0.005;
+  double mean_us = 10;  // exponential
+};
+
+struct LoadPhase {
+  double duration_ms = 0;
+  double qps = 0;  // open-loop Poisson arrival rate during the phase
+};
+
+struct WorkloadSpec {
+  // "request_service" (thread-pool server + phased Poisson load) or
+  // "vm" (Table 4's vCPU workload: fixed CPU work per vCPU).
+  std::string kind = "request_service";
+  // request_service:
+  int num_workers = 50;
+  int fanout = 1;  // >1: each arrival fans out into `fanout` sub-requests
+                   // and the group completes at the max sub-latency
+  ServiceSpec service;
+  std::vector<LoadPhase> phases;
+  // vm:
+  int num_vms = 4;
+  int vcpus_per_vm = 2;
+  double work_per_vcpu_ms = 20;
+};
+
+struct AntagonistSpec {
+  int threads = 0;  // 0 = no antagonist
+  // "cfs": nice'd best-effort threads outside the enclave (fig 6's batch
+  // app). "enclave": ghOSt-managed threads in the low tier / low priority.
+  std::string placement = "cfs";
+  int nice = 19;        // cfs placement only
+  double chunk_us = 500;
+};
+
+struct FaultEventSpec {
+  double at_ms = 0;
+  // "agent_crash" | "agent_stall" | "agent_recover" | "enclave_destroy".
+  std::string kind;
+};
+
+struct FaultsSpec {
+  // Probabilistic faults fire only inside [window_start_ms, window_end_ms);
+  // window_end_ms < 0 means "never closes".
+  double window_start_ms = 0;
+  double window_end_ms = -1;
+  double ipi_delay_probability = 0;
+  double ipi_drop_probability = 0;
+  double msg_drop_probability = 0;
+  double estale_probability = 0;
+  std::vector<FaultEventSpec> plan;  // scheduled one-shot faults
+};
+
+struct EnclaveSpec {
+  // CPUs [cpu_first, cpu_first + cpu_count). cpu_count < 0 = all remaining
+  // CPUs from cpu_first up. CPU 0 is conventionally left to the load
+  // generator / housekeeping, matching the bench setups.
+  int cpu_first = 1;
+  int cpu_count = -1;
+  double watchdog_timeout_ms = 0;  // 0 = watchdog disabled
+  double watchdog_period_ms = 10;
+};
+
+struct InvariantsSpec {
+  bool enabled = true;
+  double period_us = 250;
+  // Starvation bound for watchdog-less enclaves (0 = skip that check).
+  double ghost_starvation_bound_ms = 0;
+};
+
+// ---- The scenario -----------------------------------------------------------
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  uint64_t seed = 42;
+  double warmup_ms = 20;   // metrics reset at the end of warmup
+  double measure_ms = 80;  // measurement window
+  double drain_ms = 20;    // extra run time to let in-flight requests finish
+  TopologySpec topology;
+  PolicySpec policy;
+  EnclaveSpec enclave;
+  WorkloadSpec workload;
+  AntagonistSpec antagonist;
+  FaultsSpec faults;
+  InvariantsSpec invariants;
+
+  // Deterministic, compact JSON rendering; Parse(ToJson()) == *this.
+  std::string ToJson() const;
+
+  // Strict parse of a scenario document. On failure returns nullopt and sets
+  // `*error` to a message naming the offending key (or the JSON syntax
+  // error's line:column).
+  static std::optional<ScenarioSpec> Parse(std::string_view text, std::string* error);
+
+  // Binary-facing wrappers matching the harness's flag-validation style:
+  // print "scenario: <error>" to stderr and exit(2) on any problem.
+  static ScenarioSpec ParseOrExit(std::string_view text);
+  static ScenarioSpec LoadFileOrExit(const std::string& path);
+};
+
+}  // namespace scenario
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SCENARIO_SCENARIO_H_

@@ -1,0 +1,67 @@
+// Executes a ScenarioSpec: spec -> SimulationContext -> ScenarioResult, plus
+// the golden-expectation rendering/checking used by the regression suite.
+//
+// A ScenarioResult splits its observations the way the golden files do:
+//
+//  * `exact` — integer facts the simulation reproduces bit-for-bit for a
+//    fixed seed (request counts, fault injections, invariant verdicts,
+//    enclave teardown). Goldens compare these exactly; any drift is a
+//    behavior change someone must sign off on via --update-goldens.
+//  * `envelopes` — latency/throughput style doubles. Goldens store a
+//    [lo, hi] tolerance band around the recorded value, so refactors that
+//    shift performance a little do not churn goldens, while regressions
+//    that move a p99 out of band fail loudly.
+//
+// Rendering is deterministic (JsonWriter, sorted std::map iteration), so
+// `--update-goldens` twice in a row — or under different --jobs — produces
+// byte-identical files; a test pins that property.
+#ifndef GHOST_SIM_SRC_SCENARIO_SCENARIO_RUNNER_H_
+#define GHOST_SIM_SRC_SCENARIO_SCENARIO_RUNNER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/stats/stats.h"
+
+namespace gs {
+namespace scenario {
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t seed = 0;
+  // Deterministic integer observations, keyed by metric name.
+  std::map<std::string, int64_t> exact;
+  // Toleranced performance observations, keyed by metric name.
+  std::map<std::string, double> envelopes;
+  // Invariant-checker violation messages (empty on a clean run); the count
+  // and ok-bit are mirrored into `exact` for the golden comparison.
+  std::vector<std::string> violations;
+};
+
+// Runs the scenario to completion on a fresh SimulationContext. `stats`, when
+// non-null, is borrowed as the run's StatsRegistry (the harness passes its
+// per-run registry); nullptr keeps the zero-overhead path.
+ScenarioResult RunScenario(const ScenarioSpec& spec, StatsRegistry* stats = nullptr);
+
+// Renders the golden-expectations document for a result (trailing newline
+// included — goldens are files).
+std::string RenderGolden(const ScenarioResult& result);
+
+// Checks `result` against a golden document previously produced by
+// RenderGolden. Exact fields must match exactly and have identical key sets;
+// envelope values must lie inside the golden's [lo, hi]. On failure returns
+// false and appends one line per mismatch to `*failures`.
+bool CheckGolden(const ScenarioResult& result, const std::string& golden_json,
+                 std::vector<std::string>* failures);
+
+// The [lo, hi] band RenderGolden stores for metric `name` at `value`
+// (relative tolerance plus an absolute slack floor, per metric family).
+void EnvelopeBand(const std::string& name, double value, double* lo, double* hi);
+
+}  // namespace scenario
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_SCENARIO_SCENARIO_RUNNER_H_

@@ -14,18 +14,18 @@ ThreadPoolServer::ThreadPoolServer(Kernel* kernel, Options options)
   }
 }
 
-void ThreadPoolServer::Submit(Time arrival, Duration service) {
+void ThreadPoolServer::Submit(Time arrival, Duration service, CompletionFn done) {
   if (!free_.empty()) {
     const int index = free_.back();
     free_.pop_back();
-    Assign(index, Request{arrival, service});
+    Assign(index, Request{arrival, service, std::move(done)});
     return;
   }
   if (pending_.size() >= options_.max_pending) {
     ++dropped_;
     return;
   }
-  pending_.push_back(Request{arrival, service});
+  pending_.push_back(Request{arrival, service, std::move(done)});
 }
 
 void ThreadPoolServer::Assign(int worker_index, Request request) {
@@ -38,12 +38,17 @@ void ThreadPoolServer::Assign(int worker_index, Request request) {
 
 void ThreadPoolServer::OnWorkerDone(int worker_index) {
   Task* worker = workers_[worker_index];
+  // Move the per-request callback out before the slot is reused.
+  const CompletionFn done = std::move(active_[worker_index].done);
   const Request& request = active_[worker_index];
   const Duration latency = kernel_->now() - request.arrival;
   latency_.Add(latency);
   ++completed_;
   if (completion_hook_) {
     completion_hook_(kernel_->now(), latency);
+  }
+  if (done) {
+    done(kernel_->now(), latency);
   }
 
   // The worker returns to the pool. Every request costs a fresh
@@ -53,7 +58,7 @@ void ThreadPoolServer::OnWorkerDone(int worker_index) {
     free_.push_back(worker_index);
     return;
   }
-  const Request next = pending_.front();
+  Request next = pending_.front();
   pending_.pop_front();
   kernel_->loop()->ScheduleAfter(options_.dispatch_delay, [this, worker_index, next] {
     Assign(worker_index, next);

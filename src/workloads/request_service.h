@@ -92,8 +92,13 @@ class ThreadPoolServer {
   // Must be configured before the first Submit().
   const std::vector<Task*>& workers() const { return workers_; }
 
-  // Request arrival (open loop). Called at virtual time `arrival`.
-  void Submit(Time arrival, Duration service);
+  // Per-request completion callback (fan-out joins, per-class latency).
+  using CompletionFn = std::function<void(Time now, Duration latency)>;
+
+  // Request arrival (open loop). Called at virtual time `arrival`. `done`,
+  // when set, fires on this request's completion (after the recorder and the
+  // global completion hook).
+  void Submit(Time arrival, Duration service, CompletionFn done = nullptr);
 
   LatencyRecorder& latency() { return latency_; }
   // Called on each completion, if set (per-window series etc.).
@@ -110,6 +115,7 @@ class ThreadPoolServer {
   struct Request {
     Time arrival = 0;
     Duration service = 0;
+    CompletionFn done;
   };
 
   void Assign(int worker_index, Request request);

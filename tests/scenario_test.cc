@@ -1,0 +1,264 @@
+// Scenario library tests: strict parsing (exit 2 naming the bad key),
+// parse -> ToJson -> parse round-trip identity, registry completeness, and
+// golden determinism (byte-stable across repeated runs and across --jobs).
+#include "src/scenario/scenario.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/scenario/registry.h"
+#include "src/scenario/scenario_runner.h"
+#include "src/sim/batch_runner.h"
+
+namespace gs {
+namespace scenario {
+namespace {
+
+constexpr char kMinimal[] = R"json({
+  "name": "minimal",
+  "warmup_ms": 2, "measure_ms": 8, "drain_ms": 2,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 2, "smt": 1, "cores_per_ccx": 2},
+  "policy": {"kind": "per_cpu_fifo"},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 4,
+    "service": {"model": "fixed", "fixed_us": 20},
+    "phases": [{"duration_ms": 10, "qps": 2000}]
+  }
+})json";
+
+// ---- Strict parsing --------------------------------------------------------
+
+TEST(ScenarioParseTest, MinimalParses) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->name, "minimal");
+  EXPECT_EQ(spec->policy.kind, "per_cpu_fifo");
+  ASSERT_EQ(spec->workload.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec->workload.phases[0].qps, 2000);
+}
+
+TEST(ScenarioParseTest, UnknownTopLevelKeyIsNamed) {
+  std::string error;
+  EXPECT_FALSE(
+      ScenarioSpec::Parse(R"({"name": "x", "wormload": {}})", &error).has_value());
+  EXPECT_NE(error.find("unknown key \"wormload\""), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, UnknownNestedKeyIsNamedWithPath) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   R"({"name": "x", "policy": {"kind": "shinjuku", "timeslce_us": 30}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown key \"policy.timeslce_us\""), std::string::npos)
+      << error;
+}
+
+TEST(ScenarioParseTest, MissingRequiredKeyIsNamed) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(R"({"description": "no name"})", &error).has_value());
+  EXPECT_NE(error.find("missing required key \"name\""), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, WrongTypeIsNamed) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(R"({"name": "x", "seed": "forty-two"})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("\"seed\" must be a number"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, BadEnumValueIsNamed) {
+  std::string error;
+  EXPECT_FALSE(
+      ScenarioSpec::Parse(R"({"name": "x", "policy": {"kind": "lottery"}})", &error)
+          .has_value());
+  EXPECT_NE(error.find("policy.kind"), std::string::npos) << error;
+  EXPECT_NE(error.find("lottery"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, PresetRejectsCustomDimensions) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   R"({"name": "x", "topology": {"preset": "e5_24", "sockets": 2}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("topology.sockets"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FaultPlanRequiresKind) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   R"({"name": "x", "faults": {"plan": [{"at_ms": 5}]}})", &error)
+                   .has_value());
+  EXPECT_NE(error.find("missing required key \"faults.plan[0].kind\""),
+            std::string::npos)
+      << error;
+}
+
+TEST(ScenarioParseTest, SyntaxErrorReportsLineAndColumn) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse("{\n  \"name\": \"x\",,\n}", &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+// ---- Exit-2 contract (the code path the binaries use) ----------------------
+
+TEST(ScenarioDeathTest, ParseOrExitNamesUnknownKeyAndExits2) {
+  EXPECT_EXIT(ScenarioSpec::ParseOrExit(R"({"name": "x", "polcy": {}})"),
+              ::testing::ExitedWithCode(2), "unknown key \"polcy\"");
+}
+
+TEST(ScenarioDeathTest, ParseOrExitNamesMissingKeyAndExits2) {
+  EXPECT_EXIT(ScenarioSpec::ParseOrExit(R"({"seed": 1})"),
+              ::testing::ExitedWithCode(2), "missing required key \"name\"");
+}
+
+TEST(ScenarioDeathTest, LoadFileOrExitRejectsMissingFile) {
+  EXPECT_EXIT(ScenarioSpec::LoadFileOrExit("/nonexistent/scenario.json"),
+              ::testing::ExitedWithCode(2), "cannot open");
+}
+
+TEST(ScenarioDeathTest, LoadScenarioOrExitRejectsUnknownName) {
+  EXPECT_EXIT(LoadScenarioOrExit("no_such_scenario"), ::testing::ExitedWithCode(2),
+              "neither a built-in scenario nor a file");
+}
+
+// ---- Round-trip ------------------------------------------------------------
+
+TEST(ScenarioRoundTripTest, ParseToJsonParseIsIdentity) {
+  std::string error;
+  std::optional<ScenarioSpec> first = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(first.has_value()) << error;
+  const std::string rendered = first->ToJson();
+  std::optional<ScenarioSpec> second = ScenarioSpec::Parse(rendered, &error);
+  ASSERT_TRUE(second.has_value()) << "ToJson output failed to re-parse: " << error
+                                  << "\n" << rendered;
+  EXPECT_EQ(second->ToJson(), rendered);
+}
+
+TEST(ScenarioRoundTripTest, EveryBuiltinRoundTrips) {
+  for (const std::string& name : BuiltinScenarioNames()) {
+    const ScenarioSpec spec = GetBuiltinScenario(name);
+    const std::string rendered = spec.ToJson();
+    std::string error;
+    std::optional<ScenarioSpec> reparsed = ScenarioSpec::Parse(rendered, &error);
+    ASSERT_TRUE(reparsed.has_value()) << name << ": " << error;
+    EXPECT_EQ(reparsed->ToJson(), rendered) << name;
+  }
+}
+
+// ---- Registry --------------------------------------------------------------
+
+TEST(ScenarioRegistryTest, ShipsAtLeastTenBuiltinsSorted) {
+  const std::vector<std::string> names = BuiltinScenarioNames();
+  EXPECT_GE(names.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const std::string& name : names) {
+    const ScenarioSpec spec = GetBuiltinScenario(name);  // CHECKs on parse error
+    EXPECT_EQ(spec.name, name) << "registry key and spec name disagree";
+  }
+}
+
+TEST(ScenarioRegistryTest, CoversTheAdvertisedSituations) {
+  const std::vector<std::string> names = BuiltinScenarioNames();
+  for (const char* required :
+       {"cfs_antagonist_colocation", "diurnal_load_swing", "overload_recovery",
+        "tail_at_scale_fanout", "priority_inversion_storm",
+        "agent_crash_midspike_fallback_cfs", "vm_colocation"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << "missing built-in: " << required;
+  }
+}
+
+// ---- Golden determinism ----------------------------------------------------
+
+TEST(ScenarioGoldenTest, RenderIsByteStableAcrossRuns) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const std::string first = RenderGolden(RunScenario(*spec));
+  const std::string second = RenderGolden(RunScenario(*spec));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ScenarioGoldenTest, RenderIsByteStableAcrossJobs) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  // The same 4-scenario batch serially and on 3 workers: slot-indexed
+  // results must render to identical bytes.
+  auto run_batch = [&spec](int jobs) {
+    const BatchRunner runner(jobs);
+    return runner.Map<std::string>(
+        4, [&spec](int k) {
+          ScenarioSpec copy = *spec;
+          copy.seed = 42 + static_cast<uint64_t>(k);
+          return RenderGolden(RunScenario(copy));
+        });
+  };
+  EXPECT_EQ(run_batch(1), run_batch(3));
+}
+
+TEST(ScenarioGoldenTest, FreshRunMatchesItsOwnGolden) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const ScenarioResult result = RunScenario(*spec);
+  std::vector<std::string> problems;
+  EXPECT_TRUE(CheckGolden(result, RenderGolden(result), &problems))
+      << (problems.empty() ? "" : problems[0]);
+}
+
+TEST(ScenarioGoldenTest, ExactDriftFailsTheCheck) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ScenarioResult result = RunScenario(*spec);
+  const std::string golden = RenderGolden(result);
+  result.exact["completed"] += 1;
+  std::vector<std::string> problems;
+  EXPECT_FALSE(CheckGolden(result, golden, &problems));
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("exact.completed"), std::string::npos) << problems[0];
+}
+
+TEST(ScenarioGoldenTest, EnvelopeEscapeFailsTheCheck) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ScenarioResult result = RunScenario(*spec);
+  const std::string golden = RenderGolden(result);
+  result.envelopes["p99_us"] = result.envelopes["p99_us"] * 10 + 1e6;
+  std::vector<std::string> problems;
+  EXPECT_FALSE(CheckGolden(result, golden, &problems));
+  bool found = false;
+  for (const std::string& p : problems) {
+    found = found || p.find("envelopes.p99_us") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScenarioGoldenTest, SchemaDriftIsDetectedBothWays) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(kMinimal, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ScenarioResult result = RunScenario(*spec);
+  const std::string golden = RenderGolden(result);
+
+  ScenarioResult extra = result;
+  extra.exact["brand_new_metric"] = 7;
+  std::vector<std::string> problems;
+  EXPECT_FALSE(CheckGolden(extra, golden, &problems));
+
+  ScenarioResult fewer = result;
+  fewer.exact.erase("completed");
+  problems.clear();
+  EXPECT_FALSE(CheckGolden(fewer, golden, &problems));
+}
+
+}  // namespace
+}  // namespace scenario
+}  // namespace gs
