@@ -72,11 +72,13 @@ int main(int argc, char** argv) {
   harness.Param("workload", spec.workload.kind);
   std::printf("scenario %s: %s\n", spec.name.c_str(), spec.description.c_str());
 
-  harness.RunAll(spec.seed, [&spec](gs::bench::Run& run) {
+  harness.RunAll(spec.seed, [&spec, &harness](gs::bench::Run& run) {
     gs::scenario::ScenarioSpec seeded = spec;
     seeded.seed = run.seed();
+    // --jobs also parallelizes fleet epochs within a run; results are
+    // byte-identical either way (the golden suite pins this).
     const gs::scenario::ScenarioResult result =
-        gs::scenario::RunScenario(seeded, &run.stats());
+        gs::scenario::RunScenario(seeded, &run.stats(), harness.jobs());
     gs::bench::Row& row = run.AddRow();
     row.Set("scenario", result.name);
     for (const auto& [key, value] : result.exact) {

@@ -1,0 +1,109 @@
+#include "src/fleet/load_balancer.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace gs {
+namespace fleet {
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, and stable across platforms — the
+// ring layout is part of the deterministic contract.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+LoadBalancer::LoadBalancer(Options options) : options_(std::move(options)) {
+  CHECK_GE(options_.num_machines, 1);
+  draining_.assign(options_.num_machines, 0);
+  outstanding_.assign(options_.num_machines, 0);
+  routed_.assign(options_.num_machines, 0);
+  if (options_.strategy == "consistent_hash") {
+    CHECK_GE(options_.virtual_nodes, 1);
+    ring_.reserve(static_cast<size_t>(options_.num_machines) *
+                  options_.virtual_nodes);
+    for (int m = 0; m < options_.num_machines; ++m) {
+      for (int v = 0; v < options_.virtual_nodes; ++v) {
+        const uint64_t point =
+            Mix64((static_cast<uint64_t>(m) << 32) | static_cast<uint64_t>(v));
+        ring_.push_back(RingPoint{point, m});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a, const RingPoint& b) {
+      if (a.point != b.point) return a.point < b.point;
+      return a.machine < b.machine;
+    });
+  } else {
+    CHECK(options_.strategy == "round_robin" || options_.strategy == "least_loaded")
+        << "unknown balancer strategy \"" << options_.strategy << "\"";
+  }
+}
+
+bool LoadBalancer::Eligible(int machine) const {
+  if (draining_[machine]) {
+    return false;
+  }
+  return options_.shed_outstanding <= 0 ||
+         outstanding_[machine] < options_.shed_outstanding;
+}
+
+int LoadBalancer::Route(uint64_t session_id) {
+  const int n = options_.num_machines;
+  if (options_.strategy == "round_robin") {
+    for (int i = 0; i < n; ++i) {
+      const int m = (rr_next_ + i) % n;
+      if (Eligible(m)) {
+        rr_next_ = (m + 1) % n;
+        return m;
+      }
+    }
+    return -1;
+  }
+  if (options_.strategy == "least_loaded") {
+    int best = -1;
+    for (int m = 0; m < n; ++m) {
+      if (Eligible(m) && (best < 0 || outstanding_[m] < outstanding_[best])) {
+        best = m;
+      }
+    }
+    return best;
+  }
+  // consistent_hash: successor of the session's hash, skipping ineligible
+  // machines (each step may revisit a machine via another virtual node; cap
+  // the walk at the ring size, which guarantees every machine was offered).
+  const uint64_t h = Mix64(session_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const RingPoint& p, uint64_t key) { return p.point < key; });
+  const size_t start = static_cast<size_t>(it - ring_.begin()) % ring_.size();
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const int m = ring_[(start + i) % ring_.size()].machine;
+    if (Eligible(m)) {
+      return m;
+    }
+  }
+  return -1;
+}
+
+void LoadBalancer::OnDispatch(int machine) {
+  ++outstanding_[machine];
+  ++routed_[machine];
+}
+
+void LoadBalancer::OnComplete(int machine) {
+  CHECK_GT(outstanding_[machine], 0);
+  --outstanding_[machine];
+}
+
+void LoadBalancer::SetDraining(int machine, bool draining) {
+  draining_[machine] = draining ? 1 : 0;
+}
+
+}  // namespace fleet
+}  // namespace gs

@@ -1,0 +1,72 @@
+// Front-end load balancer: shards simulated user sessions across machines.
+//
+// Three strategies, all deterministic:
+//  * round_robin     — next eligible machine in index order;
+//  * least_loaded    — fewest front-end-tracked outstanding requests
+//                      (ties to the lowest index);
+//  * consistent_hash — a splitmix64 ring with `virtual_nodes` points per
+//                      machine; a session maps to its hash's ring successor,
+//                      walking past drained/full machines (so draining one
+//                      machine only moves its own sessions).
+//
+// "Eligible" = not draining and (when shed_outstanding > 0) below the
+// outstanding cap. Route() returns -1 when no machine is eligible — the
+// caller sheds the request. The balancer only sees front-end events
+// (dispatch/complete run on the front-end loop), so it needs no locking.
+#ifndef GHOST_SIM_SRC_FLEET_LOAD_BALANCER_H_
+#define GHOST_SIM_SRC_FLEET_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gs {
+namespace fleet {
+
+class LoadBalancer {
+ public:
+  struct Options {
+    // "round_robin" | "least_loaded" | "consistent_hash" (the scenario
+    // parser validates the enum).
+    std::string strategy = "least_loaded";
+    int num_machines = 1;
+    // Max outstanding per machine before it stops being eligible
+    // (0 = unlimited).
+    int shed_outstanding = 0;
+    // consistent_hash ring points per machine.
+    int virtual_nodes = 16;
+  };
+
+  explicit LoadBalancer(Options options);
+
+  // Machine for this session's next request, or -1 to shed. Does not change
+  // any state: callers pair a successful Route with OnDispatch.
+  int Route(uint64_t session_id);
+  void OnDispatch(int machine);
+  void OnComplete(int machine);
+
+  void SetDraining(int machine, bool draining);
+  bool draining(int machine) const { return draining_[machine] != 0; }
+  int outstanding(int machine) const { return outstanding_[machine]; }
+  int64_t routed(int machine) const { return routed_[machine]; }
+
+ private:
+  struct RingPoint {
+    uint64_t point;
+    int machine;
+  };
+
+  bool Eligible(int machine) const;
+
+  Options options_;
+  std::vector<char> draining_;
+  std::vector<int> outstanding_;
+  std::vector<int64_t> routed_;
+  int rr_next_ = 0;
+  std::vector<RingPoint> ring_;  // consistent_hash only; sorted by point
+};
+
+}  // namespace fleet
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_FLEET_LOAD_BALANCER_H_

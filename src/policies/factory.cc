@@ -1,0 +1,126 @@
+#include "src/policies/factory.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/policies/o1.h"
+#include "src/policies/per_cpu_fifo.h"
+#include "src/policies/shinjuku.h"
+#include "src/policies/vm_core_sched.h"
+
+namespace gs {
+namespace {
+
+Duration FromUs(double us) { return static_cast<Duration>(us * 1e3); }
+Duration FromMs(double ms) { return static_cast<Duration>(ms * 1e6); }
+
+int GlobalCpu(const scenario::PolicySpec& spec, const PolicyEnv& env) {
+  return spec.global_cpu >= 0 ? spec.global_cpu : env.default_global_cpu;
+}
+
+std::function<int(int64_t)> TierOf(const PolicyEnv& env) {
+  if (env.tier_of) {
+    return env.tier_of;
+  }
+  return [](int64_t) { return 0; };
+}
+
+using Builder = std::unique_ptr<Policy> (*)(const scenario::PolicySpec&,
+                                            const PolicyEnv&);
+
+struct Entry {
+  const char* kind;
+  Builder build;
+};
+
+// The registration table: one row per scenario-selectable kind, in the order
+// the PolicySpec documentation lists them. o1 and the centralized family
+// register identically — a kind name and a builder over (spec, env).
+constexpr Entry kBuilders[] = {
+    {"centralized_fifo",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       CentralizedFifoPolicy::Options o;
+       o.global_cpu = GlobalCpu(spec, env);
+       o.preemption_timeslice = FromUs(spec.timeslice_us);
+       return std::unique_ptr<Policy>(std::make_unique<CentralizedFifoPolicy>(o));
+     }},
+    {"shinjuku",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       return std::unique_ptr<Policy>(
+           MakeShinjukuPolicy(FromUs(spec.timeslice_us), GlobalCpu(spec, env)));
+     }},
+    {"shinjuku_shenango",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       return std::unique_ptr<Policy>(MakeShinjukuShenangoPolicy(
+           FromUs(spec.timeslice_us), TierOf(env), GlobalCpu(spec, env)));
+     }},
+    {"snap",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       return std::unique_ptr<Policy>(
+           MakeSnapPolicy(TierOf(env), GlobalCpu(spec, env)));
+     }},
+    {"per_cpu_fifo",
+     [](const scenario::PolicySpec&, const PolicyEnv&) {
+       return std::unique_ptr<Policy>(std::make_unique<PerCpuFifoPolicy>());
+     }},
+    {"o1",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       O1Policy::Options o;
+       o.num_priorities = spec.num_priorities;
+       o.base_timeslice = FromMs(spec.base_timeslice_ms);
+       o.min_timeslice = FromMs(spec.min_timeslice_ms);
+       const std::function<int(int64_t)> tier = TierOf(env);
+       const int worker_prio = spec.worker_priority;
+       const int antagonist_prio = spec.antagonist_priority;
+       o.priority_of = [tier, worker_prio, antagonist_prio](int64_t tid) {
+         return tier(tid) != 0 ? antagonist_prio : worker_prio;
+       };
+       return std::unique_ptr<Policy>(std::make_unique<O1Policy>(o));
+     }},
+    {"vm_core_sched",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       CHECK(env.cookie_of != nullptr)
+           << "vm_core_sched needs PolicyEnv::cookie_of (a vm workload)";
+       VmCoreSchedPolicy::Options o;
+       o.global_cpu = GlobalCpu(spec, env);
+       o.slice = FromMs(spec.vm_slice_ms);
+       o.cookie_of = env.cookie_of;
+       return std::unique_ptr<Policy>(std::make_unique<VmCoreSchedPolicy>(o));
+     }},
+};
+
+}  // namespace
+
+std::vector<std::string> RegisteredPolicyKinds() {
+  std::vector<std::string> kinds;
+  for (const Entry& entry : kBuilders) {
+    kinds.push_back(entry.kind);
+  }
+  std::sort(kinds.begin(), kinds.end());
+  return kinds;
+}
+
+bool HasPolicyKind(const std::string& kind) {
+  for (const Entry& entry : kBuilders) {
+    if (kind == entry.kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Policy> MakeScenarioPolicy(const scenario::PolicySpec& spec,
+                                           const PolicyEnv& env) {
+  CHECK(spec.kind != "cfs") << "\"cfs\" selects the kernel default class; "
+                               "there is no agent policy to build";
+  for (const Entry& entry : kBuilders) {
+    if (spec.kind == entry.kind) {
+      return entry.build(spec, env);
+    }
+  }
+  LOG(FATAL) << "unknown policy kind \"" << spec.kind << "\"";
+  return nullptr;
+}
+
+}  // namespace gs

@@ -206,6 +206,97 @@ constexpr Builtin kBuiltins[] = {
   "faults": {"window_start_ms": 20, "window_end_ms": 70, "msg_drop_probability": 0.02}
 })json"},
 
+    // ---- Fleet scenarios: N machines behind a sharded front end ------------
+
+    // Fleet overload/brownout: the spike exceeds aggregate capacity, the
+    // balancer browns out (sheds) once every machine carries its outstanding
+    // cap, and the fleet recovers when the spike passes. Every root request
+    // fans out one leaf RPC to the next machine over the network.
+    {"fleet_overload_brownout", R"json({
+  "name": "fleet_overload_brownout",
+  "description": "8-machine fleet; spike past capacity; balancer sheds, then recovers",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 70, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 2, "smt": 2, "cores_per_ccx": 2},
+  "policy": {"kind": "shinjuku", "timeslice_us": 30},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 24,
+    "service": {"model": "exponential", "mean_us": 100},
+    "phases": [
+      {"duration_ms": 30, "qps": 60000},
+      {"duration_ms": 40, "qps": 200000},
+      {"duration_ms": 30, "qps": 60000}
+    ]
+  },
+  "fleet": {
+    "machines": 8, "sessions": 512, "rpc_fanout": 2,
+    "balancer": {"policy": "least_loaded", "shed_outstanding": 48},
+    "network": {"latency_us": 50, "bandwidth_gbps": 10,
+                "request_bytes": 1500, "response_bytes": 4096}
+  }
+})json"},
+
+    // Machine failure mid-spike: machine 3's agent crashes, its watchdog
+    // destroys the enclave and the workers fall back to CFS while the
+    // balancer drains it at the front door (it still serves leaf RPCs from
+    // its neighbor — interior traffic bypasses the front end). A short link
+    // partition on machine 6 parks in-flight messages until the heal.
+    {"fleet_machine_failure_drain", R"json({
+  "name": "fleet_machine_failure_drain",
+  "description": "Agent crash on one machine: CFS fallback + balancer drain; brief partition elsewhere",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 70, "drain_ms": 30,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 2, "smt": 2, "cores_per_ccx": 2},
+  "policy": {"kind": "per_cpu_fifo"},
+  "enclave": {"cpu_first": 1, "watchdog_timeout_ms": 5, "watchdog_period_ms": 2},
+  "workload": {
+    "kind": "request_service", "num_workers": 24,
+    "service": {"model": "exponential", "mean_us": 80},
+    "phases": [{"duration_ms": 110, "qps": 80000}]
+  },
+  "fleet": {
+    "machines": 8, "sessions": 256, "rpc_fanout": 2,
+    "balancer": {"policy": "round_robin"},
+    "network": {"latency_us": 50, "bandwidth_gbps": 10},
+    "plan": [
+      {"at_ms": 40, "kind": "agent_crash", "machine": 3},
+      {"at_ms": 40, "kind": "lb_drain", "machine": 3},
+      {"at_ms": 70, "kind": "lb_undrain", "machine": 3},
+      {"at_ms": 55, "kind": "link_down", "machine": 6},
+      {"at_ms": 60, "kind": "link_up", "machine": 6}
+    ]
+  }
+})json"},
+
+    // Heterogeneous fleet under consistent hashing: machine 0 is configured
+    // weaker (two enclave CPUs: the global agent plus one worker CPU, versus
+    // three elsewhere) via a per-machine override; the golden pins the
+    // session->machine sharding (lb_max_share) and the weak machine's
+    // throughput alongside the rest.
+    {"fleet_hetero_consistent_hash", R"json({
+  "name": "fleet_hetero_consistent_hash",
+  "description": "Consistent-hash sharding over a heterogeneous 4-machine fleet",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 60, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 2, "smt": 2, "cores_per_ccx": 2},
+  "policy": {"kind": "shinjuku", "timeslice_us": 30},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 16,
+    "service": {"model": "bimodal", "short_us": 20, "long_us": 2000, "p_long": 0.01},
+    "phases": [{"duration_ms": 90, "qps": 40000}]
+  },
+  "fleet": {
+    "machines": 4, "sessions": 1024, "rpc_fanout": 1,
+    "balancer": {"policy": "consistent_hash", "virtual_nodes": 32},
+    "network": {"latency_us": 80, "bandwidth_gbps": 10},
+    "overrides": [
+      {"machine": 0, "enclave": {"cpu_first": 1, "cpu_count": 2}}
+    ]
+  }
+})json"},
+
     // The O1 satellite's own scenario: mixed priorities, diurnal-ish load,
     // pinning array-swap behavior end to end.
     {"o1_multilevel_mix", R"json({

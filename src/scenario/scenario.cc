@@ -187,15 +187,19 @@ void ParseTopology(const JsonValue& v, TopologySpec* out, std::string* error) {
   r.Finish();
 }
 
-void ParsePolicy(const JsonValue& v, PolicySpec* out, std::string* error) {
-  ObjectReader r(v, "policy", error);
+// Section parsers take the section's full path (e.g. "policy" or
+// "fleet.overrides[2].policy") so error messages stay exact wherever the
+// section appears.
+void ParsePolicy(const JsonValue& v, const std::string& path, PolicySpec* out,
+                 std::string* error) {
+  ObjectReader r(v, path, error);
   r.String("kind", &out->kind);
   static constexpr std::initializer_list<const char*> kKinds = {
       "centralized_fifo", "shinjuku",      "shinjuku_shenango",
       "snap",             "per_cpu_fifo",  "o1",
       "vm_core_sched",    "cfs"};
   if (r.ok() && !OneOf(out->kind, kKinds)) {
-    r.Fail(BadEnum("policy.kind", out->kind, kKinds));
+    r.Fail(BadEnum(r.Path("kind"), out->kind, kKinds));
   }
   r.Int("global_cpu", &out->global_cpu);
   r.Double("timeslice_us", &out->timeslice_us);
@@ -206,21 +210,23 @@ void ParsePolicy(const JsonValue& v, PolicySpec* out, std::string* error) {
   r.Int("antagonist_priority", &out->antagonist_priority);
   r.Double("vm_slice_ms", &out->vm_slice_ms);
   if (r.ok() && (out->num_priorities < 1 || out->num_priorities > 64)) {
-    r.Fail("\"policy.num_priorities\" must be in [1, 64]");
+    r.Fail(ObjectReader::Quote(r.Path("num_priorities")) + " must be in [1, 64]");
   }
   if (r.ok() && out->min_timeslice_ms > out->base_timeslice_ms) {
-    r.Fail("\"policy.min_timeslice_ms\" must be <= \"policy.base_timeslice_ms\"");
+    r.Fail(ObjectReader::Quote(r.Path("min_timeslice_ms")) + " must be <= " +
+           ObjectReader::Quote(r.Path("base_timeslice_ms")));
   }
   r.Finish();
 }
 
-void ParseService(const JsonValue& v, ServiceSpec* out, std::string* error) {
-  ObjectReader r(v, "workload.service", error);
+void ParseService(const JsonValue& v, const std::string& path, ServiceSpec* out,
+                  std::string* error) {
+  ObjectReader r(v, path, error);
   r.String("model", &out->model);
   static constexpr std::initializer_list<const char*> kModels = {"fixed", "bimodal",
                                                                  "exponential"};
   if (r.ok() && !OneOf(out->model, kModels)) {
-    r.Fail(BadEnum("workload.service.model", out->model, kModels));
+    r.Fail(BadEnum(r.Path("model"), out->model, kModels));
   }
   r.Double("fixed_us", &out->fixed_us);
   r.Double("short_us", &out->short_us);
@@ -228,21 +234,22 @@ void ParseService(const JsonValue& v, ServiceSpec* out, std::string* error) {
   r.Double("p_long", &out->p_long);
   r.Double("mean_us", &out->mean_us);
   if (r.ok() && (out->p_long < 0 || out->p_long > 1)) {
-    r.Fail("\"workload.service.p_long\" must be in [0, 1]");
+    r.Fail(ObjectReader::Quote(r.Path("p_long")) + " must be in [0, 1]");
   }
   r.Finish();
 }
 
-void ParsePhases(const JsonValue& v, std::vector<LoadPhase>* out, std::string* error) {
+void ParsePhases(const JsonValue& v, const std::string& phases_path,
+                 std::vector<LoadPhase>* out, std::string* error) {
   if (!v.is_array()) {
     if (error->empty()) {
-      *error = "\"workload.phases\" must be an array";
+      *error = ObjectReader::Quote(phases_path) + " must be an array";
     }
     return;
   }
   out->clear();
   for (size_t i = 0; i < v.array.size(); ++i) {
-    const std::string path = "workload.phases[" + std::to_string(i) + "]";
+    const std::string path = phases_path + "[" + std::to_string(i) + "]";
     ObjectReader r(v.array[i], path, error);
     LoadPhase phase;
     r.Require("duration_ms");
@@ -262,57 +269,60 @@ void ParsePhases(const JsonValue& v, std::vector<LoadPhase>* out, std::string* e
   }
 }
 
-void ParseWorkload(const JsonValue& v, WorkloadSpec* out, std::string* error) {
-  ObjectReader r(v, "workload", error);
+void ParseWorkload(const JsonValue& v, const std::string& path, WorkloadSpec* out,
+                   std::string* error) {
+  ObjectReader r(v, path, error);
   r.String("kind", &out->kind);
   static constexpr std::initializer_list<const char*> kKinds = {"request_service", "vm"};
   if (r.ok() && !OneOf(out->kind, kKinds)) {
-    r.Fail(BadEnum("workload.kind", out->kind, kKinds));
+    r.Fail(BadEnum(r.Path("kind"), out->kind, kKinds));
   }
   r.Int("num_workers", &out->num_workers);
   r.Int("fanout", &out->fanout);
   if (const JsonValue* service = r.Section("service")) {
-    ParseService(*service, &out->service, error);
+    ParseService(*service, r.Path("service"), &out->service, error);
   }
   if (const JsonValue* phases = r.Section("phases")) {
-    ParsePhases(*phases, &out->phases, error);
+    ParsePhases(*phases, r.Path("phases"), &out->phases, error);
   }
   r.Int("num_vms", &out->num_vms);
   r.Int("vcpus_per_vm", &out->vcpus_per_vm);
   r.Double("work_per_vcpu_ms", &out->work_per_vcpu_ms);
   if (r.ok() && out->num_workers < 1) {
-    r.Fail("\"workload.num_workers\" must be >= 1");
+    r.Fail(ObjectReader::Quote(r.Path("num_workers")) + " must be >= 1");
   }
   if (r.ok() && out->fanout < 1) {
-    r.Fail("\"workload.fanout\" must be >= 1");
+    r.Fail(ObjectReader::Quote(r.Path("fanout")) + " must be >= 1");
   }
   if (r.ok() && out->kind == "vm" && (out->num_vms < 1 || out->vcpus_per_vm < 1)) {
-    r.Fail("\"workload\": num_vms and vcpus_per_vm must be >= 1");
+    r.Fail(ObjectReader::Quote(path) + ": num_vms and vcpus_per_vm must be >= 1");
   }
   r.Finish();
 }
 
-void ParseAntagonist(const JsonValue& v, AntagonistSpec* out, std::string* error) {
-  ObjectReader r(v, "antagonist", error);
+void ParseAntagonist(const JsonValue& v, const std::string& path, AntagonistSpec* out,
+                     std::string* error) {
+  ObjectReader r(v, path, error);
   r.Int("threads", &out->threads);
   r.String("placement", &out->placement);
   static constexpr std::initializer_list<const char*> kPlacements = {"cfs", "enclave"};
   if (r.ok() && !OneOf(out->placement, kPlacements)) {
-    r.Fail(BadEnum("antagonist.placement", out->placement, kPlacements));
+    r.Fail(BadEnum(r.Path("placement"), out->placement, kPlacements));
   }
   r.Int("nice", &out->nice);
   r.Double("chunk_us", &out->chunk_us);
   if (r.ok() && out->threads < 0) {
-    r.Fail("\"antagonist.threads\" must be >= 0");
+    r.Fail(ObjectReader::Quote(r.Path("threads")) + " must be >= 0");
   }
   if (r.ok() && (out->nice < -20 || out->nice > 19)) {
-    r.Fail("\"antagonist.nice\" must be in [-20, 19]");
+    r.Fail(ObjectReader::Quote(r.Path("nice")) + " must be in [-20, 19]");
   }
   r.Finish();
 }
 
-void ParseFaults(const JsonValue& v, FaultsSpec* out, std::string* error) {
-  ObjectReader r(v, "faults", error);
+void ParseFaults(const JsonValue& v, const std::string& section_path, FaultsSpec* out,
+                 std::string* error) {
+  ObjectReader r(v, section_path, error);
   r.Double("window_start_ms", &out->window_start_ms);
   r.Double("window_end_ms", &out->window_end_ms);
   r.Double("ipi_delay_probability", &out->ipi_delay_probability);
@@ -324,16 +334,16 @@ void ParseFaults(const JsonValue& v, FaultsSpec* out, std::string* error) {
     const JsonValue* pv = v.Find(p);
     if (r.ok() && pv != nullptr && pv->is_number() &&
         (pv->number < 0 || pv->number > 1)) {
-      r.Fail(ObjectReader::Quote(std::string("faults.") + p) + " must be in [0, 1]");
+      r.Fail(ObjectReader::Quote(r.Path(p)) + " must be in [0, 1]");
     }
   }
   if (const JsonValue* plan = r.Section("plan")) {
     if (!plan->is_array()) {
-      r.Fail("\"faults.plan\" must be an array");
+      r.Fail(ObjectReader::Quote(r.Path("plan")) + " must be an array");
     } else {
       out->plan.clear();
       for (size_t i = 0; i < plan->array.size(); ++i) {
-        const std::string path = "faults.plan[" + std::to_string(i) + "]";
+        const std::string path = r.Path("plan") + "[" + std::to_string(i) + "]";
         ObjectReader e(plan->array[i], path, error);
         FaultEventSpec event;
         e.Require("kind");
@@ -358,17 +368,18 @@ void ParseFaults(const JsonValue& v, FaultsSpec* out, std::string* error) {
   r.Finish();
 }
 
-void ParseEnclave(const JsonValue& v, EnclaveSpec* out, std::string* error) {
-  ObjectReader r(v, "enclave", error);
+void ParseEnclave(const JsonValue& v, const std::string& path, EnclaveSpec* out,
+                  std::string* error) {
+  ObjectReader r(v, path, error);
   r.Int("cpu_first", &out->cpu_first);
   r.Int("cpu_count", &out->cpu_count);
   r.Double("watchdog_timeout_ms", &out->watchdog_timeout_ms);
   r.Double("watchdog_period_ms", &out->watchdog_period_ms);
   if (r.ok() && out->cpu_first < 0) {
-    r.Fail("\"enclave.cpu_first\" must be >= 0");
+    r.Fail(ObjectReader::Quote(r.Path("cpu_first")) + " must be >= 0");
   }
   if (r.ok() && out->watchdog_timeout_ms < 0) {
-    r.Fail("\"enclave.watchdog_timeout_ms\" must be >= 0");
+    r.Fail(ObjectReader::Quote(r.Path("watchdog_timeout_ms")) + " must be >= 0");
   }
   r.Finish();
 }
@@ -380,6 +391,196 @@ void ParseInvariants(const JsonValue& v, InvariantsSpec* out, std::string* error
   r.Double("ghost_starvation_bound_ms", &out->ghost_starvation_bound_ms);
   if (r.ok() && out->period_us <= 0) {
     r.Fail("\"invariants.period_us\" must be > 0");
+  }
+  r.Finish();
+}
+
+void ParseBalancer(const JsonValue& v, const std::string& path, BalancerSpec* out,
+                   std::string* error) {
+  ObjectReader r(v, path, error);
+  r.String("policy", &out->policy);
+  static constexpr std::initializer_list<const char*> kPolicies = {
+      "round_robin", "least_loaded", "consistent_hash"};
+  if (r.ok() && !OneOf(out->policy, kPolicies)) {
+    r.Fail(BadEnum(r.Path("policy"), out->policy, kPolicies));
+  }
+  r.Int("shed_outstanding", &out->shed_outstanding);
+  r.Int("virtual_nodes", &out->virtual_nodes);
+  if (r.ok() && out->shed_outstanding < 0) {
+    r.Fail(ObjectReader::Quote(r.Path("shed_outstanding")) + " must be >= 0");
+  }
+  if (r.ok() && (out->virtual_nodes < 1 || out->virtual_nodes > 512)) {
+    r.Fail(ObjectReader::Quote(r.Path("virtual_nodes")) + " must be in [1, 512]");
+  }
+  r.Finish();
+}
+
+void ParseNetwork(const JsonValue& v, const std::string& section_path, int machines,
+                  NetworkSpec* out, std::string* error) {
+  ObjectReader r(v, section_path, error);
+  r.Double("latency_us", &out->latency_us);
+  r.Double("bandwidth_gbps", &out->bandwidth_gbps);
+  r.Double("request_bytes", &out->request_bytes);
+  r.Double("response_bytes", &out->response_bytes);
+  if (r.ok() && out->latency_us <= 0) {
+    r.Fail(ObjectReader::Quote(r.Path("latency_us")) + " must be > 0");
+  }
+  if (r.ok() && out->bandwidth_gbps <= 0) {
+    r.Fail(ObjectReader::Quote(r.Path("bandwidth_gbps")) + " must be > 0");
+  }
+  if (r.ok() && (out->request_bytes < 0 || out->response_bytes < 0)) {
+    r.Fail(ObjectReader::Quote(section_path) +
+           ": request_bytes and response_bytes must be >= 0");
+  }
+  if (const JsonValue* links = r.Section("links")) {
+    if (!links->is_array()) {
+      r.Fail(ObjectReader::Quote(r.Path("links")) + " must be an array");
+    } else {
+      out->links.clear();
+      for (size_t i = 0; i < links->array.size(); ++i) {
+        const std::string path = r.Path("links") + "[" + std::to_string(i) + "]";
+        ObjectReader l(links->array[i], path, error);
+        LinkSpec link;
+        l.Require("from");
+        l.Require("to");
+        l.Int("from", &link.from);
+        l.Int("to", &link.to);
+        const bool has_latency = l.Has("latency_us");
+        const bool has_bandwidth = l.Has("bandwidth_gbps");
+        l.Double("latency_us", &link.latency_us);
+        l.Double("bandwidth_gbps", &link.bandwidth_gbps);
+        const auto check_node = [&](const char* name, int node) {
+          if (l.ok() && (node < -1 || node >= machines)) {
+            l.Fail(ObjectReader::Quote(path + "." + name) +
+                   " must be a machine index in [0, " + std::to_string(machines) +
+                   ") or -1 for the front end");
+          }
+        };
+        check_node("from", link.from);
+        check_node("to", link.to);
+        if (l.ok() && link.from == link.to) {
+          l.Fail(ObjectReader::Quote(path) + ": from and to must differ");
+        }
+        if (l.ok() && has_latency && link.latency_us <= 0) {
+          l.Fail(ObjectReader::Quote(path + ".latency_us") +
+                 " must be > 0 (omit it to inherit the network default)");
+        }
+        if (l.ok() && has_bandwidth && link.bandwidth_gbps <= 0) {
+          l.Fail(ObjectReader::Quote(path + ".bandwidth_gbps") +
+                 " must be > 0 (omit it to inherit the network default)");
+        }
+        l.Finish();
+        if (!error->empty()) {
+          return;
+        }
+        out->links.push_back(link);
+      }
+    }
+  }
+  r.Finish();
+}
+
+// Fleet parsing happens after the base sections, so each override can start
+// from a copy of the already-merged base section.
+void ParseFleet(const JsonValue& v, const ScenarioSpec& base, FleetSpec* out,
+                std::string* error) {
+  ObjectReader r(v, "fleet", error);
+  r.Int("machines", &out->machines);
+  r.Int("sessions", &out->sessions);
+  r.Int("rpc_fanout", &out->rpc_fanout);
+  if (r.ok() && (out->machines < 1 || out->machines > 64)) {
+    r.Fail(ObjectReader::Quote(r.Path("machines")) + " must be in [1, 64]");
+  }
+  if (r.ok() && out->sessions < 1) {
+    r.Fail(ObjectReader::Quote(r.Path("sessions")) + " must be >= 1");
+  }
+  if (r.ok() && (out->rpc_fanout < 1 || out->rpc_fanout > out->machines)) {
+    r.Fail(ObjectReader::Quote(r.Path("rpc_fanout")) +
+           " must be in [1, fleet.machines]");
+  }
+  if (const JsonValue* balancer = r.Section("balancer")) {
+    ParseBalancer(*balancer, r.Path("balancer"), &out->balancer, error);
+  }
+  if (const JsonValue* network = r.Section("network")) {
+    ParseNetwork(*network, r.Path("network"), out->machines, &out->network, error);
+  }
+  if (const JsonValue* overrides = r.Section("overrides")) {
+    if (!overrides->is_array()) {
+      r.Fail(ObjectReader::Quote(r.Path("overrides")) + " must be an array");
+    } else {
+      out->overrides.clear();
+      for (size_t i = 0; i < overrides->array.size(); ++i) {
+        const std::string path = r.Path("overrides") + "[" + std::to_string(i) + "]";
+        ObjectReader o(overrides->array[i], path, error);
+        MachineOverrideSpec override_spec;
+        o.Require("machine");
+        o.Int("machine", &override_spec.machine);
+        if (o.ok() &&
+            (override_spec.machine < 0 || override_spec.machine >= out->machines)) {
+          o.Fail(ObjectReader::Quote(path + ".machine") + " must be in [0, " +
+                 std::to_string(out->machines) + ")");
+        }
+        if (const JsonValue* s = o.Section("policy")) {
+          override_spec.policy = base.policy;
+          ParsePolicy(*s, path + ".policy", &*override_spec.policy, error);
+        }
+        if (const JsonValue* s = o.Section("enclave")) {
+          override_spec.enclave = base.enclave;
+          ParseEnclave(*s, path + ".enclave", &*override_spec.enclave, error);
+        }
+        if (const JsonValue* s = o.Section("workload")) {
+          override_spec.workload = base.workload;
+          ParseWorkload(*s, path + ".workload", &*override_spec.workload, error);
+        }
+        if (const JsonValue* s = o.Section("antagonist")) {
+          override_spec.antagonist = base.antagonist;
+          ParseAntagonist(*s, path + ".antagonist", &*override_spec.antagonist, error);
+        }
+        if (const JsonValue* s = o.Section("faults")) {
+          override_spec.faults = base.faults;
+          ParseFaults(*s, path + ".faults", &*override_spec.faults, error);
+        }
+        o.Finish();
+        if (!error->empty()) {
+          return;
+        }
+        out->overrides.push_back(std::move(override_spec));
+      }
+    }
+  }
+  if (const JsonValue* plan = r.Section("plan")) {
+    if (!plan->is_array()) {
+      r.Fail(ObjectReader::Quote(r.Path("plan")) + " must be an array");
+    } else {
+      out->plan.clear();
+      for (size_t i = 0; i < plan->array.size(); ++i) {
+        const std::string path = r.Path("plan") + "[" + std::to_string(i) + "]";
+        ObjectReader e(plan->array[i], path, error);
+        FleetEventSpec event;
+        e.Require("kind");
+        e.String("kind", &event.kind);
+        static constexpr std::initializer_list<const char*> kKinds = {
+            "agent_crash", "agent_stall", "agent_recover", "enclave_destroy",
+            "lb_drain",    "lb_undrain",  "link_down",     "link_up"};
+        if (e.ok() && !OneOf(event.kind, kKinds)) {
+          e.Fail(BadEnum(path + ".kind", event.kind, kKinds));
+        }
+        e.Double("at_ms", &event.at_ms);
+        e.Int("machine", &event.machine);
+        if (e.ok() && event.at_ms < 0) {
+          e.Fail(ObjectReader::Quote(path + ".at_ms") + " must be >= 0");
+        }
+        if (e.ok() && (event.machine < 0 || event.machine >= out->machines)) {
+          e.Fail(ObjectReader::Quote(path + ".machine") + " must be in [0, " +
+                 std::to_string(out->machines) + ")");
+        }
+        e.Finish();
+        if (!error->empty()) {
+          return;
+        }
+        out->plan.push_back(event);
+      }
+    }
   }
   r.Finish();
 }
@@ -419,22 +620,54 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(std::string_view text,
     ParseTopology(*v, &spec.topology, error);
   }
   if (const JsonValue* v = r.Section("policy")) {
-    ParsePolicy(*v, &spec.policy, error);
+    ParsePolicy(*v, "policy", &spec.policy, error);
   }
   if (const JsonValue* v = r.Section("enclave")) {
-    ParseEnclave(*v, &spec.enclave, error);
+    ParseEnclave(*v, "enclave", &spec.enclave, error);
   }
   if (const JsonValue* v = r.Section("workload")) {
-    ParseWorkload(*v, &spec.workload, error);
+    ParseWorkload(*v, "workload", &spec.workload, error);
   }
   if (const JsonValue* v = r.Section("antagonist")) {
-    ParseAntagonist(*v, &spec.antagonist, error);
+    ParseAntagonist(*v, "antagonist", &spec.antagonist, error);
   }
   if (const JsonValue* v = r.Section("faults")) {
-    ParseFaults(*v, &spec.faults, error);
+    ParseFaults(*v, "faults", &spec.faults, error);
   }
   if (const JsonValue* v = r.Section("invariants")) {
     ParseInvariants(*v, &spec.invariants, error);
+  }
+  // Fleet comes last: overrides merge over the fully-parsed base sections.
+  if (const JsonValue* v = r.Section("fleet")) {
+    spec.fleet.emplace();
+    ParseFleet(*v, spec, &*spec.fleet, error);
+    if (r.ok() && spec.workload.kind != "request_service") {
+      r.Fail("\"fleet\" requires \"workload.kind\" == \"request_service\"");
+    }
+    if (r.ok() && spec.workload.fanout != 1) {
+      r.Fail("\"fleet\" requires \"workload.fanout\" == 1 "
+             "(use \"fleet.rpc_fanout\" for cross-machine fan-out)");
+    }
+    if (r.ok() && spec.policy.kind == "vm_core_sched") {
+      r.Fail("\"fleet\" cannot be combined with \"policy.kind\" \"vm_core_sched\"");
+    }
+    if (r.ok()) {
+      for (size_t i = 0; i < spec.fleet->overrides.size(); ++i) {
+        const MachineOverrideSpec& o = spec.fleet->overrides[i];
+        const std::string path = "fleet.overrides[" + std::to_string(i) + "]";
+        if (o.workload.has_value() && (o.workload->kind != "request_service" ||
+                                       o.workload->fanout != 1)) {
+          r.Fail(ObjectReader::Quote(path + ".workload") +
+                 " must keep kind \"request_service\" and fanout 1 in a fleet");
+          break;
+        }
+        if (o.policy.has_value() && o.policy->kind == "vm_core_sched") {
+          r.Fail(ObjectReader::Quote(path + ".policy.kind") +
+                 " cannot be \"vm_core_sched\" in a fleet");
+          break;
+        }
+      }
+    }
   }
   r.Finish();
   if (!error->empty()) {
@@ -443,28 +676,11 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(std::string_view text,
   return spec;
 }
 
-std::string ScenarioSpec::ToJson() const {
-  JsonWriter w;
-  w.BeginObject();
-  w.KV("name", name);
-  w.KV("description", description);
-  w.KV("seed", seed);
-  w.KV("warmup_ms", warmup_ms);
-  w.KV("measure_ms", measure_ms);
-  w.KV("drain_ms", drain_ms);
+namespace {
 
-  w.Key("topology");
-  w.BeginObject();
-  w.KV("preset", topology.preset);
-  if (topology.preset == "custom") {
-    w.KV("sockets", topology.sockets);
-    w.KV("cores_per_socket", topology.cores_per_socket);
-    w.KV("smt", topology.smt);
-    w.KV("cores_per_ccx", topology.cores_per_ccx);
-  }
-  w.EndObject();
-
-  w.Key("policy");
+// Section renderers shared between the top-level spec and fleet overrides;
+// every parsed field is emitted, so parse -> render -> parse is a fixed point.
+void RenderPolicy(JsonWriter& w, const PolicySpec& policy) {
   w.BeginObject();
   w.KV("kind", policy.kind);
   w.KV("global_cpu", policy.global_cpu);
@@ -476,16 +692,18 @@ std::string ScenarioSpec::ToJson() const {
   w.KV("antagonist_priority", policy.antagonist_priority);
   w.KV("vm_slice_ms", policy.vm_slice_ms);
   w.EndObject();
+}
 
-  w.Key("enclave");
+void RenderEnclave(JsonWriter& w, const EnclaveSpec& enclave) {
   w.BeginObject();
   w.KV("cpu_first", enclave.cpu_first);
   w.KV("cpu_count", enclave.cpu_count);
   w.KV("watchdog_timeout_ms", enclave.watchdog_timeout_ms);
   w.KV("watchdog_period_ms", enclave.watchdog_period_ms);
   w.EndObject();
+}
 
-  w.Key("workload");
+void RenderWorkload(JsonWriter& w, const WorkloadSpec& workload) {
   w.BeginObject();
   w.KV("kind", workload.kind);
   w.KV("num_workers", workload.num_workers);
@@ -512,16 +730,18 @@ std::string ScenarioSpec::ToJson() const {
   w.KV("vcpus_per_vm", workload.vcpus_per_vm);
   w.KV("work_per_vcpu_ms", workload.work_per_vcpu_ms);
   w.EndObject();
+}
 
-  w.Key("antagonist");
+void RenderAntagonist(JsonWriter& w, const AntagonistSpec& antagonist) {
   w.BeginObject();
   w.KV("threads", antagonist.threads);
   w.KV("placement", antagonist.placement);
   w.KV("nice", antagonist.nice);
   w.KV("chunk_us", antagonist.chunk_us);
   w.EndObject();
+}
 
-  w.Key("faults");
+void RenderFaults(JsonWriter& w, const FaultsSpec& faults) {
   w.BeginObject();
   w.KV("window_start_ms", faults.window_start_ms);
   w.KV("window_end_ms", faults.window_end_ms);
@@ -539,6 +759,117 @@ std::string ScenarioSpec::ToJson() const {
   }
   w.EndArray();
   w.EndObject();
+}
+
+void RenderFleet(JsonWriter& w, const FleetSpec& fleet) {
+  w.BeginObject();
+  w.KV("machines", fleet.machines);
+  w.KV("sessions", fleet.sessions);
+  w.KV("rpc_fanout", fleet.rpc_fanout);
+  w.Key("balancer");
+  w.BeginObject();
+  w.KV("policy", fleet.balancer.policy);
+  w.KV("shed_outstanding", fleet.balancer.shed_outstanding);
+  w.KV("virtual_nodes", fleet.balancer.virtual_nodes);
+  w.EndObject();
+  w.Key("network");
+  w.BeginObject();
+  w.KV("latency_us", fleet.network.latency_us);
+  w.KV("bandwidth_gbps", fleet.network.bandwidth_gbps);
+  w.KV("request_bytes", fleet.network.request_bytes);
+  w.KV("response_bytes", fleet.network.response_bytes);
+  w.Key("links");
+  w.BeginArray();
+  for (const LinkSpec& link : fleet.network.links) {
+    w.BeginObject();
+    w.KV("from", link.from);
+    w.KV("to", link.to);
+    // The sentinel -1 means "inherit"; only explicit overrides are rendered,
+    // since the parser rejects non-positive explicit values.
+    if (link.latency_us >= 0) {
+      w.KV("latency_us", link.latency_us);
+    }
+    if (link.bandwidth_gbps >= 0) {
+      w.KV("bandwidth_gbps", link.bandwidth_gbps);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("overrides");
+  w.BeginArray();
+  for (const MachineOverrideSpec& o : fleet.overrides) {
+    w.BeginObject();
+    w.KV("machine", o.machine);
+    if (o.policy.has_value()) {
+      w.Key("policy");
+      RenderPolicy(w, *o.policy);
+    }
+    if (o.enclave.has_value()) {
+      w.Key("enclave");
+      RenderEnclave(w, *o.enclave);
+    }
+    if (o.workload.has_value()) {
+      w.Key("workload");
+      RenderWorkload(w, *o.workload);
+    }
+    if (o.antagonist.has_value()) {
+      w.Key("antagonist");
+      RenderAntagonist(w, *o.antagonist);
+    }
+    if (o.faults.has_value()) {
+      w.Key("faults");
+      RenderFaults(w, *o.faults);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("plan");
+  w.BeginArray();
+  for (const FleetEventSpec& event : fleet.plan) {
+    w.BeginObject();
+    w.KV("at_ms", event.at_ms);
+    w.KV("kind", event.kind);
+    w.KV("machine", event.machine);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string ScenarioSpec::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", name);
+  w.KV("description", description);
+  w.KV("seed", seed);
+  w.KV("warmup_ms", warmup_ms);
+  w.KV("measure_ms", measure_ms);
+  w.KV("drain_ms", drain_ms);
+
+  w.Key("topology");
+  w.BeginObject();
+  w.KV("preset", topology.preset);
+  if (topology.preset == "custom") {
+    w.KV("sockets", topology.sockets);
+    w.KV("cores_per_socket", topology.cores_per_socket);
+    w.KV("smt", topology.smt);
+    w.KV("cores_per_ccx", topology.cores_per_ccx);
+  }
+  w.EndObject();
+
+  w.Key("policy");
+  RenderPolicy(w, policy);
+  w.Key("enclave");
+  RenderEnclave(w, enclave);
+  w.Key("workload");
+  RenderWorkload(w, workload);
+  w.Key("antagonist");
+  RenderAntagonist(w, antagonist);
+  w.Key("faults");
+  RenderFaults(w, faults);
 
   w.Key("invariants");
   w.BeginObject();
@@ -546,6 +877,11 @@ std::string ScenarioSpec::ToJson() const {
   w.KV("period_us", invariants.period_us);
   w.KV("ghost_starvation_bound_ms", invariants.ghost_starvation_bound_ms);
   w.EndObject();
+
+  if (fleet.has_value()) {
+    w.Key("fleet");
+    RenderFleet(w, *fleet);
+  }
 
   w.EndObject();
   return w.str();

@@ -131,6 +131,83 @@ struct InvariantsSpec {
   double ghost_starvation_bound_ms = 0;
 };
 
+// ---- Fleet (multi-machine) specs --------------------------------------------
+
+struct BalancerSpec {
+  // "round_robin" | "least_loaded" | "consistent_hash".
+  std::string policy = "least_loaded";
+  // Shed a request outright when its chosen machine already has this many
+  // front-end-tracked outstanding requests (0 = never shed).
+  int shed_outstanding = 0;
+  // consistent_hash: ring points per machine.
+  int virtual_nodes = 16;
+};
+
+struct LinkSpec {
+  // Node indices: machine index, or -1 for the front end. Links are
+  // directed; list both directions to override a full duplex pair.
+  int from = 0;
+  int to = 0;
+  double latency_us = -1;      // < 0 = inherit network.latency_us
+  double bandwidth_gbps = -1;  // < 0 = inherit network.bandwidth_gbps
+};
+
+struct NetworkSpec {
+  // Defaults for every directed link (front end <-> machines and
+  // machine <-> machine); `links` lists per-link overrides.
+  double latency_us = 50;
+  double bandwidth_gbps = 10;
+  double request_bytes = 1500;
+  double response_bytes = 1500;
+  std::vector<LinkSpec> links;
+};
+
+struct FleetEventSpec {
+  double at_ms = 0;
+  // Machine-scoped faults: "agent_crash" | "agent_stall" | "agent_recover" |
+  // "enclave_destroy" (delivered to that machine's FaultInjector).
+  // Balancer control: "lb_drain" | "lb_undrain" (the front end stops/resumes
+  // routing new requests to the machine).
+  // Network control: "link_down" | "link_up" (partition/heal the machine:
+  // new messages to or from it are parked until the link heals; messages
+  // already on the wire still deliver).
+  std::string kind;
+  int machine = 0;
+};
+
+// Per-machine deviations from the base scenario. Each present section is
+// parsed *over a copy of the base section*, so an override only needs the
+// keys it changes.
+struct MachineOverrideSpec {
+  int machine = 0;
+  std::optional<PolicySpec> policy;
+  std::optional<EnclaveSpec> enclave;
+  std::optional<WorkloadSpec> workload;
+  std::optional<AntagonistSpec> antagonist;
+  std::optional<FaultsSpec> faults;
+};
+
+// A fleet scenario runs `machines` copies of the single-machine simulation
+// under a front-end load balancer: the workload's Poisson phases drive the
+// front end, which shards sessions across machines; requests and responses
+// cross a deterministic network model (per-link latency + bandwidth).
+// Requires workload.kind == "request_service" with fanout == 1
+// (fleet.rpc_fanout is the cross-machine fan-out knob).
+struct FleetSpec {
+  int machines = 1;
+  // Simulated user sessions the front end shards (a request's session id
+  // feeds consistent hashing).
+  int sessions = 256;
+  // 1 = each request runs on one machine. k > 1: after the root machine
+  // finishes its own service, it issues k-1 leaf RPCs to distinct other
+  // machines and responds when all leaves complete (tail-at-scale).
+  int rpc_fanout = 1;
+  BalancerSpec balancer;
+  NetworkSpec network;
+  std::vector<MachineOverrideSpec> overrides;
+  std::vector<FleetEventSpec> plan;
+};
+
 // ---- The scenario -----------------------------------------------------------
 
 struct ScenarioSpec {
@@ -147,6 +224,9 @@ struct ScenarioSpec {
   AntagonistSpec antagonist;
   FaultsSpec faults;
   InvariantsSpec invariants;
+  // Absent = single machine (the degenerate one-node cluster, no network or
+  // front end in the loop). Present = fleet mode, even with machines == 1.
+  std::optional<FleetSpec> fleet;
 
   // Deterministic, compact JSON rendering; Parse(ToJson()) == *this.
   std::string ToJson() const;

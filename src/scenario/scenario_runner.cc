@@ -1,65 +1,13 @@
 #include "src/scenario/scenario_runner.h"
 
 #include <algorithm>
-#include <memory>
-#include <set>
+#include <cmath>
+#include <optional>
 
-#include "src/base/logging.h"
-#include "src/policies/o1.h"
-#include "src/policies/per_cpu_fifo.h"
-#include "src/policies/shinjuku.h"
-#include "src/policies/vm_core_sched.h"
-#include "src/sim/simulation.h"
-#include "src/verify/invariants.h"
-#include "src/workloads/batch.h"
-#include "src/workloads/request_service.h"
-#include "src/workloads/vm_workload.h"
+#include "src/fleet/cluster.h"
 
 namespace gs {
 namespace scenario {
-namespace {
-
-Duration FromMs(double ms) { return static_cast<Duration>(ms * 1e6); }
-Duration FromUs(double us) { return static_cast<Duration>(us * 1e3); }
-
-Topology MakeTopology(const TopologySpec& spec) {
-  if (spec.preset == "e5_24") {
-    return Topology::IntelE5_24();
-  }
-  if (spec.preset == "skylake112") {
-    return Topology::IntelSkylake112();
-  }
-  if (spec.preset == "haswell72") {
-    return Topology::IntelHaswell72();
-  }
-  if (spec.preset == "rome256") {
-    return Topology::AmdRome256();
-  }
-  return Topology::Make("scenario", spec.sockets, spec.cores_per_socket, spec.smt,
-                        spec.cores_per_ccx);
-}
-
-ServiceTimeModel* MakeService(const ServiceSpec& spec,
-                              std::unique_ptr<ServiceTimeModel>* owned) {
-  if (spec.model == "fixed") {
-    *owned = std::make_unique<FixedServiceModel>(FromUs(spec.fixed_us));
-  } else if (spec.model == "exponential") {
-    *owned = std::make_unique<ExponentialServiceModel>(FromUs(spec.mean_us));
-  } else {
-    *owned = std::make_unique<BimodalServiceModel>(
-        FromUs(spec.short_us), FromUs(spec.long_us), spec.p_long);
-  }
-  return owned->get();
-}
-
-// Joint state for one fan-out group (tail-at-scale): the group completes when
-// its slowest sub-request does.
-struct FanoutGroup {
-  int remaining = 0;
-  Duration max_latency = 0;
-};
-
-}  // namespace
 
 void EnvelopeBand(const std::string& name, double value, double* lo, double* hi) {
   // Relative tolerance + absolute slack floor, per metric family. The sim is
@@ -84,316 +32,10 @@ void EnvelopeBand(const std::string& name, double value, double* lo, double* hi)
   *hi = value + margin;
 }
 
-ScenarioResult RunScenario(const ScenarioSpec& spec, StatsRegistry* stats) {
-  ScenarioResult result;
-  result.name = spec.name;
-  result.seed = spec.seed;
-
-  const Duration warmup = FromMs(spec.warmup_ms);
-  const Duration measure = FromMs(spec.measure_ms);
-  const Duration drain = FromMs(spec.drain_ms);
-
-  SimulationContext::Options options;
-  options.topology = MakeTopology(spec.topology);
-  options.with_core_sched = spec.policy.kind == "vm_core_sched";
-  options.seed = spec.seed;
-  options.enable_stats = stats != nullptr;
-  options.stats = stats;
-  const bool want_faults = !spec.faults.plan.empty() ||
-                           spec.faults.ipi_delay_probability > 0 ||
-                           spec.faults.ipi_drop_probability > 0 ||
-                           spec.faults.msg_drop_probability > 0 ||
-                           spec.faults.estale_probability > 0;
-  if (want_faults) {
-    FaultInjector::Config faults;
-    faults.window_start = FromMs(spec.faults.window_start_ms);
-    faults.window_end = spec.faults.window_end_ms < 0
-                            ? kTimeNever
-                            : FromMs(spec.faults.window_end_ms);
-    faults.ipi_delay_probability = spec.faults.ipi_delay_probability;
-    faults.ipi_drop_probability = spec.faults.ipi_drop_probability;
-    faults.msg_drop_probability = spec.faults.msg_drop_probability;
-    faults.estale_probability = spec.faults.estale_probability;
-    options.faults = faults;
-  }
-  SimulationContext ctx(std::move(options));
-
-  // ---- CPU plan -------------------------------------------------------------
-  const int num_cpus = ctx.topology().num_cpus();
-  const int cpu_first = std::min(spec.enclave.cpu_first, num_cpus - 1);
-  const int cpu_count = spec.enclave.cpu_count < 0
-                            ? num_cpus - cpu_first
-                            : std::min(spec.enclave.cpu_count, num_cpus - cpu_first);
-  CpuMask server_cpus;
-  for (int cpu = cpu_first; cpu < cpu_first + cpu_count; ++cpu) {
-    server_cpus.Set(cpu);
-  }
-  CHECK_GE(cpu_count, 1) << "scenario " << spec.name << ": empty enclave CPU set";
-
-  // ---- Workload threads (created before the policy so tid-based classifiers
-  // can capture them) ---------------------------------------------------------
-  const bool is_vm = spec.workload.kind == "vm";
-  std::unique_ptr<ThreadPoolServer> server;
-  std::unique_ptr<VmWorkload> vm;
-  if (is_vm) {
-    VmWorkload::Options vm_options;
-    vm_options.num_vms = spec.workload.num_vms;
-    vm_options.vcpus_per_vm = spec.workload.vcpus_per_vm;
-    vm_options.work_per_vcpu = FromMs(spec.workload.work_per_vcpu_ms);
-    vm = std::make_unique<VmWorkload>(&ctx.kernel(), vm_options);
-  } else {
-    ThreadPoolServer::Options server_options;
-    server_options.num_workers = spec.workload.num_workers;
-    server = std::make_unique<ThreadPoolServer>(&ctx.kernel(), server_options);
-  }
-
-  BatchApp antagonist(&ctx.kernel(),
-                      {.num_threads = std::max(spec.antagonist.threads, 1),
-                       .chunk = FromUs(spec.antagonist.chunk_us)});
-  const bool with_antagonist = spec.antagonist.threads > 0;
-  const bool antagonist_in_enclave =
-      with_antagonist && spec.antagonist.placement == "enclave";
-  auto antagonist_tids = std::make_shared<std::set<int64_t>>();
-  if (antagonist_in_enclave) {
-    for (Task* t : antagonist.threads()) {
-      antagonist_tids->insert(t->tid());
-    }
-  }
-
-  // ---- Policy + enclave -----------------------------------------------------
-  const bool use_ghost = spec.policy.kind != "cfs";
-  std::unique_ptr<Enclave> enclave;
-  std::unique_ptr<AgentProcess> process;
-  if (use_ghost) {
-    Enclave::Config config;
-    config.watchdog_timeout = FromMs(spec.enclave.watchdog_timeout_ms);
-    config.watchdog_period = FromMs(spec.enclave.watchdog_period_ms);
-    enclave = ctx.CreateEnclave(server_cpus, config);
-
-    const int global_cpu =
-        spec.policy.global_cpu >= 0 ? spec.policy.global_cpu : cpu_first;
-    const Duration timeslice = FromUs(spec.policy.timeslice_us);
-    std::unique_ptr<Policy> policy;
-    const std::string& kind = spec.policy.kind;
-    if (kind == "centralized_fifo") {
-      CentralizedFifoPolicy::Options o;
-      o.global_cpu = global_cpu;
-      o.preemption_timeslice = timeslice;
-      policy = std::make_unique<CentralizedFifoPolicy>(o);
-    } else if (kind == "shinjuku") {
-      policy = MakeShinjukuPolicy(timeslice, global_cpu);
-    } else if (kind == "shinjuku_shenango") {
-      policy = MakeShinjukuShenangoPolicy(
-          timeslice,
-          [antagonist_tids](int64_t tid) { return antagonist_tids->count(tid) ? 1 : 0; },
-          global_cpu);
-    } else if (kind == "snap") {
-      policy = MakeSnapPolicy(
-          [antagonist_tids](int64_t tid) { return antagonist_tids->count(tid) ? 1 : 0; },
-          global_cpu);
-    } else if (kind == "per_cpu_fifo") {
-      policy = std::make_unique<PerCpuFifoPolicy>();
-    } else if (kind == "o1") {
-      O1Policy::Options o;
-      o.num_priorities = spec.policy.num_priorities;
-      o.base_timeslice = FromMs(spec.policy.base_timeslice_ms);
-      o.min_timeslice = FromMs(spec.policy.min_timeslice_ms);
-      const int worker_prio = spec.policy.worker_priority;
-      const int antagonist_prio = spec.policy.antagonist_priority;
-      o.priority_of = [antagonist_tids, worker_prio, antagonist_prio](int64_t tid) {
-        return antagonist_tids->count(tid) ? antagonist_prio : worker_prio;
-      };
-      policy = std::make_unique<O1Policy>(o);
-    } else if (kind == "vm_core_sched") {
-      CHECK(is_vm) << "scenario " << spec.name
-                   << ": vm_core_sched requires workload.kind == \"vm\"";
-      VmCoreSchedPolicy::Options o;
-      o.global_cpu = global_cpu;
-      o.slice = FromMs(spec.policy.vm_slice_ms);
-      VmWorkload* vm_ptr = vm.get();
-      o.cookie_of = [vm_ptr](int64_t tid) { return vm_ptr->CookieOf(tid); };
-      policy = std::make_unique<VmCoreSchedPolicy>(o);
-    }
-    CHECK(policy != nullptr) << "scenario " << spec.name
-                             << ": unhandled policy kind " << kind;
-    process = ctx.CreateAgentProcess(enclave.get(), std::move(policy));
-    process->Start();
-  }
-
-  // ---- Thread placement -----------------------------------------------------
-  const std::vector<Task*>& workload_threads =
-      is_vm ? vm->vcpus() : server->workers();
-  for (Task* t : workload_threads) {
-    if (use_ghost) {
-      enclave->AddTask(t);
-    } else {
-      ctx.kernel().SetAffinity(t, server_cpus);
-    }
-  }
-  if (with_antagonist) {
-    for (Task* t : antagonist.threads()) {
-      if (antagonist_in_enclave) {
-        enclave->AddTask(t);
-      } else {
-        ctx.kernel().SetAffinity(t, server_cpus);
-        ctx.kernel().SetNice(t, spec.antagonist.nice);
-      }
-    }
-    antagonist.Start();
-  }
-
-  // ---- Load -----------------------------------------------------------------
-  std::unique_ptr<ServiceTimeModel> service_owned;
-  std::vector<std::unique_ptr<PoissonLoadGen>> gens;
-  LatencyRecorder group_latency;  // fan-out group completion latency
-  const int fanout = spec.workload.fanout;
-  // Extra sub-request service samples come from a dedicated stream so arrival
-  // sampling stays identical whether or not fan-out is configured.
-  Rng fanout_rng(spec.seed ^ 0x9e3779b97f4a7c15ULL);
-  if (is_vm) {
-    vm->Start();
-    vm->StartSecuritySampler();
-  } else {
-    ServiceTimeModel* service = MakeService(spec.workload.service, &service_owned);
-    ThreadPoolServer* server_ptr = server.get();
-    std::function<void(Time, Duration)> sink;
-    if (fanout <= 1) {
-      sink = [server_ptr](Time t, Duration s) { server_ptr->Submit(t, s); };
-    } else {
-      sink = [server_ptr, service, fanout, &fanout_rng, &group_latency](Time t,
-                                                                        Duration s) {
-        auto group = std::make_shared<FanoutGroup>();
-        group->remaining = fanout;
-        for (int k = 0; k < fanout; ++k) {
-          const Duration sub_service = k == 0 ? s : service->Sample(fanout_rng);
-          server_ptr->Submit(t, sub_service,
-                             [group, &group_latency](Time, Duration latency) {
-                               group->max_latency =
-                                   std::max(group->max_latency, latency);
-                               if (--group->remaining == 0) {
-                                 group_latency.Add(group->max_latency);
-                               }
-                             });
-        }
-      };
-    }
-    Time phase_start = 0;
-    int phase_index = 0;
-    for (const LoadPhase& phase : spec.workload.phases) {
-      const Time start = phase_start;
-      const Time end = phase_start + FromMs(phase.duration_ms);
-      if (phase.qps > 0) {
-        gens.push_back(std::make_unique<PoissonLoadGen>(
-            &ctx.loop(), service, phase.qps,
-            spec.seed + 1000003ULL * static_cast<uint64_t>(phase_index), sink));
-        PoissonLoadGen* gen = gens.back().get();
-        ctx.loop().ScheduleAt(start, [gen, end] { gen->Start(end); });
-      }
-      phase_start = end;
-      ++phase_index;
-    }
-  }
-
-  // ---- Fault plan -----------------------------------------------------------
-  if (!spec.faults.plan.empty()) {
-    FaultInjector* injector = ctx.fault_injector();
-    Enclave* enclave_ptr = enclave.get();
-    AgentProcess* process_ptr = process.get();
-    for (const FaultEventSpec& event : spec.faults.plan) {
-      const Time when = FromMs(event.at_ms);
-      if (event.kind == "agent_crash" && process_ptr != nullptr) {
-        injector->At(when, FaultKind::kAgentCrash,
-                     [process_ptr] { process_ptr->Crash(); });
-      } else if (event.kind == "agent_stall" && process_ptr != nullptr) {
-        injector->At(when, FaultKind::kAgentStall,
-                     [process_ptr] { process_ptr->SetStalled(true); });
-      } else if (event.kind == "agent_recover" && process_ptr != nullptr) {
-        injector->At(when, FaultKind::kAgentStall,
-                     [process_ptr] { process_ptr->SetStalled(false); });
-      } else if (event.kind == "enclave_destroy" && enclave_ptr != nullptr) {
-        injector->At(when, FaultKind::kEnclaveDestroy, [enclave_ptr] {
-          if (!enclave_ptr->destroyed()) {
-            enclave_ptr->Destroy();
-          }
-        });
-      }
-    }
-  }
-
-  // ---- Invariant checking ---------------------------------------------------
-  std::unique_ptr<InvariantChecker> checker;
-  if (spec.invariants.enabled) {
-    InvariantChecker::Options inv;
-    inv.period = FromUs(spec.invariants.period_us);
-    inv.ghost_starvation_bound = FromMs(spec.invariants.ghost_starvation_bound_ms);
-    checker = std::make_unique<InvariantChecker>(&ctx.kernel(), inv);
-    if (enclave != nullptr) {
-      checker->Watch(enclave.get());
-    }
-    checker->Start();
-  }
-
-  // ---- Run ------------------------------------------------------------------
-  int64_t completed_at_warmup = 0;
-  ctx.loop().ScheduleAt(warmup, [&] {
-    if (server != nullptr) {
-      server->latency().Reset();
-      completed_at_warmup = server->completed();
-    }
-    antagonist.MarkWindow();
-  });
-  ctx.RunFor(warmup + measure + drain);
-  if (checker != nullptr) {
-    checker->CheckNow();
-    checker->Stop();
-  }
-
-  // ---- Collect --------------------------------------------------------------
-  int64_t generated = 0;
-  for (const auto& gen : gens) {
-    generated += gen->generated();
-  }
-  if (!is_vm) {
-    result.exact["generated"] = generated;
-    result.exact["completed"] = server->completed();
-    result.exact["dropped"] = server->dropped();
-    const double measured =
-        static_cast<double>(server->completed() - completed_at_warmup);
-    result.envelopes["achieved_kqps"] = measured / ToSeconds(measure + drain) / 1e3;
-    LatencyRecorder& lat = fanout > 1 ? group_latency : server->latency();
-    result.envelopes["p50_us"] = lat.PercentileUs(50);
-    result.envelopes["p99_us"] = lat.PercentileUs(99);
-    result.envelopes["p999_us"] = lat.PercentileUs(99.9);
-  } else {
-    result.exact["vm_vcpus"] = static_cast<int64_t>(vm->vcpus().size());
-    result.exact["vm_completed"] = vm->completed();
-    result.exact["vm_coresidency_violations"] =
-        static_cast<int64_t>(vm->coresidency_violations());
-    result.envelopes["vcpu_completed_frac"] =
-        static_cast<double>(vm->completed()) /
-        static_cast<double>(vm->vcpus().size());
-  }
-  if (with_antagonist) {
-    result.envelopes["antagonist_share"] = antagonist.CpuShare(
-        warmup, ctx.now(), cpu_count);
-  }
-  if (ctx.fault_injector() != nullptr) {
-    const FaultInjector* injector = ctx.fault_injector();
-    for (int k = 0; k < kNumFaultKinds; ++k) {
-      const FaultKind kind = static_cast<FaultKind>(k);
-      result.exact[std::string("faults_") + ToString(kind)] =
-          static_cast<int64_t>(injector->injected(kind));
-    }
-  }
-  result.exact["enclave_destroyed"] =
-      enclave != nullptr && enclave->destroyed() ? 1 : 0;
-  if (checker != nullptr) {
-    result.exact["invariants_ok"] = checker->ok() ? 1 : 0;
-    result.exact["invariant_violations"] =
-        static_cast<int64_t>(checker->violations().size());
-    result.violations = checker->violations();
-  }
-  return result;
+ScenarioResult RunScenario(const ScenarioSpec& spec, StatsRegistry* stats,
+                           int jobs) {
+  fleet::Cluster cluster(spec, stats, jobs);
+  return cluster.Run();
 }
 
 std::string RenderGolden(const ScenarioResult& result) {

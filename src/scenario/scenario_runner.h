@@ -1,5 +1,7 @@
-// Executes a ScenarioSpec: spec -> SimulationContext -> ScenarioResult, plus
-// the golden-expectation rendering/checking used by the regression suite.
+// Executes a ScenarioSpec: spec -> fleet::Cluster -> ScenarioResult, plus the
+// golden-expectation rendering/checking used by the regression suite. The
+// cluster is the only execution engine: a spec without a `fleet` block is the
+// degenerate one-node cluster (the historical single-machine run).
 //
 // A ScenarioResult splits its observations the way the golden files do:
 //
@@ -41,10 +43,16 @@ struct ScenarioResult {
   std::vector<std::string> violations;
 };
 
-// Runs the scenario to completion on a fresh SimulationContext. `stats`, when
-// non-null, is borrowed as the run's StatsRegistry (the harness passes its
-// per-run registry); nullptr keeps the zero-overhead path.
-ScenarioResult RunScenario(const ScenarioSpec& spec, StatsRegistry* stats = nullptr);
+// Runs the scenario to completion on a fleet::Cluster. A spec without a
+// `fleet` block builds the degenerate one-node cluster — one SimulationContext
+// run locally, byte-for-byte the historical single-machine path. `stats`,
+// when non-null, is borrowed as the run's StatsRegistry (the harness passes
+// its per-run registry); nullptr keeps the zero-overhead path. In fleet mode
+// each machine owns a private registry, merged into `stats` in machine order.
+// `jobs` bounds intra-epoch machine parallelism in fleet mode; results are
+// byte-identical for every value.
+ScenarioResult RunScenario(const ScenarioSpec& spec, StatsRegistry* stats = nullptr,
+                           int jobs = 1);
 
 // Renders the golden-expectations document for a result (trailing newline
 // included — goldens are files).

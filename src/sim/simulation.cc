@@ -20,7 +20,6 @@ StatsRegistry* MakeOrBorrowStats(const SimulationContext::Options& options,
 SimulationContext::SimulationContext(Options options)
     : options_(std::move(options)),
       stats_(MakeOrBorrowStats(options_, &owned_stats_)),
-      prev_current_stats_(SetCurrentStats(stats_)),
       machine_(options_.topology, options_.cost, options_.with_core_sched, stats_),
       rng_(options_.seed) {
   if (options_.enable_stats) {
@@ -45,7 +44,6 @@ SimulationContext::~SimulationContext() {
   if (fault_injector_ != nullptr) {
     machine_.kernel().set_fault_injector(nullptr);
   }
-  SetCurrentStats(prev_current_stats_);
 }
 
 std::unique_ptr<AgentProcess> SimulationContext::CreateAgentProcess(

@@ -16,12 +16,8 @@
 // one thread; put independent contexts on independent threads freely (that
 // is what BatchRunner does). Two contexts built with the same Options and
 // seed produce byte-identical results regardless of what other contexts are
-// doing on other threads.
-//
-// While alive, a context installs its registry as the calling thread's
-// "current" registry, so the deprecated GlobalStats() shim resolves to the
-// innermost live context on this thread (out-of-tree policies keep working
-// unchanged). Contexts on one thread must therefore nest like scopes.
+// doing on other threads. Explicit StatsRegistry* injection is the only
+// metrics path — there is no thread-local or process-global registry.
 #ifndef GHOST_SIM_SRC_SIM_SIMULATION_H_
 #define GHOST_SIM_SRC_SIM_SIMULATION_H_
 
@@ -104,9 +100,6 @@ class SimulationContext {
   // Owned registry unless Options::stats borrowed an external one.
   std::unique_ptr<StatsRegistry> owned_stats_;
   StatsRegistry* stats_;
-  // Shim support: the registry that was "current" on this thread before this
-  // context installed its own; restored on destruction.
-  StatsRegistry* prev_current_stats_;
   Machine machine_;
   Rng rng_;
   std::unique_ptr<FaultInjector> fault_injector_;

@@ -7,29 +7,6 @@
 
 namespace gs {
 
-namespace {
-// The innermost SimulationContext-installed registry on this thread, if any.
-thread_local StatsRegistry* tls_current_stats = nullptr;
-}  // namespace
-
-StatsRegistry* CurrentStats() {
-  if (tls_current_stats != nullptr) {
-    return tls_current_stats;
-  }
-  // Per-thread fallback so the deprecated shims never return null. Thread-
-  // local (not process-global) so concurrent simulations share nothing.
-  thread_local StatsRegistry* fallback = new StatsRegistry();
-  return fallback;
-}
-
-StatsRegistry* SetCurrentStats(StatsRegistry* registry) {
-  StatsRegistry* prev = tls_current_stats;
-  tls_current_stats = registry;
-  return prev;
-}
-
-StatsRegistry& StatsRegistry::Global() { return *CurrentStats(); }
-
 std::string StatsRegistry::FullName(const std::string& name, const Labels& labels) {
   if (labels.empty()) {
     return name;

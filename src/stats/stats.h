@@ -15,16 +15,13 @@
 // the returned pointer. Metric objects live as long as the registry and are
 // never invalidated by later registrations.
 //
-// Ownership model: there is no process-wide registry anymore. Every
+// Ownership model: there is no process-wide registry. Every
 // SimulationContext owns its registry and hands it to the components it
 // constructs (Kernel -> Enclave/AgentProcess, FaultInjector), so independent
 // simulations share nothing and can run on concurrent threads. A registry is
-// single-threaded, like the context that owns it.
-//
-// For out-of-tree callers, the deprecated GlobalStats()/StatsRegistry::
-// Global() shims resolve to the calling thread's "current" registry: the
-// innermost live SimulationContext on this thread, or a per-thread fallback
-// registry when no context is installed (see CurrentStats()).
+// single-threaded, like the context that owns it. Explicit `StatsRegistry*`
+// injection is the only path — the transitional GlobalStats()/
+// StatsRegistry::Global() shims are gone.
 #ifndef GHOST_SIM_SRC_STATS_STATS_H_
 #define GHOST_SIM_SRC_STATS_STATS_H_
 
@@ -105,14 +102,6 @@ class StatsRegistry {
   StatsRegistry(const StatsRegistry&) = delete;
   StatsRegistry& operator=(const StatsRegistry&) = delete;
 
-  // DEPRECATED compatibility shim — resolves to the calling thread's current
-  // registry (see CurrentStats()), NOT a process-wide singleton. Components
-  // take their registry from the SimulationContext / Kernel that owns them;
-  // do not add new callers.
-  [[deprecated("pass a StatsRegistry explicitly (see SimulationContext); this "
-               "shim resolves to the thread-local current registry")]]
-  static StatsRegistry& Global();
-
   void Enable() { enabled_ = true; }
   void Disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
@@ -153,25 +142,6 @@ class StatsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
-
-// The calling thread's current registry: the one installed by the innermost
-// live SimulationContext on this thread, or — when no context is installed —
-// a lazily created per-thread fallback registry (so the deprecated shims keep
-// working in isolation, sharing nothing across threads). Never nullptr.
-StatsRegistry* CurrentStats();
-
-// Installs `registry` (may be nullptr to uninstall) as the calling thread's
-// current registry and returns the previous installation (nullptr if none).
-// SimulationContext calls this in its constructor/destructor; tests may use
-// it directly to scope the deprecated shims.
-StatsRegistry* SetCurrentStats(StatsRegistry* registry);
-
-// DEPRECATED shorthand — forwards to the thread-local current registry. Kept
-// so out-of-tree policies keep compiling; every in-tree instrumentation site
-// now receives its registry from its owning context.
-[[deprecated("pass a StatsRegistry explicitly (see SimulationContext); this "
-             "shim resolves to the thread-local current registry")]]
-inline StatsRegistry& GlobalStats() { return *CurrentStats(); }
 
 }  // namespace gs
 

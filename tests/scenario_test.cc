@@ -98,6 +98,110 @@ TEST(ScenarioParseTest, FaultPlanRequiresKind) {
       << error;
 }
 
+// ---- Fleet block -----------------------------------------------------------
+
+// kMinimal plus a fleet block; the helper splices the fleet JSON in.
+std::string WithFleet(const std::string& fleet_json) {
+  std::string spec(kMinimal);
+  const size_t close = spec.rfind('}');
+  return spec.substr(0, close) + ", \"fleet\": " + fleet_json + "}";
+}
+
+TEST(ScenarioParseTest, FleetBlockParses) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(
+      WithFleet(R"({"machines": 8, "sessions": 128, "rpc_fanout": 2,
+                    "balancer": {"policy": "consistent_hash", "virtual_nodes": 32},
+                    "network": {"latency_us": 20, "bandwidth_gbps": 40,
+                                "links": [{"from": -1, "to": 0, "latency_us": 5}]},
+                    "overrides": [{"machine": 3, "policy": {"kind": "per_cpu_fifo"}}],
+                    "plan": [{"at_ms": 5, "kind": "lb_drain", "machine": 3}]})"),
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_TRUE(spec->fleet.has_value());
+  EXPECT_EQ(spec->fleet->machines, 8);
+  EXPECT_EQ(spec->fleet->rpc_fanout, 2);
+  EXPECT_EQ(spec->fleet->balancer.policy, "consistent_hash");
+  EXPECT_EQ(spec->fleet->balancer.virtual_nodes, 32);
+  ASSERT_EQ(spec->fleet->network.links.size(), 1u);
+  EXPECT_EQ(spec->fleet->network.links[0].from, -1);
+  ASSERT_EQ(spec->fleet->overrides.size(), 1u);
+  ASSERT_TRUE(spec->fleet->overrides[0].policy.has_value());
+  EXPECT_EQ(spec->fleet->overrides[0].policy->kind, "per_cpu_fifo");
+  ASSERT_EQ(spec->fleet->plan.size(), 1u);
+  EXPECT_EQ(spec->fleet->plan[0].kind, "lb_drain");
+}
+
+TEST(ScenarioParseTest, FleetUnknownKeyIsNamedWithPath) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(WithFleet(R"({"machines": 2, "ballancer": {}})"),
+                                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown key \"fleet.ballancer\""), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FleetOverrideUnknownKeyHasFullPath) {
+  std::string error;
+  EXPECT_FALSE(
+      ScenarioSpec::Parse(
+          WithFleet(
+              R"({"machines": 2,
+                  "overrides": [{"machine": 1, "policy": {"kimd": "shinjuku"}}]})"),
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("unknown key \"fleet.overrides[0].policy.kimd\""),
+            std::string::npos)
+      << error;
+}
+
+TEST(ScenarioParseTest, FleetMachineCountIsBounded) {
+  std::string error;
+  EXPECT_FALSE(
+      ScenarioSpec::Parse(WithFleet(R"({"machines": 65})"), &error).has_value());
+  EXPECT_NE(error.find("fleet.machines"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FleetFanoutCannotExceedMachines) {
+  std::string error;
+  EXPECT_FALSE(
+      ScenarioSpec::Parse(WithFleet(R"({"machines": 4, "rpc_fanout": 5})"), &error)
+          .has_value());
+  EXPECT_NE(error.find("fleet.rpc_fanout"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FleetLinkNodeIndexIsRangeChecked) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   WithFleet(R"({"machines": 4,
+                                 "network": {"links": [{"from": 0, "to": 4}]}})"),
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("fleet.network.links[0].to"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FleetPlanKindIsValidated) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   WithFleet(R"({"machines": 2,
+                                 "plan": [{"at_ms": 1, "kind": "reboot", "machine": 0}]})"),
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("fleet.plan[0].kind"), std::string::npos) << error;
+  EXPECT_NE(error.find("reboot"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FleetRejectsVmWorkload) {
+  // A vm workload cannot shard across a fleet front end.
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::Parse(
+                   R"({"name": "x",
+                       "workload": {"kind": "vm", "num_vms": 2},
+                       "fleet": {"machines": 2}})",
+                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("request_service"), std::string::npos) << error;
+}
+
 TEST(ScenarioParseTest, SyntaxErrorReportsLineAndColumn) {
   std::string error;
   EXPECT_FALSE(ScenarioSpec::Parse("{\n  \"name\": \"x\",,\n}", &error).has_value());
@@ -114,6 +218,12 @@ TEST(ScenarioDeathTest, ParseOrExitNamesUnknownKeyAndExits2) {
 TEST(ScenarioDeathTest, ParseOrExitNamesMissingKeyAndExits2) {
   EXPECT_EXIT(ScenarioSpec::ParseOrExit(R"({"seed": 1})"),
               ::testing::ExitedWithCode(2), "missing required key \"name\"");
+}
+
+TEST(ScenarioDeathTest, FleetTypoNamesExactPathAndExits2) {
+  EXPECT_EXIT(
+      ScenarioSpec::ParseOrExit(WithFleet(R"({"machines": 2, "ballancer": {}})")),
+      ::testing::ExitedWithCode(2), "unknown key \"fleet.ballancer\"");
 }
 
 TEST(ScenarioDeathTest, LoadFileOrExitRejectsMissingFile) {

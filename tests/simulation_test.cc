@@ -1,6 +1,6 @@
 // SimulationContext ownership tests: whole-machine runs as owned values,
-// byte-determinism of concurrent contexts, the deprecated GlobalStats() shim
-// semantics, and BatchRunner's deterministic fan-out. The battery doubles as
+// byte-determinism of concurrent contexts, per-context registry isolation,
+// and BatchRunner's deterministic fan-out. The battery doubles as
 // the TSan target for the ownership redesign: two contexts on two threads
 // share nothing, so a data-race report here means a global leaked back in.
 #include <gtest/gtest.h>
@@ -122,38 +122,17 @@ TEST(SimulationContextTest, RegistriesArePerContext) {
   EXPECT_EQ(shared.GetCounter("widgets")->value(), 2);
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-// The deprecated shim resolves to the innermost live context on the calling
-// thread, falling back to a per-thread registry outside any context — and
-// nested contexts restore the outer one on destruction, like scopes.
-TEST(SimulationContextTest, DeprecatedShimTracksInnermostContext) {
-  StatsRegistry* fallback = &GlobalStats();
-  ASSERT_NE(fallback, nullptr);
-  EXPECT_EQ(fallback, &StatsRegistry::Global());
-
+// Nested contexts on one thread are fully independent values: each owns its
+// registry, and destroying the inner one leaves the outer untouched.
+TEST(SimulationContextTest, NestedContextsStayIndependent) {
   SimulationContext outer(SimulationContext::Options{});
-  EXPECT_EQ(&GlobalStats(), &outer.stats());
+  StatsRegistry* outer_stats = &outer.stats();
   {
     SimulationContext inner(SimulationContext::Options{});
-    EXPECT_EQ(&GlobalStats(), &inner.stats());
-    EXPECT_NE(&inner.stats(), &outer.stats());
+    EXPECT_NE(&inner.stats(), outer_stats);
   }
-  EXPECT_EQ(&GlobalStats(), &outer.stats());
+  EXPECT_EQ(&outer.stats(), outer_stats);
 }
-
-// Each thread has its own fallback, so shim users on different threads do
-// not share a registry even without any context installed.
-TEST(SimulationContextTest, DeprecatedShimFallbackIsPerThread) {
-  StatsRegistry* here = &GlobalStats();
-  StatsRegistry* there = nullptr;
-  std::thread t([&] { there = &GlobalStats(); });
-  t.join();
-  EXPECT_NE(here, there);
-}
-
-#pragma GCC diagnostic pop
 
 // ---- BatchRunner ----------------------------------------------------------
 

@@ -152,26 +152,27 @@ TEST(StatsTest, SnapshotIsDeterministic) {
   EXPECT_EQ(build(), build_reversed());
 }
 
-// The deprecated shims must keep working for out-of-tree callers: both
-// resolve to the calling thread's current registry (here, the per-thread
-// fallback — no SimulationContext is live in this test).
-TEST(StatsTest, DeprecatedGlobalShimsResolveToCurrentRegistry) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  StatsRegistry& global = GlobalStats();
-  EXPECT_EQ(&global, &StatsRegistry::Global());
-#pragma GCC diagnostic pop
-  EXPECT_EQ(&global, CurrentStats());
-  const bool was_enabled = global.enabled();
-  global.Enable();
-  Counter* c = global.GetCounter("stats_test_global_counter");
-  global.Reset();
-  c->Inc();
-  EXPECT_EQ(c->value(), 1);
-  global.Reset();
-  if (!was_enabled) {
-    global.Disable();
-  }
+// MergeFrom accumulates another registry's metrics into this one — the path
+// a fleet run uses to fold per-machine registries into the harness registry.
+TEST(StatsTest, MergeFromAccumulates) {
+  StatsRegistry a;
+  a.Enable();
+  a.GetCounter("requests_total")->Inc(2);
+  a.GetGauge("depth")->Set(1);
+  a.GetHistogram("lat")->Observe(1000);
+
+  StatsRegistry b;
+  b.Enable();
+  b.GetCounter("requests_total")->Inc(3);
+  b.GetCounter("only_in_b")->Inc(1);
+  b.GetGauge("depth")->Set(4);
+  b.GetHistogram("lat")->Observe(3000);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("requests_total")->value(), 5);
+  EXPECT_EQ(a.GetCounter("only_in_b")->value(), 1);
+  EXPECT_EQ(a.GetGauge("depth")->value(), 5);
+  EXPECT_EQ(a.GetHistogram("lat")->histogram().count(), 2);
 }
 
 TEST(StatsTest, MixingMetricKindsOnOneNameDies) {
