@@ -58,19 +58,23 @@ std::vector<int> FillOrder(const Topology& topo, int agent_cpu) {
 
 // Workers that run `kTaskBurst` then block and immediately re-wake, so the
 // agent must issue one transaction per burst.
+// Arms one burst; on completion the worker blocks, re-arms, and re-wakes
+// 100 ns later — a self-rearming chain with no per-cycle heap allocation
+// (the old shared_ptr<std::function> self-capture leaked and malloc'd).
+void ArmWorkerBurst(Kernel* k, Task* t) {
+  k->StartBurst(t, kTaskBurst, [k](Task* done) {
+    k->Block(done);
+    k->loop()->ScheduleAfter(Nanoseconds(100), [k, done] {
+      ArmWorkerBurst(k, done);
+      k->Wake(done);
+    });
+  });
+}
+
 void SpawnWorker(Kernel& kernel, Enclave& enclave, int index) {
   Task* task = kernel.CreateTask("spin/" + std::to_string(index));
   enclave.AddTask(task);
-  auto loop = std::make_shared<std::function<void(Task*)>>();
-  Kernel* k = &kernel;
-  *loop = [k, loop](Task* t) {
-    k->Block(t);
-    k->loop()->ScheduleAfter(Nanoseconds(100), [k, t, loop] {
-      k->StartBurst(t, kTaskBurst, *loop);
-      k->Wake(t);
-    });
-  };
-  kernel.StartBurst(task, kTaskBurst, *loop);
+  ArmWorkerBurst(&kernel, task);
   kernel.Wake(task);
 }
 

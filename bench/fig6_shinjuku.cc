@@ -17,6 +17,7 @@
 // hurting tails (6b).
 #include <cstdio>
 #include <memory>
+#include <set>
 
 #include "bench/harness.h"
 #include "bench/machine_trace.h"

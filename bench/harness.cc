@@ -63,7 +63,8 @@ void PrintUsage(std::FILE* out, const std::string& name,
                "  --jobs=<N>          worker threads for the repetitions\n"
                "                      (0 = one per hardware thread, default 1)\n"
                "  --scale=quick|paper sweep size (default: paper)\n"
-               "  --trace-out=<path>  write a Chrome-trace/Perfetto JSON\n",
+               "  --trace-out=<path>  write a Chrome-trace/Perfetto JSON\n"
+               "  --wall-clock        record wall_clock_s in the result file\n",
                name.c_str());
   for (const std::string& prefix : options.passthrough_prefixes) {
     std::fprintf(out, "  %s...        passed through to the benchmark\n",
@@ -184,6 +185,8 @@ Harness::Harness(std::string benchmark_name, int& argc, char** argv,
       }
     } else if (const char* v = FlagValue(arg, "--trace-out")) {
       trace_path_ = v;
+    } else if (std::strcmp(arg, "--wall-clock") == 0) {
+      record_wall_clock_ = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       PrintUsage(stdout, name_, options_);
       std::exit(0);
@@ -303,7 +306,8 @@ void Harness::AppendDocHeader(JsonWriter& w, uint64_t seed) const {
   w.KV("scale", quick() ? "quick" : "paper");
 }
 
-void Harness::AppendRunBlocks(JsonWriter& w, const Run& run) const {
+void Harness::AppendRunBlocks(JsonWriter& w, const Run& run,
+                              double wall_clock_s) const {
   w.Key("series");
   w.BeginArray();
   for (const Row& row : run.rows_) {
@@ -317,6 +321,10 @@ void Harness::AppendRunBlocks(JsonWriter& w, const Run& run) const {
   w.EndArray();
   w.Key("metrics");
   w.BeginObject();
+  if (wall_clock_s >= 0) {
+    w.Key("wall_clock_s");
+    w.Double(wall_clock_s);
+  }
   for (const auto& [key, json] : run.metrics_) {
     w.Key(key);
     w.Raw(json);
@@ -432,7 +440,17 @@ int Harness::Finish() {
         w.Raw(json);
       }
       w.EndObject();
-      AppendRunBlocks(w, *runs_.front());
+      double wall_clock_s = -1;
+      if (record_wall_clock_) {
+        // RunAll timed the body itself; single-run sinks fall back to
+        // harness lifetime (construction to Finish).
+        wall_clock_s =
+            ran_all_ ? wall_clock_s_
+                     : std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+      }
+      AppendRunBlocks(w, *runs_.front(), wall_clock_s);
       w.EndObject();
       rc |= WriteJsonFile(json_path_, w.str());
     } else {

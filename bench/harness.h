@@ -11,6 +11,9 @@
 //                       hardware thread; default 1)
 //   --scale=quick|paper run a CI-sized subset or the full paper-scale sweep
 //   --trace-out=<path>  write a Chrome-trace/Perfetto JSON of the run
+//   --wall-clock        record a "wall_clock_s" metric in the result file
+//                       (off by default: wall time is nondeterministic, and
+//                       several CI gates byte-compare result files)
 //
 // Result schema (schema_version 1):
 //
@@ -44,6 +47,7 @@
 #ifndef GHOST_SIM_BENCH_HARNESS_H_
 #define GHOST_SIM_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -203,8 +207,11 @@ class Harness {
 
   Run& DefaultRun();
   bool AttachTrace(const Run& run, Trace& trace);
-  // Renders one run's "series"/"metrics"/"histograms"/"stats" blocks.
-  void AppendRunBlocks(JsonWriter& w, const Run& run) const;
+  // Renders one run's "series"/"metrics"/"histograms"/"stats" blocks. A
+  // non-negative `wall_clock_s` is spliced in as the first metric (top-level
+  // document only — per-seed files must stay --jobs-independent).
+  void AppendRunBlocks(JsonWriter& w, const Run& run,
+                       double wall_clock_s = -1) const;
   void AppendAggregateBlocks(JsonWriter& w) const;
   void AppendDocHeader(JsonWriter& w, uint64_t seed) const;
   int WriteJsonFile(const std::string& path, const std::string& json) const;
@@ -224,7 +231,9 @@ class Harness {
   bool seed_recorded_ = false;
   bool ran_all_ = false;
   bool finished_ = false;
+  bool record_wall_clock_ = false;
   double wall_clock_s_ = 0;
+  std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 
   std::vector<std::pair<std::string, std::string>> params_;
   std::vector<std::unique_ptr<Run>> runs_;

@@ -20,19 +20,24 @@ using namespace gs;
 
 namespace {
 
+// Self-rearming worker cycle: burn 300us, sleep 200us, repeat — plain
+// recursion instead of a heap-allocated self-referential closure.
+void ArmBurst(Machine& machine, Task* t) {
+  Kernel& kernel = machine.kernel();
+  kernel.StartBurst(t, Microseconds(300), [&machine, &kernel](Task* task) {
+    kernel.Block(task);
+    machine.loop().ScheduleAfter(Microseconds(200), [&machine, &kernel, task] {
+      ArmBurst(machine, task);
+      kernel.Wake(task);
+    });
+  });
+}
+
 Task* SpawnWorker(Machine& machine, Enclave& enclave, int i) {
   Kernel& kernel = machine.kernel();
   Task* t = kernel.CreateTask("worker/" + std::to_string(i));
   enclave.AddTask(t);
-  auto loop = std::make_shared<std::function<void(Task*)>>();
-  *loop = [&kernel, &machine, loop](Task* task) {
-    kernel.Block(task);
-    machine.loop().ScheduleAfter(Microseconds(200), [&kernel, task, loop] {
-      kernel.StartBurst(task, Microseconds(300), *loop);
-      kernel.Wake(task);
-    });
-  };
-  kernel.StartBurst(t, Microseconds(300), *loop);
+  ArmBurst(machine, t);
   kernel.Wake(t);
   return t;
 }

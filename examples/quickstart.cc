@@ -15,6 +15,28 @@
 
 using namespace gs;
 
+namespace {
+
+// One worker cycle: burn 200us, then either exit (after 5 bursts) or sleep
+// 100us and go again. Self-rearming via plain recursion — no heap-allocated
+// self-referential closure.
+void ArmBurst(Kernel& kernel, SimulationContext& sim, Task* t, int remaining) {
+  kernel.StartBurst(t, Microseconds(200),
+                    [&kernel, &sim, remaining](Task* task) {
+    if (remaining == 1) {
+      kernel.Exit(task);
+      return;
+    }
+    kernel.Block(task);
+    sim.loop().ScheduleAfter(Microseconds(100), [&kernel, &sim, task, remaining] {
+      ArmBurst(kernel, sim, task, remaining - 1);
+      kernel.Wake(task);
+    });
+  });
+}
+
+}  // namespace
+
 int main() {
   // A small machine as one owned value: 1 socket, 4 cores, no SMT. The
   // context owns the event loop, kernel, and this run's stats registry —
@@ -44,20 +66,7 @@ int main() {
   for (int i = 0; i < 8; ++i) {
     Task* t = kernel.CreateTask("worker/" + std::to_string(i));
     enclave->AddTask(t);
-    auto remaining = std::make_shared<int>(5);
-    auto loop = std::make_shared<std::function<void(Task*)>>();
-    *loop = [&kernel, &sim, remaining, loop](Task* task) {
-      if (--*remaining == 0) {
-        kernel.Exit(task);
-        return;
-      }
-      kernel.Block(task);
-      sim.loop().ScheduleAfter(Microseconds(100), [&kernel, task, loop] {
-        kernel.StartBurst(task, Microseconds(200), *loop);
-        kernel.Wake(task);
-      });
-    };
-    kernel.StartBurst(t, Microseconds(200), *loop);
+    ArmBurst(kernel, sim, t, 5);
     kernel.Wake(t);
     threads.push_back(t);
   }

@@ -51,18 +51,16 @@ uint64_t AgentContext::ReadHint(int64_t tid) {
 }
 
 CpuMask AgentContext::AvailableCpus() {
-  CpuMask available;
   const CpuMask& cpus = enclave_->cpus();
-  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
-    cost_ += kernel_->cost().agent_per_cpu_scan;
-    if (cpu == agent_cpu_) {
-      continue;  // our own CPU is occupied by us
-    }
-    // Forced-idle CPUs count as available: the policy that idled them is the
-    // one asking, and a fresh transaction supersedes the idle marker.
-    if (kernel_->CpuIdle(cpu) && !ghost_class_->LatchPending(cpu)) {
-      available.Set(cpu);
-    }
+  // Same charge as scanning the enclave CPU by CPU — GetIdleCPUs() walks the
+  // whole list whatever its representation.
+  cost_ += kernel_->cost().agent_per_cpu_scan * cpus.Count();
+  // Forced-idle CPUs count as available: the policy that idled them is the
+  // one asking, and a fresh transaction supersedes the idle marker.
+  CpuMask available = kernel_->idle_cpus() & cpus;
+  available.AndNot(ghost_class_->latched_cpus());
+  if (agent_cpu_ >= 0) {
+    available.Clear(agent_cpu_);  // our own CPU is occupied by us
   }
   return available;
 }
@@ -107,8 +105,17 @@ void AgentContext::Commit(std::span<Transaction*> txns) {
   }
 
   // Per-transaction agent-side work; record the ledger offset at which each
-  // transaction's effect leaves the agent.
-  std::vector<Duration> delays(txns.size());
+  // transaction's effect leaves the agent. Group commits are bounded by the
+  // machine's CPU count in practice, so the ledger offsets live on the stack
+  // (this runs once per agent iteration — no per-commit heap traffic).
+  constexpr size_t kInlineDelays = 144;
+  Duration inline_delays[kInlineDelays];
+  std::vector<Duration> overflow_delays;
+  Duration* delays = inline_delays;
+  if (txns.size() > kInlineDelays) {
+    overflow_delays.resize(txns.size());
+    delays = overflow_delays.data();
+  }
   const int agent_numa = agent_cpu_ >= 0 ? topo.cpu(agent_cpu_).numa : 0;
   for (size_t i = 0; i < txns.size(); ++i) {
     const Transaction& txn = *txns[i];
@@ -124,7 +131,7 @@ void AgentContext::Commit(std::span<Transaction*> txns) {
     delays[i] = cost_;
   }
 
-  enclave_->TxnsCommit(txns, agent_, [&delays](int i) { return delays[i]; });
+  enclave_->TxnsCommit(txns, agent_, [delays](int i) { return delays[i]; });
 }
 
 }  // namespace gs

@@ -1,5 +1,6 @@
 #include "src/agent/agent_process.h"
 
+#include <algorithm>
 #include <string>
 
 namespace gs {
@@ -36,7 +37,7 @@ void AgentProcess::Start() {
   const CpuMask& cpus = enclave_->cpus();
   for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
     Task* agent = kernel_->CreateTask("agent/" + std::to_string(cpu), agent_class);
-    agents_[cpu] = agent;
+    agents_.emplace_back(cpu, agent);
     enclave_->RegisterAgentTask(cpu, agent);
     std::shared_ptr<bool> gone = gone_;
     kernel_->SetOnScheduled(agent, [this, gone](Task* task) {
@@ -84,12 +85,26 @@ void AgentProcess::Shutdown() {
 }
 
 Task* AgentProcess::agent_on(int cpu) const {
-  auto it = agents_.find(cpu);
-  return it == agents_.end() ? nullptr : it->second;
+  for (const auto& [c, agent] : agents_) {
+    if (c == cpu) {
+      return agent;
+    }
+  }
+  return nullptr;
+}
+
+bool AgentProcess::PollingErase(Task* agent) {
+  auto it = std::find(polling_.begin(), polling_.end(), agent);
+  if (it == polling_.end()) {
+    return false;
+  }
+  *it = polling_.back();
+  polling_.pop_back();
+  return true;
 }
 
 void AgentProcess::OnAgentScheduled(Task* agent) {
-  polling_.erase(agent);
+  PollingErase(agent);
   BeginIteration(agent);
 }
 
@@ -191,7 +206,7 @@ void AgentProcess::EndIteration(Task* agent, AgentAction action, uint64_t epoch,
       BeginIteration(agent);
       break;
     case AgentAction::kPollWait: {
-      polling_.insert(agent);
+      polling_.push_back(agent);
       std::shared_ptr<bool> gone = gone_;
       enclave_->RegisterPollWaiter(agent, [this, gone, agent] {
         if (!*gone) {
@@ -219,10 +234,9 @@ void AgentProcess::EndIteration(Task* agent, AgentAction action, uint64_t epoch,
 }
 
 void AgentProcess::Poke(Task* agent) {
-  if (!alive_ || agent->state() == TaskState::kDead || polling_.count(agent) == 0) {
+  if (!alive_ || agent->state() == TaskState::kDead || !PollingErase(agent)) {
     return;
   }
-  polling_.erase(agent);
   enclave_->UnregisterPollWaiter(agent);
   std::shared_ptr<bool> gone = gone_;
   kernel_->StartBurst(agent, kernel_->cost().poll_detect,

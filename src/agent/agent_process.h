@@ -8,9 +8,9 @@
 #ifndef GHOST_SIM_SRC_AGENT_AGENT_PROCESS_H_
 #define GHOST_SIM_SRC_AGENT_AGENT_PROCESS_H_
 
-#include <map>
-#include <set>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/agent/agent_context.h"
 #include "src/agent/policy.h"
@@ -81,8 +81,14 @@ class AgentProcess {
   // the process was destroyed in the meantime.
   std::shared_ptr<bool> gone_ = std::make_shared<bool>(false);
   std::unique_ptr<Policy> policy_;
-  std::map<int, Task*> agents_;  // cpu -> agent task
-  std::set<Task*> polling_;      // agents in poll-wait
+  // cpu -> agent task, in ascending-cpu order (built once at Start). A flat
+  // vector: iterated every resync and searched on agent_on(), where the
+  // handful of enclave CPUs fit in a cache line or two.
+  std::vector<std::pair<int, Task*>> agents_;
+  // Agents in poll-wait; membership-only, so an unordered vector with
+  // swap-remove beats std::set's node churn in the spin loop.
+  std::vector<Task*> polling_;
+  bool PollingErase(Task* agent);
   bool started_ = false;
   bool alive_ = false;
   bool stalled_ = false;

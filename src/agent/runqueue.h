@@ -7,14 +7,19 @@
 #ifndef GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
 #define GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
 
-#include <deque>
-#include <set>
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "src/agent/task_table.h"
 #include "src/base/logging.h"
+#include "src/base/ring_deque.h"
 
 namespace gs {
 
+// Ring-backed: a std::deque oscillating around empty pays a chunk
+// malloc/free every time its position crosses a block boundary, which showed
+// up as the last steady-state allocations in tests/sim_alloc_test.
 class FifoRunqueue {
  public:
   void Push(PolicyTask* task) { queue_.push_back(task); }
@@ -32,15 +37,7 @@ class FifoRunqueue {
   PolicyTask* Peek() const { return queue_.empty() ? nullptr : queue_.front(); }
 
   // Removes a task wherever it sits (e.g. it blocked while queued).
-  bool Remove(PolicyTask* task) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (*it == task) {
-        queue_.erase(it);
-        return true;
-      }
-    }
-    return false;
-  }
+  bool Remove(PolicyTask* task) { return queue_.remove(task); }
 
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
@@ -48,68 +45,83 @@ class FifoRunqueue {
 
   // Rotation support for skip-and-revisit scans (the Search policy skips
   // threads whose preferred CPUs are busy and revisits them next loop).
-  std::deque<PolicyTask*>& raw() { return queue_; }
+  RingDeque<PolicyTask*>& raw() { return queue_; }
 
  private:
-  std::deque<PolicyTask*> queue_;
+  RingDeque<PolicyTask*> queue_;
 };
 
 // Ordered runqueue: smallest key first; ties broken by tid for determinism.
+//
+// Flat: one vector sorted descending by (key, tid), so the minimum lives at
+// the back and PopMin is a pop_back. Push/Remove binary-search and memmove
+// — contiguous 16-byte entries, no per-node heap traffic. The node churn of
+// the previous std::set/std::map pair was the Search policy's hottest
+// allocation site (two mallocs per enqueue, two frees per dispatch), and
+// iteration order here is identical to what that std::set produced.
 class MinRunqueue {
  public:
   void Push(PolicyTask* task, int64_t key) {
-    keys_[task] = key;
-    queue_.insert({key, task});
+    task->rq_key = key;
+    const Entry entry{key, task};
+    queue_.insert(std::upper_bound(queue_.begin(), queue_.end(), entry, After),
+                  entry);
   }
 
   PolicyTask* PopMin() {
     if (queue_.empty()) {
       return nullptr;
     }
-    PolicyTask* task = queue_.begin()->second;
-    queue_.erase(queue_.begin());
-    keys_.erase(task);
+    PolicyTask* task = queue_.back().second;
+    queue_.pop_back();
     return task;
   }
 
-  PolicyTask* PeekMin() const { return queue_.empty() ? nullptr : queue_.begin()->second; }
+  PolicyTask* PeekMin() const {
+    return queue_.empty() ? nullptr : queue_.back().second;
+  }
 
   bool Remove(PolicyTask* task) {
-    auto it = keys_.find(task);
-    if (it == keys_.end()) {
+    const size_t index = IndexOf(task);
+    if (index == queue_.size()) {
       return false;
     }
-    const size_t erased = queue_.erase({it->second, task});
-    CHECK_EQ(erased, 1u);
-    keys_.erase(it);
+    queue_.erase(queue_.begin() + index);
     return true;
   }
 
-  bool Contains(PolicyTask* task) const { return keys_.count(task) > 0; }
+  bool Contains(PolicyTask* task) const { return IndexOf(task) != queue_.size(); }
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
-  void Clear() {
-    queue_.clear();
-    keys_.clear();
-  }
+  void Clear() { queue_.clear(); }
 
-  // In-order iteration (skip-scan support).
-  auto begin() const { return queue_.begin(); }
-  auto end() const { return queue_.end(); }
+  // In-order iteration, smallest key first (skip-scan support).
+  auto begin() const { return queue_.rbegin(); }
+  auto end() const { return queue_.rend(); }
 
  private:
-  struct Less {
-    bool operator()(const std::pair<int64_t, PolicyTask*>& a,
-                    const std::pair<int64_t, PolicyTask*>& b) const {
-      if (a.first != b.first) {
-        return a.first < b.first;
-      }
-      return a.second->tid < b.second->tid;
-    }
-  };
+  using Entry = std::pair<int64_t, PolicyTask*>;
 
-  std::set<std::pair<int64_t, PolicyTask*>, Less> queue_;
-  std::map<PolicyTask*, int64_t> keys_;
+  // Descending (key, tid) — a strict total order since tids are unique.
+  static bool After(const Entry& a, const Entry& b) {
+    if (a.first != b.first) {
+      return a.first > b.first;
+    }
+    return a.second->tid > b.second->tid;
+  }
+
+  // Index of `task`'s entry, or size() if absent. task->rq_key pins the
+  // binary-search position; a stale key on an unqueued task just misses.
+  size_t IndexOf(PolicyTask* task) const {
+    const Entry probe{task->rq_key, task};
+    auto it = std::lower_bound(queue_.begin(), queue_.end(), probe, After);
+    if (it != queue_.end() && it->second == task) {
+      return static_cast<size_t>(it - queue_.begin());
+    }
+    return queue_.size();
+  }
+
+  std::vector<Entry> queue_;
 };
 
 }  // namespace gs

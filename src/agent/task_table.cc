@@ -4,21 +4,21 @@
 
 namespace gs {
 
-PolicyTask* TaskTable::Find(int64_t tid) {
-  auto it = tasks_.find(tid);
-  return it == tasks_.end() ? nullptr : it->second.get();
-}
-
 PolicyTask* TaskTable::Add(int64_t tid) {
-  auto task = std::make_unique<PolicyTask>();
+  PolicyTask* task = slab_.New();
   task->tid = tid;
   task->affinity.SetAll();
-  PolicyTask* ptr = task.get();
-  tasks_[tid] = std::move(task);
-  return ptr;
+  by_tid_.Insert(tid, task);
+  return task;
 }
 
-void TaskTable::Remove(int64_t tid) { tasks_.erase(tid); }
+void TaskTable::Remove(int64_t tid) {
+  PolicyTask** slot = by_tid_.Find(tid);
+  if (slot != nullptr) {
+    slab_.Delete(*slot);
+    by_tid_.Erase(tid);
+  }
+}
 
 TaskTable::Event TaskTable::Apply(const Message& msg, PolicyTask** out) {
   *out = nullptr;

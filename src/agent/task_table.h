@@ -9,10 +9,10 @@
 #define GHOST_SIM_SRC_AGENT_TASK_TABLE_H_
 
 #include <cstdint>
-#include <map>
-#include <memory>
 
 #include "src/base/cpumask.h"
+#include "src/base/flat_map.h"
+#include "src/base/slab.h"
 #include "src/base/time.h"
 #include "src/ghost/message.h"
 
@@ -33,6 +33,10 @@ struct PolicyTask {
   // which priority tier does it belong to (0 = latency-critical).
   bool queued = false;
   int tier = 0;
+  // Key under which a MinRunqueue currently holds this task (written by
+  // MinRunqueue::Push, meaningful only while queued): lets Remove binary-
+  // search the flat queue instead of keeping a side map.
+  int64_t rq_key = 0;
   // Policy-specific payload (e.g. deadlines, per-query state).
   void* user = nullptr;
 };
@@ -52,18 +56,26 @@ class TaskTable {
   // (nullptr for CPU messages / already-dead threads).
   Event Apply(const Message& msg, PolicyTask** out);
 
-  PolicyTask* Find(int64_t tid);
+  // Policies call Find once per message and per commit attempt — tens of
+  // millions of times in a bench run — so the table is a flat hash over a
+  // slab rather than a std::map of unique_ptrs.
+  PolicyTask* Find(int64_t tid) {
+    PolicyTask** slot = by_tid_.Find(tid);
+    return slot == nullptr ? nullptr : *slot;
+  }
   PolicyTask* Add(int64_t tid);  // for Restore() paths
   void Remove(int64_t tid);
   // Drops every entry (Restore()/resync paths rebuild from a TaskDump).
   // Callers must first clear any runqueues holding PolicyTask pointers.
-  void Clear() { tasks_.clear(); }
-  size_t size() const { return tasks_.size(); }
-
-  std::map<int64_t, std::unique_ptr<PolicyTask>>& tasks() { return tasks_; }
+  void Clear() {
+    by_tid_.Clear();
+    slab_.Clear();
+  }
+  size_t size() const { return by_tid_.size(); }
 
  private:
-  std::map<int64_t, std::unique_ptr<PolicyTask>> tasks_;
+  Slab<PolicyTask> slab_;
+  TidMap<PolicyTask*> by_tid_;
 };
 
 }  // namespace gs

@@ -99,6 +99,21 @@ class CpuMask {
     return -1;
   }
 
+  CpuMask& operator&=(const CpuMask& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= other.words_[i];
+    }
+    return *this;
+  }
+
+  // this &= ~other, without materializing the complement.
+  CpuMask& AndNot(const CpuMask& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= ~other.words_[i];
+    }
+    return *this;
+  }
+
   CpuMask operator&(const CpuMask& other) const {
     CpuMask out;
     for (size_t i = 0; i < words_.size(); ++i) {

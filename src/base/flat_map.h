@@ -1,0 +1,147 @@
+// TidMap<V>: an open-addressing hash map from non-negative int64 ids (thread
+// ids, CPU ids) to small values (pointers), tuned for the simulation hot loop.
+//
+// std::map's red-black tree costs a pointer chase per level on every Find;
+// the enclave and policy task tables do tens of millions of lookups per
+// bench run. TidMap does one mixed hash plus a short linear probe over a
+// contiguous array — typically a single cache line.
+//
+// Deliberately minimal: keys must be >= 0 (negative keys are reserved as
+// empty markers), erase uses backward-shift deletion (no tombstones), and
+// iteration order is unspecified — callers that need deterministic order
+// keep a sorted side vector (see Enclave::tasks_by_tid_).
+#ifndef GHOST_SIM_SRC_BASE_FLAT_MAP_H_
+#define GHOST_SIM_SRC_BASE_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace gs {
+
+template <typename V>
+class TidMap {
+ public:
+  TidMap() { Rehash(kMinCapacity); }
+
+  void Insert(int64_t key, V value) {
+    DCHECK(key >= 0) << "TidMap keys must be non-negative";
+    if ((size_ + 1) * 4 >= capacity_ * 3) {
+      Rehash(capacity_ * 2);
+    }
+    size_t i = IndexFor(key);
+    while (keys_[i] >= 0) {
+      if (keys_[i] == key) {
+        values_[i] = std::move(value);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    values_[i] = std::move(value);
+    ++size_;
+  }
+
+  // Returns nullptr-equivalent (default V) semantics via pointer-to-slot:
+  // Find returns a pointer to the stored value, or nullptr if absent.
+  V* Find(int64_t key) {
+    size_t i = IndexFor(key);
+    while (keys_[i] >= 0) {
+      if (keys_[i] == key) {
+        return &values_[i];
+      }
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* Find(int64_t key) const {
+    return const_cast<TidMap*>(this)->Find(key);
+  }
+
+  bool Erase(int64_t key) {
+    size_t i = IndexFor(key);
+    while (keys_[i] >= 0) {
+      if (keys_[i] == key) {
+        RemoveAt(i);
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr int64_t kEmpty = -1;
+
+  static uint64_t Mix(uint64_t x) {
+    // splitmix64 finalizer: cheap and well-distributed for sequential tids.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  size_t IndexFor(int64_t key) const {
+    return static_cast<size_t>(Mix(static_cast<uint64_t>(key))) & mask_;
+  }
+
+  void RemoveAt(size_t hole) {
+    // Backward-shift deletion keeps probe chains contiguous without
+    // tombstones (which would degrade probes over a long run's churn).
+    size_t i = hole;
+    while (true) {
+      i = (i + 1) & mask_;
+      if (keys_[i] < 0) {
+        break;
+      }
+      const size_t home = IndexFor(keys_[i]);
+      // Move slot i into the hole if its home position does not sit
+      // (cyclically) after the hole — i.e. the probe chain would break.
+      const bool movable = ((i - home) & mask_) >= ((i - hole) & mask_);
+      if (movable) {
+        keys_[hole] = keys_[i];
+        values_[hole] = std::move(values_[i]);
+        hole = i;
+      }
+    }
+    keys_[hole] = kEmpty;
+    --size_;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    keys_.assign(capacity_, kEmpty);
+    values_.assign(capacity_, V{});
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] >= 0) {
+        Insert(old_keys[i], std::move(old_values[i]));
+      }
+    }
+  }
+
+  std::vector<int64_t> keys_;
+  std::vector<V> values_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_BASE_FLAT_MAP_H_

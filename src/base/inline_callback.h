@@ -1,10 +1,10 @@
-// InlineCallback: a move-only, type-erased `void()` callable with fixed
-// inline storage and NO heap fallback.
+// InlineFunction: a move-only, type-erased callable with fixed inline
+// storage and NO heap fallback. InlineCallback is its `void()` alias.
 //
 // The discrete-event engine dispatches hundreds of millions of callbacks per
 // run; wrapping each capture in a std::function means a heap allocation for
 // anything larger than the (small) libstdc++ SBO buffer, plus a pointer chase
-// on every invoke. InlineCallback stores the callable directly in the event
+// on every invoke. InlineFunction stores the callable directly in the owner's
 // slot instead. Oversized captures are a *compile error* — the static_assert
 // below is the proof that no schedule site in the tree allocates. If you hit
 // it, either shrink the capture (capture a pointer to long-lived state rather
@@ -19,37 +19,43 @@
 
 namespace gs {
 
-class InlineCallback {
+template <typename Signature>
+class InlineFunction;  // undefined primary; only R(Args...) is provided
+
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)> {
  public:
   // Sized to cover the largest capture in the tree (the fuzz-test chaos
   // lambda, 10 captured words) with a little headroom.
   static constexpr size_t kCapacity = 96;
 
-  InlineCallback() = default;
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   // Implicit so every existing `loop->ScheduleAfter(d, [..] {...})` call site
   // keeps working unchanged.
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, InlineCallback>>>
-  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     static_assert(sizeof(Fn) <= kCapacity,
-                  "capture too large for InlineCallback inline storage: "
+                  "capture too large for InlineFunction inline storage: "
                   "capture pointers to long-lived state instead of copies, "
-                  "or bump InlineCallback::kCapacity");
+                  "or bump InlineFunction::kCapacity");
     static_assert(alignof(Fn) <= alignof(std::max_align_t),
                   "over-aligned capture not supported");
     static_assert(std::is_nothrow_move_constructible_v<Fn>,
-                  "callable must be nothrow-move-constructible (event slots "
-                  "move when the slab grows)");
+                  "callable must be nothrow-move-constructible (slots move "
+                  "when the owning slab grows)");
     new (storage_) Fn(std::forward<F>(fn));
     invoke_ = &InvokeImpl<Fn>;
     manage_ = &ManageImpl<Fn>;
   }
 
-  InlineCallback(InlineCallback&& other) noexcept { MoveFrom(other); }
-  InlineCallback& operator=(InlineCallback&& other) noexcept {
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
     if (this != &other) {
       Reset();
       MoveFrom(other);
@@ -57,14 +63,19 @@ class InlineCallback {
     return *this;
   }
 
-  InlineCallback(const InlineCallback&) = delete;
-  InlineCallback& operator=(const InlineCallback&) = delete;
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
 
-  ~InlineCallback() { Reset(); }
+  ~InlineFunction() { Reset(); }
 
   explicit operator bool() const { return invoke_ != nullptr; }
 
-  void operator()() { invoke_(storage_); }
+  // Const like std::function: the held callable is logically part of the
+  // function value, and call sites pass `const InlineFunction&` through
+  // plumbing that never reassigns it.
+  R operator()(Args... args) const {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
 
   // Destroys the held callable (releasing its captures) and becomes empty.
   void Reset() {
@@ -77,12 +88,13 @@ class InlineCallback {
 
  private:
   enum class Op { kDestroy, kMoveAndDestroy };
-  using InvokeFn = void (*)(void*);
+  using InvokeFn = R (*)(void*, Args&&...);
   using ManageFn = void (*)(Op, void* src, void* dst);
 
   template <typename Fn>
-  static void InvokeImpl(void* storage) {
-    (*std::launder(reinterpret_cast<Fn*>(storage)))();
+  static R InvokeImpl(void* storage, Args&&... args) {
+    return (*std::launder(reinterpret_cast<Fn*>(storage)))(
+        std::forward<Args>(args)...);
   }
 
   template <typename Fn>
@@ -94,7 +106,7 @@ class InlineCallback {
     fn->~Fn();
   }
 
-  void MoveFrom(InlineCallback& other) noexcept {
+  void MoveFrom(InlineFunction& other) noexcept {
     invoke_ = other.invoke_;
     manage_ = other.manage_;
     if (manage_ != nullptr) {
@@ -104,10 +116,12 @@ class InlineCallback {
     other.manage_ = nullptr;
   }
 
-  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  alignas(std::max_align_t) mutable unsigned char storage_[kCapacity];
   InvokeFn invoke_ = nullptr;
   ManageFn manage_ = nullptr;
 };
+
+using InlineCallback = InlineFunction<void()>;
 
 }  // namespace gs
 

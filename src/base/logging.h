@@ -70,4 +70,27 @@ struct Voidify {
 #define CHECK_GT(a, b) CHECK_OP(a, b, >)
 #define CHECK_GE(a, b) CHECK_OP(a, b, >=)
 
+// Debug-only checks for hot-path invariants: active in Debug builds (and the
+// sanitizer CI jobs), compiled out under NDEBUG so per-event accessors cost
+// nothing in benchmark builds. The condition is still compiled (no unused-
+// variable surprises), just never evaluated.
+#ifndef NDEBUG
+#define DCHECK(cond) CHECK(cond)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#else
+#define DCHECK(cond) \
+  while (false) CHECK(cond)
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#endif
+
 #endif  // GHOST_SIM_SRC_BASE_LOGGING_H_

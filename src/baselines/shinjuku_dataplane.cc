@@ -1,8 +1,18 @@
 #include "src/baselines/shinjuku_dataplane.h"
 
-#include <memory>
-
 namespace gs {
+
+namespace {
+
+// Self-rearming spin burst (replaces the leaky shared_ptr<std::function>
+// self-capture; see BatchApp::SpinForever for the pattern).
+void SpinForever(Kernel* kernel, Task* task) {
+  kernel->StartBurst(task, Milliseconds(10), [kernel](Task* t) {
+    SpinForever(kernel, t);
+  });
+}
+
+}  // namespace
 
 ShinjukuDataplane::ShinjukuDataplane(Kernel* kernel, AgentClass* agent_class,
                                      Options options)
@@ -19,10 +29,7 @@ ShinjukuDataplane::ShinjukuDataplane(Kernel* kernel, AgentClass* agent_class,
     Task* spinner = kernel_->CreateTask("shinjuku-spin/" + std::to_string(cpu),
                                         agent_class);
     agent_class->RegisterAgent(cpu, spinner);
-    auto loop = std::make_shared<std::function<void(Task*)>>();
-    Kernel* k = kernel_;
-    *loop = [k, loop](Task* t) { k->StartBurst(t, Milliseconds(10), *loop); };
-    kernel_->StartBurst(spinner, Milliseconds(10), *loop);
+    SpinForever(kernel_, spinner);
     kernel_->Wake(spinner);
   }
 }

@@ -68,6 +68,8 @@ Enclave::Enclave(Kernel* kernel, GhostClass* ghost_class, AgentClass* agent_clas
       cpus_(cpus),
       config_(config) {
   CHECK(!cpus_.Empty());
+  cpu_queues_.assign(kernel_->topology().num_cpus(), nullptr);
+  agents_.assign(kernel_->topology().num_cpus(), nullptr);
 
   StatsRegistry& stats = *kernel_->stats();
   for (int t = 0; t <= static_cast<int>(MessageType::kAgentWakeup); ++t) {
@@ -115,7 +117,7 @@ void Enclave::WatchdogScan() {
     return;
   }
   const Time now = kernel_->now();
-  for (const auto& [tid, gt] : tasks_) {
+  for (const GhostTask* gt : tasks_by_tid_) {
     const Task* task = gt->task;
     // A thread's wait is measured from the later of its wakeup and the last
     // agent handoff (registration / queue resync): a freshly installed agent
@@ -152,8 +154,8 @@ void Enclave::Destroy() {
   // Every managed thread falls back to the default scheduler (CFS). Collect
   // first: SetSchedClass mutates tasks_ via OnTaskDeparted.
   std::vector<Task*> managed;
-  managed.reserve(tasks_.size());
-  for (const auto& [tid, gt] : tasks_) {
+  managed.reserve(tasks_by_tid_.size());
+  for (const GhostTask* gt : tasks_by_tid_) {
     managed.push_back(gt->task);
   }
   for (Task* task : managed) {
@@ -162,11 +164,15 @@ void Enclave::Destroy() {
   CHECK_EQ(num_tasks(), 0);
 
   // Kill the agents.
-  for (const auto& [cpu, agent] : agents_) {
+  for (int cpu = 0; cpu < static_cast<int>(agents_.size()); ++cpu) {
+    Task* agent = agents_[cpu];
+    if (agent == nullptr) {
+      continue;
+    }
     kernel_->Kill(agent);
     agent_class_->UnregisterAgent(cpu, agent);
+    agents_[cpu] = nullptr;
   }
-  agents_.clear();
   poll_waiters_.clear();
 
   ghost_class_->RemoveEnclave(this);
@@ -180,13 +186,20 @@ void Enclave::Destroy() {
 void Enclave::AddTask(Task* task) {
   CHECK(!destroyed_);
   CHECK(task->ghost_state() == nullptr) << task->name() << " already in an enclave";
-  auto gt = std::make_unique<GhostTask>();
+  GhostTask* gt = task_slab_.New();
   gt->task = task;
   gt->enclave = this;
   gt->queue = default_queue_;
   gt->gen = next_task_gen_++;
-  task->set_ghost_state(gt.get());
-  tasks_[task->tid()] = std::move(gt);
+  task->set_ghost_state(gt);
+  task_by_tid_.Insert(task->tid(), gt);
+  // Keep the deterministic-iteration view sorted by tid (tids are usually
+  // inserted in increasing order, so this is normally a push_back).
+  auto pos = std::lower_bound(tasks_by_tid_.begin(), tasks_by_tid_.end(), gt,
+                              [](const GhostTask* a, const GhostTask* b) {
+                                return a->task->tid() < b->task->tid();
+                              });
+  tasks_by_tid_.insert(pos, gt);
   kernel_->SetSchedClass(task, ghost_class_);
 }
 
@@ -195,9 +208,16 @@ void Enclave::RemoveTask(Task* task) {
   kernel_->SetSchedClass(task, kernel_->default_class());
 }
 
-GhostTask* Enclave::Find(int64_t tid) {
-  auto it = tasks_.find(tid);
-  return it == tasks_.end() ? nullptr : it->second.get();
+void Enclave::EraseTask(GhostTask* gt) {
+  const int64_t tid = gt->task->tid();
+  task_by_tid_.Erase(tid);
+  auto pos = std::lower_bound(tasks_by_tid_.begin(), tasks_by_tid_.end(), gt,
+                              [](const GhostTask* a, const GhostTask* b) {
+                                return a->task->tid() < b->task->tid();
+                              });
+  CHECK(pos != tasks_by_tid_.end() && *pos == gt);
+  tasks_by_tid_.erase(pos);
+  task_slab_.Delete(gt);
 }
 
 const TaskStatusWord* Enclave::task_status(int64_t tid) {
@@ -207,10 +227,10 @@ const TaskStatusWord* Enclave::task_status(int64_t tid) {
 
 std::vector<Enclave::TaskInfo> Enclave::TaskDump() const {
   std::vector<TaskInfo> dump;
-  dump.reserve(tasks_.size());
-  for (const auto& [tid, gt] : tasks_) {
+  dump.reserve(tasks_by_tid_.size());
+  for (const GhostTask* gt : tasks_by_tid_) {
     TaskInfo info;
-    info.tid = tid;
+    info.tid = gt->task->tid();
     info.runnable = gt->status.runnable;
     info.on_cpu = gt->status.on_cpu;
     info.cpu = gt->status.cpu;
@@ -232,10 +252,10 @@ MessageQueue* Enclave::CreateQueue(size_t capacity) {
 
 void Enclave::DestroyQueue(MessageQueue* queue) {
   CHECK_NE(queue, default_queue_) << "cannot destroy the default queue";
-  for (const auto& [tid, gt] : tasks_) {
+  for (const GhostTask* gt : tasks_by_tid_) {
     CHECK(gt->queue != queue) << "queue still has associated threads";
   }
-  for (auto& [cpu, q] : cpu_queues_) {
+  for (MessageQueue*& q : cpu_queues_) {
     if (q == queue) {
       q = default_queue_;
     }
@@ -268,6 +288,7 @@ void Enclave::ConfigQueueWakeup(MessageQueue* queue, Task* agent) {
 
 void Enclave::SetCpuQueue(int cpu, MessageQueue* queue) {
   CHECK(cpus_.IsSet(cpu));
+  CHECK_LT(cpu, static_cast<int>(cpu_queues_.size()));
   cpu_queues_[cpu] = queue;
 }
 
@@ -290,7 +311,7 @@ void Enclave::FlushAllQueues() {
     while (queue->Pop().has_value()) {
     }
   }
-  for (auto& [tid, gt] : tasks_) {
+  for (GhostTask* gt : tasks_by_tid_) {
     gt->pending_msgs = 0;
     gt->resync = false;
   }
@@ -324,11 +345,9 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
     msg.affinity = gt->task->affinity();
     msg.runnable = gt->status.runnable;
     queue = gt->queue;
-  } else {
-    auto it = cpu_queues_.find(cpu);
-    if (it != cpu_queues_.end()) {
-      queue = it->second;
-    }
+  } else if (cpu >= 0 && cpu < static_cast<int>(cpu_queues_.size()) &&
+             cpu_queues_[cpu] != nullptr) {
+    queue = cpu_queues_[cpu];
   }
 
   // Recoverable overflow (§3.1/§3.4): a full queue — or injected overflow
@@ -370,15 +389,35 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
     // contents no longer reflect the world, so any in-flight commit built on
     // the pre-drop view must fail kEStale rather than act on a stale task
     // set. (The drop itself is surfaced via the overflow/resync flags.)
-    ++agent_status_[agent].aseq;
+    ++StatusFor(agent).aseq;
     if (agent->state() == TaskState::kBlocked) {
+      // Batched delivery: messages landing on this queue within one dispatch
+      // batch (same virtual instant, same wakeup delay) share one wakeup
+      // event — the producer-side mirror of the paper's group commit. The
+      // armed event fires at the exact time the first message's wakeup would
+      // have; the later per-message wakeups it replaces were provably no-ops
+      // (the agent is already awake at that instant and, with context-switch
+      // costs > 0, cannot have re-blocked within it). Coalescing requires
+      // delay > 0: equality of a *future* fire time proves the armed event
+      // has not fired yet. At delay == 0 (zero-cost models, e.g. the
+      // explorer's adversarial CostModel) the armed event may already have
+      // fired — and the agent re-blocked — within this same instant, so
+      // every post schedules its own idempotent wakeup, the pre-batching
+      // behavior the schedule-space explorer verified.
       const Duration delay = kernel_->cost().msg_produce + kernel_->cost().agent_wakeup;
-      Kernel* kernel = kernel_;
-      kernel_->loop()->ScheduleAfter(delay, [kernel, agent] {
-        if (agent->state() == TaskState::kBlocked) {
-          kernel->Wake(agent);
-        }
-      }, MakeSchedTag(SchedTagKind::kQueue, queue->id()));
+      const Time fire_at = kernel_->now() + delay;
+      if (delay > 0 && queue->armed_wakeup_at() == fire_at) {
+        ++queue_wakeups_coalesced_;
+      } else {
+        queue->set_armed_wakeup_at(fire_at);
+        ++queue_wakeups_scheduled_;
+        Kernel* kernel = kernel_;
+        kernel_->loop()->ScheduleAfter(delay, [kernel, agent] {
+          if (agent->state() == TaskState::kBlocked) {
+            kernel->Wake(agent);
+          }
+        }, MakeSchedTag(SchedTagKind::kQueue, queue->id()));
+      }
     }
   }
   PokePollWaiters();
@@ -386,22 +425,34 @@ void Enclave::Post(GhostTask* gt, MessageType type, int cpu) {
 
 // ---- Agents --------------------------------------------------------------------
 
+AgentStatusWord& Enclave::StatusFor(Task* agent) {
+  AgentStatusWord** slot = agent_status_by_tid_.Find(agent->tid());
+  if (slot != nullptr) {
+    return **slot;
+  }
+  agent_status_storage_.emplace_back();
+  AgentStatusWord* status = &agent_status_storage_.back();
+  agent_status_by_tid_.Insert(agent->tid(), status);
+  return *status;
+}
+
 void Enclave::RegisterAgentTask(int cpu, Task* agent) {
   CHECK(cpus_.IsSet(cpu)) << "CPU " << cpu << " not in enclave";
+  CHECK_LT(cpu, static_cast<int>(agents_.size()));
   // Agent handoff: runnable-wait accounting restarts so the watchdog does
   // not charge the new agent for its predecessor's backlog.
   watchdog_reset_ = kernel_->now();
   agents_[cpu] = agent;
-  AgentStatusWord& status = agent_status_[agent];
+  AgentStatusWord& status = StatusFor(agent);
   status.cpu = cpu;
   status.active = true;
   agent_class_->RegisterAgent(cpu, agent);
 }
 
 void Enclave::UnregisterAgentTask(int cpu, Task* agent) {
-  auto it = agents_.find(cpu);
-  if (it != agents_.end() && it->second == agent) {
-    agents_.erase(it);
+  if (cpu >= 0 && cpu < static_cast<int>(agents_.size()) &&
+      agents_[cpu] == agent) {
+    agents_[cpu] = nullptr;
     agent_class_->UnregisterAgent(cpu, agent);
     // The departing agent's in-flight transactions die with it (§3.4): its
     // txn region is torn down, so a latch it committed but that has not yet
@@ -416,14 +467,7 @@ void Enclave::UnregisterAgentTask(int cpu, Task* agent) {
   UnregisterPollWaiter(agent);
 }
 
-Task* Enclave::AgentOnCpu(int cpu) const {
-  auto it = agents_.find(cpu);
-  return it == agents_.end() ? nullptr : it->second;
-}
-
-AgentStatusWord& Enclave::agent_status(Task* agent) { return agent_status_[agent]; }
-
-void Enclave::RegisterPollWaiter(Task* agent, std::function<void()> poke) {
+void Enclave::RegisterPollWaiter(Task* agent, InlineFunction<void()> poke) {
   poll_waiters_.emplace_back(agent, std::move(poke));
 }
 
@@ -438,10 +482,11 @@ void Enclave::PokePollWaiters() {
   if (poll_waiters_.empty()) {
     return;
   }
-  // Single-shot: a poked spinner re-registers when it next runs dry.
-  std::vector<std::pair<Task*, std::function<void()>>> waiters;
-  waiters.swap(poll_waiters_);
-  for (auto& [agent, poke] : waiters) {
+  // Single-shot: a poked spinner re-registers when it next runs dry. The
+  // scratch vector is a member so the swap dance does not allocate per poke.
+  poll_scratch_.clear();
+  poll_scratch_.swap(poll_waiters_);
+  for (auto& [agent, poke] : poll_scratch_) {
     poke();
   }
 }
@@ -461,12 +506,14 @@ TxnStatus Enclave::Validate(const Transaction& txn, Task* agent) {
   if (injector != nullptr && injector->OnTxnValidate(txn.target_cpu, txn.tid)) {
     return TxnStatus::kEStale;
   }
-  if (agent != nullptr && agent_status_.find(agent) == agent_status_.end()) {
-    return TxnStatus::kENoAgent;
-  }
-  if (txn.expected_aseq.has_value() && agent != nullptr &&
-      *txn.expected_aseq != agent_status_[agent].aseq) {
-    return TxnStatus::kEStale;
+  if (agent != nullptr) {
+    const AgentStatusWord* status = FindStatus(agent);
+    if (status == nullptr) {
+      return TxnStatus::kENoAgent;
+    }
+    if (txn.expected_aseq.has_value() && *txn.expected_aseq != status->aseq) {
+      return TxnStatus::kEStale;
+    }
   }
   if (ghost_class_->LatchPending(txn.target_cpu)) {
     return TxnStatus::kETxnPending;
@@ -580,7 +627,7 @@ void Enclave::LatchDeliver(Transaction* txn, Task* agent, Duration delay) {
 }
 
 void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
-                         const std::function<Duration(int)>& agent_side_delay) {
+                         const InlineFunction<Duration(int)>& agent_side_delay) {
   if (!txns.empty()) {
     stat_group_commit_size_->Observe(static_cast<int64_t>(txns.size()));
   }
@@ -603,7 +650,8 @@ void Enclave::TxnsCommit(std::span<Transaction*> txns, Task* agent,
   // untouched. Side effects that escape the commit call (enable-IPIs,
   // forced-idle markers) are deferred to a deliver phase that runs only once
   // the whole group has latched, so a rollback never has to chase an IPI.
-  std::vector<bool> handled(txns.size(), false);
+  txn_handled_scratch_.assign(txns.size(), false);
+  std::vector<bool>& handled = txn_handled_scratch_;
   for (auto& [group, members] : sync_groups) {
     std::vector<TxnStatus> statuses(members.size());
     std::set<int> group_cpus;
@@ -714,7 +762,7 @@ size_t Enclave::QueuedMessages() const {
 
 int Enclave::PendingTaskMessages() const {
   int total = 0;
-  for (const auto& [tid, gt] : tasks_) {
+  for (const GhostTask* gt : tasks_by_tid_) {
     total += gt->pending_msgs;
   }
   return total;
@@ -748,7 +796,7 @@ void Enclave::OnTaskPutPrev(Task* task, int cpu, PutPrevReason reason) {
     case PutPrevReason::kExited:
       Post(gt, MessageType::kTaskDead, cpu);
       task->set_ghost_state(nullptr);
-      tasks_.erase(task->tid());
+      EraseTask(gt);
       break;
   }
 }
@@ -762,7 +810,7 @@ void Enclave::OnTaskDeparted(Task* task) {
   CHECK(gt != nullptr);
   Post(gt, MessageType::kTaskDeparted, -1);
   task->set_ghost_state(nullptr);
-  tasks_.erase(task->tid());
+  EraseTask(gt);
 }
 
 void Enclave::OnTaskStarted(Task* task, int cpu) {

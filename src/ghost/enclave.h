@@ -17,14 +17,17 @@
 #ifndef GHOST_SIM_SRC_GHOST_ENCLAVE_H_
 #define GHOST_SIM_SRC_GHOST_ENCLAVE_H_
 
+#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "src/base/cpumask.h"
+#include "src/base/flat_map.h"
 #include "src/base/histogram.h"
+#include "src/base/inline_callback.h"
+#include "src/base/slab.h"
 #include "src/ghost/fastpath.h"
 #include "src/ghost/ghost_task.h"
 #include "src/ghost/message_queue.h"
@@ -75,9 +78,12 @@ class Enclave {
   // Moves a thread back to CFS (posts a departed message).
   void RemoveTask(Task* task);
 
-  GhostTask* Find(int64_t tid);
+  GhostTask* Find(int64_t tid) {
+    GhostTask** slot = task_by_tid_.Find(tid);
+    return slot == nullptr ? nullptr : *slot;
+  }
   const TaskStatusWord* task_status(int64_t tid);
-  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_tasks() const { return static_cast<int>(tasks_by_tid_.size()); }
 
   // Snapshot of all thread state, used by a replacement agent to resume
   // scheduling after an in-place upgrade (§3.4).
@@ -134,18 +140,21 @@ class Enclave {
   // Registers `agent` as the agent thread for `cpu` (pins it, top priority).
   void RegisterAgentTask(int cpu, Task* agent);
   void UnregisterAgentTask(int cpu, Task* agent);
-  Task* AgentOnCpu(int cpu) const;
-  AgentStatusWord& agent_status(Task* agent);
+  Task* AgentOnCpu(int cpu) const {
+    return cpu >= 0 && cpu < static_cast<int>(agents_.size()) ? agents_[cpu]
+                                                              : nullptr;
+  }
+  AgentStatusWord& agent_status(Task* agent) { return StatusFor(agent); }
   // Userspace notification for a *running* sibling agent: bumps its aseq so
   // the check-then-sleep protocol in the agent runtime sees that work was
   // queued for it mid-iteration and re-runs instead of blocking. (A blocked
   // sibling is woken directly; this covers the other half of that race.)
-  void PokeAgent(Task* agent) { ++agent_status_[agent].aseq; }
+  void PokeAgent(Task* agent) { ++StatusFor(agent).aseq; }
 
   // A spinning agent with nothing to do registers a single-shot poke,
   // modelling "the global agent notices new state within its poll
   // granularity". Fired on message posts and enclave-CPU idle transitions.
-  void RegisterPollWaiter(Task* agent, std::function<void()> poke);
+  void RegisterPollWaiter(Task* agent, InlineFunction<void()> poke);
   void UnregisterPollWaiter(Task* agent);
   // Monotonic counter of poke-worthy events (message posts, idle
   // transitions). A spinner that saw epoch E at iteration start must re-run
@@ -159,7 +168,7 @@ class Enclave {
   // from its cost ledger). Local commits (target == agent's CPU) latch
   // immediately and take effect when the agent yields.
   void TxnsCommit(std::span<Transaction*> txns, Task* agent,
-                  const std::function<Duration(int)>& agent_side_delay);
+                  const InlineFunction<Duration(int)>& agent_side_delay);
 
   // ---- Fast path --------------------------------------------------------------------
   void InstallFastPath(std::shared_ptr<RingFastPath> fastpath) {
@@ -194,6 +203,10 @@ class Enclave {
   uint64_t messages_posted() const { return messages_posted_; }
   uint64_t txns_committed() const { return txns_committed_; }
   uint64_t txns_failed() const { return txns_failed_; }
+  // Batched-delivery introspection: wakeup events actually armed vs. posts
+  // that rode an already-armed event (same queue, same fire instant).
+  uint64_t queue_wakeups_scheduled() const { return queue_wakeups_scheduled_; }
+  uint64_t queue_wakeups_coalesced() const { return queue_wakeups_coalesced_; }
   // Wakeup-to-running latency of managed threads, recorded kernel-side at
   // every dispatch — the end-to-end cost of the delegation machinery.
   const Histogram& sched_latency() const { return sched_latency_; }
@@ -218,6 +231,15 @@ class Enclave {
   void ScheduleWatchdog();
   void WatchdogScan();
   void PokePollWaiters();
+  // Removes `gt` from the tid table and the sorted view, then recycles it.
+  void EraseTask(GhostTask* gt);
+  // Find-or-create: agent status words live in a stable deque and are looked
+  // up through the open-addressing tid table (hot: every post and poke).
+  AgentStatusWord& StatusFor(Task* agent);
+  AgentStatusWord* FindStatus(Task* agent) {
+    AgentStatusWord** slot = agent_status_by_tid_.Find(agent->tid());
+    return slot == nullptr ? nullptr : *slot;
+  }
 
   Kernel* kernel_;
   GhostClass* ghost_class_;
@@ -227,17 +249,29 @@ class Enclave {
   bool destroyed_ = false;
   std::function<void()> destroy_listener_;
 
-  std::map<int64_t, std::unique_ptr<GhostTask>> tasks_;
+  // Managed threads: slab-allocated GhostTask records (O(1) pooled churn),
+  // an open-addressing tid table for the hot Find(), and a tid-sorted view
+  // for the iteration sites that must stay deterministic (watchdog scan,
+  // TaskDump, destroy).
+  Slab<GhostTask> task_slab_;
+  TidMap<GhostTask*> task_by_tid_;
+  std::vector<GhostTask*> tasks_by_tid_;
   uint64_t next_task_gen_ = 1;
 
   std::vector<std::unique_ptr<MessageQueue>> queues_;
   MessageQueue* default_queue_ = nullptr;
   int next_queue_id_ = 1;
-  std::map<int, MessageQueue*> cpu_queues_;  // TIMER_TICK routing
+  std::vector<MessageQueue*> cpu_queues_;  // TIMER_TICK routing, by CPU
 
-  std::map<int, Task*> agents_;  // cpu -> agent task
-  std::map<Task*, AgentStatusWord> agent_status_;
-  std::vector<std::pair<Task*, std::function<void()>>> poll_waiters_;
+  std::vector<Task*> agents_;  // agent task by CPU (nullptr = none)
+  // Status words need stable addresses (tasks hold no back-pointer); the
+  // deque owns them, the tid table is the lookup path.
+  std::deque<AgentStatusWord> agent_status_storage_;
+  TidMap<AgentStatusWord*> agent_status_by_tid_;
+  std::vector<std::pair<Task*, InlineFunction<void()>>> poll_waiters_;
+  // Swap target for PokePollWaiters: keeps both vectors' capacity across
+  // iterations instead of reallocating per poke round.
+  std::vector<std::pair<Task*, InlineFunction<void()>>> poll_scratch_;
   uint64_t poke_epoch_ = 0;
 
   std::shared_ptr<RingFastPath> fastpath_;
@@ -255,6 +289,10 @@ class Enclave {
   bool overflow_pending_ = false;
   uint64_t txns_committed_ = 0;
   uint64_t txns_failed_ = 0;
+  uint64_t queue_wakeups_scheduled_ = 0;
+  uint64_t queue_wakeups_coalesced_ = 0;
+  // Per-commit scratch (TxnsCommit is once per agent iteration).
+  std::vector<bool> txn_handled_scratch_;
   Histogram sched_latency_;
 
   // Hot-path metrics (global registry; pointers cached at construction).

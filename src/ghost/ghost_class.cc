@@ -52,6 +52,7 @@ void GhostClass::LatchTask(int cpu, Task* task, bool enabled) {
   Latch& latch = latches_[cpu];
   CHECK(latch.task == nullptr) << "CPU " << cpu << " already has a pending transaction";
   latch.task = task;
+  latched_.Set(cpu);
   latch.enabled = enabled;
   latch.forced_idle = false;
   StateOf(task)->latched_cpu = cpu;
@@ -78,6 +79,7 @@ void GhostClass::ClearLatch(int cpu) {
   if (latch.task != nullptr) {
     StateOf(latch.task)->latched_cpu = -1;
     latch.task = nullptr;
+    latched_.Clear(cpu);
   }
   latch.enabled = false;
 }

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "src/base/cpumask.h"
 #include "src/kernel/sched_class.h"
 
 namespace gs {
@@ -46,6 +47,9 @@ class GhostClass : public SchedClass {
 
   // A CPU is available for a new transaction if no latch is pending there.
   bool LatchPending(int cpu) const { return latches_[cpu].task != nullptr; }
+  // All latch-pending CPUs as a mask (kept in sync by LatchTask/ClearLatch):
+  // lets AvailableCpus() subtract them with word ops instead of a per-CPU scan.
+  const CpuMask& latched_cpus() const { return latched_; }
 
   // ---- SchedClass ----------------------------------------------------------------
   void TaskNew(Task* task) override;
@@ -77,6 +81,7 @@ class GhostClass : public SchedClass {
   std::vector<Enclave*> enclaves_;
   std::vector<Enclave*> cpu_owner_;
   std::vector<Latch> latches_;
+  CpuMask latched_;  // bit set iff latches_[cpu].task != nullptr
   uint64_t fastpath_picks_ = 0;
   bool test_unsafe_fastpath_ = false;
 };

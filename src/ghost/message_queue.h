@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "src/base/spsc_ring.h"
+#include "src/base/time.h"
 #include "src/ghost/message.h"
 
 namespace gs {
@@ -42,11 +43,23 @@ class MessageQueue {
   void NoteOverflow() { ++overflows_; }
   uint64_t overflows() const { return overflows_; }
 
+  // Batched-delivery bookkeeping (producer side, mirrors group commit): the
+  // virtual time at which the most recently armed wakeup event for this
+  // queue will fire. Messages posted within the same event-loop dispatch
+  // batch (same virtual instant, same wakeup delay) ride the already-armed
+  // event instead of scheduling their own — one wakeup per batch. Wakeups
+  // are idempotent ("wake if blocked"), and within one instant a just-woken
+  // agent cannot have re-blocked (context switches cost > 0), so coalescing
+  // is observationally identical to one event per message.
+  Time armed_wakeup_at() const { return armed_wakeup_at_; }
+  void set_armed_wakeup_at(Time t) { armed_wakeup_at_ = t; }
+
  private:
   const int id_;
   SpscRing<Message> ring_;
   Task* wakeup_agent_ = nullptr;
   uint64_t overflows_ = 0;
+  Time armed_wakeup_at_ = -1;
 };
 
 }  // namespace gs

@@ -54,17 +54,18 @@ void CfsClass::Enqueue(int cpu, Task* task) {
                     << " rq=" << st.rq_cpu << " dst=" << cpu;
   st.queued = true;
   st.rq_cpu = cpu;
-  rqs_[cpu].queue.insert({st.vruntime, task});
+  rqs_[cpu].Insert({st.vruntime, task});
+  ++total_queued_;
 }
 
 void CfsClass::Dequeue(int cpu, Task* task) {
   CfsTaskState& st = task->cfs();
   CHECK(st.queued) << task->name();
   CHECK_EQ(st.rq_cpu, cpu);
-  const size_t erased = rqs_[cpu].queue.erase({st.vruntime, task});
-  CHECK_EQ(erased, 1u) << task->name();
+  rqs_[cpu].Erase({st.vruntime, task});
   st.queued = false;
   st.rq_cpu = -1;
+  --total_queued_;
 }
 
 int CfsClass::SelectCpu(Task* task) const {
@@ -176,7 +177,7 @@ void CfsClass::ChargeVruntime(Task* task, int cpu) {
     Rq& rq = rqs_[cpu];
     int64_t clock = st.vruntime;
     if (!rq.queue.empty()) {
-      clock = std::min(clock, rq.queue.begin()->first);
+      clock = std::min(clock, rq.queue.front().first);
     }
     rq.min_vruntime = std::max(rq.min_vruntime, clock);
   }
@@ -213,15 +214,19 @@ Task* CfsClass::PickNext(int cpu) {
       return nullptr;
     }
   }
-  auto it = rq.queue.begin();
-  Task* task = it->second;
-  rq.min_vruntime = std::max(rq.min_vruntime, it->first);
+  const auto [vruntime, task] = rq.queue.front();
+  rq.min_vruntime = std::max(rq.min_vruntime, vruntime);
   Dequeue(cpu, task);
   task->cfs().charged_runtime = task->total_runtime();  // start of charge window
   return task;
 }
 
 Task* CfsClass::PullOne(int cpu) {
+  if (total_queued_ == 0) {
+    // Nothing queued anywhere — the common case on a machine whose load runs
+    // under another class. Skip the all-rq scan entirely.
+    return nullptr;
+  }
   // Find the busiest runqueue with a stealable (affinity-compatible) task.
   int busiest = -1;
   size_t busiest_depth = 0;
@@ -284,12 +289,16 @@ void CfsClass::TaskTick(int cpu, Task* current) {
     rq.ticks_since_balance = 0;
     // Periodic balance: if this CPU is much less loaded than the busiest,
     // pull one task over (ms-scale, like Linux's rebalance_domains()).
-    size_t max_depth = 0;
-    for (const Rq& other : rqs_) {
-      max_depth = std::max(max_depth, other.queue.size());
-    }
-    if (max_depth >= rq.queue.size() + 2) {
-      PullOne(cpu);
+    // total_queued_ bounds max_depth, so a lightly loaded class skips the
+    // all-rq scan.
+    if (total_queued_ >= rq.queue.size() + 2) {
+      size_t max_depth = 0;
+      for (const Rq& other : rqs_) {
+        max_depth = std::max(max_depth, other.queue.size());
+      }
+      if (max_depth >= rq.queue.size() + 2) {
+        PullOne(cpu);
+      }
     }
   }
 }

@@ -16,9 +16,11 @@
 #ifndef GHOST_SIM_SRC_KERNEL_CFS_H_
 #define GHOST_SIM_SRC_KERNEL_CFS_H_
 
-#include <set>
+#include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "src/base/logging.h"
 #include "src/kernel/sched_class.h"
 
 namespace gs {
@@ -56,21 +58,39 @@ class CfsClass : public SchedClass {
   static int64_t NiceToWeight(int nice);
 
  private:
-  struct Rq {
-    // Ordered by (vruntime, tid) — leftmost is next. The tid tie-break keeps
-    // ordering independent of Task allocation addresses.
-    struct ByVruntimeTid {
-      bool operator()(const std::pair<int64_t, Task*>& a,
-                      const std::pair<int64_t, Task*>& b) const {
-        if (a.first != b.first) {
-          return a.first < b.first;
-        }
-        return a.second->tid() < b.second->tid();
+  // Ordered by (vruntime, tid) — leftmost is next. The tid tie-break keeps
+  // ordering independent of Task allocation addresses.
+  struct ByVruntimeTid {
+    bool operator()(const std::pair<int64_t, Task*>& a,
+                    const std::pair<int64_t, Task*>& b) const {
+      if (a.first != b.first) {
+        return a.first < b.first;
       }
-    };
-    std::set<std::pair<int64_t, Task*>, ByVruntimeTid> queue;
+      return a.second->tid() < b.second->tid();
+    }
+  };
+
+  struct Rq {
+    // A flat sorted vector instead of std::set: per-CPU depth is small (a
+    // handful of tasks), so a shift of a few contiguous pairs beats a
+    // red-black rebalance plus node malloc/free on every enqueue/dequeue,
+    // and the leftmost pick is a front() read.
+    std::vector<std::pair<int64_t, Task*>> queue;
     int64_t min_vruntime = 0;
     int ticks_since_balance = 0;
+
+    void Insert(std::pair<int64_t, Task*> entry) {
+      queue.insert(std::lower_bound(queue.begin(), queue.end(), entry,
+                                    ByVruntimeTid()),
+                   entry);
+    }
+    void Erase(std::pair<int64_t, Task*> entry) {
+      auto it = std::lower_bound(queue.begin(), queue.end(), entry,
+                                 ByVruntimeTid());
+      CHECK(it != queue.end() && it->second == entry.second)
+          << entry.second->name() << " not on rq";
+      queue.erase(it);
+    }
   };
 
   void Enqueue(int cpu, Task* task);
@@ -91,6 +111,10 @@ class CfsClass : public SchedClass {
 
   Params params_;
   std::vector<Rq> rqs_;
+  // Tasks queued across all rqs. Guards the balance scans: an all-idle class
+  // (e.g. fig5's pure-ghOSt regime) used to probe every runqueue + CPU on
+  // every pick; with the counter an empty class answers PickNext in O(1).
+  size_t total_queued_ = 0;
   // Pending active-balance destination per source CPU (-1 = none): the next
   // PutPrev(kPreempted) on that CPU enqueues onto the destination instead.
   std::vector<int> pull_to_;

@@ -12,10 +12,10 @@
 #ifndef GHOST_SIM_SRC_KERNEL_CORE_SCHED_H_
 #define GHOST_SIM_SRC_KERNEL_CORE_SCHED_H_
 
-#include <deque>
 #include <map>
 #include <vector>
 
+#include "src/base/ring_deque.h"
 #include "src/kernel/sched_class.h"
 
 namespace gs {
@@ -53,7 +53,7 @@ class CoreSchedClass : public SchedClass {
 
  private:
   struct Group {
-    std::deque<Task*> runnable;
+    RingDeque<Task*> runnable;
   };
 
   int CoreOf(int cpu) const;

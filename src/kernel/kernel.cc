@@ -44,6 +44,7 @@ Kernel::Kernel(EventLoop* loop, Topology topology, CostModel cost,
   ticks_delivered_.assign(topology_.num_cpus(), 0);
   for (int i = 0; i < topology_.num_cpus(); ++i) {
     cpus_[i].id = i;
+    idle_cpus_.Set(i);  // every CPU boots idle
   }
   // Staggered per-CPU timer ticks, like Linux. Periodic: the tick re-arms in
   // place instead of re-scheduling itself, so the steady-state per-CPU tick
@@ -74,25 +75,20 @@ Task* Kernel::CreateTask(const std::string& name, SchedClass* cls) {
   if (cls == nullptr) {
     cls = default_class();
   }
-  auto task = std::make_unique<Task>(next_tid_++, name);
-  Task* ptr = task.get();
-  tasks_.push_back(std::move(task));
+  Task* ptr = task_slab_.New(next_tid_++, name);
+  tasks_.push_back(ptr);
   ptr->set_sched_class(cls);
   cls->TaskNew(ptr);
   return ptr;
 }
 
 Task* Kernel::FindTask(int64_t tid) const {
-  for (const auto& task : tasks_) {
+  for (Task* task : tasks_) {
     if (task->tid() == tid) {
-      return task.get();
+      return task;
     }
   }
   return nullptr;
-}
-
-void Kernel::SetOnScheduled(Task* task, std::function<void(Task*)> hook) {
-  on_scheduled_[task] = std::move(hook);
 }
 
 void Kernel::StartBurst(Task* task, Duration duration, Task::BurstDoneFn on_done) {
@@ -162,11 +158,18 @@ void Kernel::Kill(Task* task) {
 
 int Kernel::AddIdleListener(IdleListener listener) {
   const int handle = next_listener_id_++;
-  idle_listeners_[handle] = std::move(listener);
+  idle_listeners_.emplace_back(handle, std::move(listener));
   return handle;
 }
 
-void Kernel::RemoveIdleListener(int handle) { idle_listeners_.erase(handle); }
+void Kernel::RemoveIdleListener(int handle) {
+  for (auto it = idle_listeners_.begin(); it != idle_listeners_.end(); ++it) {
+    if (it->first == handle) {
+      idle_listeners_.erase(it);
+      return;
+    }
+  }
+}
 
 void Kernel::SetAffinity(Task* task, const CpuMask& mask) {
   CHECK(!mask.Empty());
@@ -235,32 +238,7 @@ Duration Kernel::CurrentElapsed(int cpu) const {
   return now() - cs.pick_time;
 }
 
-CpuState& Kernel::cpu_state(int cpu) {
-  CHECK_GE(cpu, 0);
-  CHECK_LT(cpu, static_cast<int>(cpus_.size()));
-  return cpus_[cpu];
-}
-
-const CpuState& Kernel::cpu_state(int cpu) const {
-  CHECK_GE(cpu, 0);
-  CHECK_LT(cpu, static_cast<int>(cpus_.size()));
-  return cpus_[cpu];
-}
-
-bool Kernel::CpuIdle(int cpu) const {
-  const CpuState& cs = cpus_[cpu];
-  return cs.current == nullptr && !cs.switching;
-}
-
-CpuMask Kernel::IdleCpus() const {
-  CpuMask mask;
-  for (int i = 0; i < topology_.num_cpus(); ++i) {
-    if (CpuIdle(i)) {
-      mask.Set(i);
-    }
-  }
-  return mask;
-}
+CpuMask Kernel::IdleCpus() const { return idle_cpus_; }
 
 int Kernel::ClassIndex(const SchedClass* cls) const {
   for (size_t i = 0; i < classes_.size(); ++i) {
@@ -330,6 +308,7 @@ void Kernel::ReschedNow(int cpu) {
     old->set_last_descheduled(now());
     old->set_cpu(-1);
     cs.current = nullptr;
+    RefreshIdleBit(cpu);
     trace_.Record(now(), TraceEventType::kSwitchOut, cpu, old->tid(),
                   static_cast<int64_t>(reason));
     old->sched_class()->PutPrev(old, cpu, reason);
@@ -366,6 +345,7 @@ void Kernel::ReschedNow(int cpu) {
   }
 
   cs.switching = true;
+  RefreshIdleBit(cpu);
   cs.switching_to = next;
   next->set_inbound_cpu(cpu);
   ++cs.context_switches;
@@ -379,6 +359,7 @@ void Kernel::ReschedNow(int cpu) {
 void Kernel::FinishSwitch(int cpu) {
   CpuState& cs = cpus_[cpu];
   cs.switching = false;
+  RefreshIdleBit(cpu);
   cs.switch_event = kInvalidEventId;
   Task* next = cs.switching_to;
   cs.switching_to = nullptr;
@@ -402,6 +383,7 @@ void Kernel::FinishSwitch(int cpu) {
 void Kernel::StartRunning(int cpu, Task* task, bool fresh_placement) {
   CpuState& cs = cpus_[cpu];
   cs.current = task;
+  RefreshIdleBit(cpu);
   task->set_state(TaskState::kRunning);
   task->set_cpu(cpu);
   cs.pick_time = now();
@@ -412,9 +394,8 @@ void Kernel::StartRunning(int cpu, Task* task, bool fresh_placement) {
     if (task->has_burst()) {
       task->InflateBurst(WarmthFactor(*task, cpu));
     }
-    auto it = on_scheduled_.find(task);
-    if (it != on_scheduled_.end()) {
-      it->second(task);
+    if (task->on_scheduled()) {
+      task->on_scheduled()(task);
       // The hook may have blocked/yielded/exited the task; if so a resched is
       // already queued and there is nothing to arm.
       if (task->state() != TaskState::kRunning || cs.yielded) {

@@ -20,13 +20,14 @@
 #define GHOST_SIM_SRC_KERNEL_KERNEL_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/base/cpumask.h"
+#include "src/base/inline_callback.h"
+#include "src/base/slab.h"
 #include "src/base/time.h"
 #include "src/kernel/cost_model.h"
 #include "src/kernel/sched_class.h"
@@ -113,7 +114,9 @@ class Kernel {
 
   // Installs a hook invoked every time `task` is placed on a CPU, before its
   // burst is armed. Agents use this to run their scheduling loop.
-  void SetOnScheduled(Task* task, std::function<void(Task*)> hook);
+  void SetOnScheduled(Task* task, InlineFunction<void(Task*)> hook) {
+    task->set_on_scheduled(std::move(hook));
+  }
 
   // Sets/extends the task's pending CPU demand and arms completion if the
   // task is currently running.
@@ -151,17 +154,34 @@ class Kernel {
   bool tick_enabled(int cpu) const { return tick_enabled_[cpu]; }
   uint64_t ticks_delivered(int cpu) const { return ticks_delivered_[cpu]; }
 
-  CpuState& cpu_state(int cpu);
-  const CpuState& cpu_state(int cpu) const;
+  // Inline: these sit inside scheduler scan loops (idle balancing touches
+  // every runqueue per pick) — a call per probe is measurable.
+  CpuState& cpu_state(int cpu) {
+    DCHECK_GE(cpu, 0);
+    DCHECK_LT(cpu, static_cast<int>(cpus_.size()));
+    return cpus_[cpu];
+  }
+  const CpuState& cpu_state(int cpu) const {
+    DCHECK_GE(cpu, 0);
+    DCHECK_LT(cpu, static_cast<int>(cpus_.size()));
+    return cpus_[cpu];
+  }
   Task* current(int cpu) const { return cpus_[cpu].current; }
   // Idle = not running anything and not context-switching.
-  bool CpuIdle(int cpu) const;
+  bool CpuIdle(int cpu) const {
+    const CpuState& cs = cpus_[cpu];
+    return cs.current == nullptr && !cs.switching;
+  }
   CpuMask IdleCpus() const;
+  // The same information as per-CPU CpuIdle() calls, maintained incrementally
+  // as a bitmask: a global agent intersects this with its enclave mask every
+  // loop iteration, which must not cost a 256-CPU scan.
+  const CpuMask& idle_cpus() const { return idle_cpus_; }
 
   // Listener invoked on busy<->idle transitions (ghOSt enclaves use this to
   // wake polling agents). `idle` is the new state. Returns a handle for
   // RemoveIdleListener.
-  using IdleListener = std::function<void(int cpu, bool idle)>;
+  using IdleListener = InlineFunction<void(int cpu, bool idle)>;
   int AddIdleListener(IdleListener listener);
   void RemoveIdleListener(int handle);
 
@@ -170,7 +190,7 @@ class Kernel {
   // Busy time including a currently running span.
   Duration CpuBusyTime(int cpu) const;
 
-  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  const std::vector<Task*>& tasks() const { return tasks_; }
   Task* FindTask(int64_t tid) const;
 
   // Scheduling trace (sched_switch/sched_wakeup-style introspection).
@@ -199,6 +219,15 @@ class Kernel {
   void RerateSibling(int cpu);
   void SetBusy(int cpu, bool busy);
   double WarmthFactor(const Task& task, int cpu) const;
+  // Mirror cpus_[cpu].current/switching into idle_cpus_; must follow every
+  // write to either field.
+  void RefreshIdleBit(int cpu) {
+    if (CpuIdle(cpu)) {
+      idle_cpus_.Set(cpu);
+    } else {
+      idle_cpus_.Clear(cpu);
+    }
+  }
 
   EventLoop* loop_;
   Topology topology_;
@@ -211,11 +240,16 @@ class Kernel {
   int default_index_ = -1;
 
   std::vector<CpuState> cpus_;
-  std::vector<std::unique_ptr<Task>> tasks_;
+  CpuMask idle_cpus_;  // bit set iff CpuIdle(cpu); see RefreshIdleBit
+  // Tasks live in a typed slab (O(1) pooled allocation, pointer-stable,
+  // cache-packed); tasks_ is the creation-ordered view.
+  Slab<Task> task_slab_;
+  std::vector<Task*> tasks_;
   int64_t next_tid_ = 1;
 
-  std::unordered_map<Task*, std::function<void(Task*)>> on_scheduled_;
-  std::map<int, IdleListener> idle_listeners_;
+  // Sorted by handle; iterated on every busy<->idle transition, so a flat
+  // vector beats a node-based map.
+  std::vector<std::pair<int, IdleListener>> idle_listeners_;
   int next_listener_id_ = 1;
   std::vector<bool> tick_enabled_;
   std::vector<uint64_t> ticks_delivered_;

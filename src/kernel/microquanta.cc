@@ -35,6 +35,7 @@ void MicroQuantaClass::Enqueue(int cpu, Task* task) {
   st.queued = true;
   st.rq_cpu = cpu;
   rqs_[cpu].push_back(task);
+  ++queued_total_;
 }
 
 void MicroQuantaClass::DequeueIfQueued(Task* task) {
@@ -46,6 +47,7 @@ void MicroQuantaClass::DequeueIfQueued(Task* task) {
   auto it = std::find(rq.begin(), rq.end(), task);
   CHECK(it != rq.end());
   rq.erase(it);
+  --queued_total_;
   st.queued = false;
   st.rq_cpu = -1;
 }
@@ -159,6 +161,9 @@ void MicroQuantaClass::Unthrottle(Task* task) {
 }
 
 void MicroQuantaClass::IdleTick(int cpu) {
+  if (queued_total_ == 0) {
+    return;  // no queued work anywhere: nothing to migrate or kick
+  }
   // This CPU could run MicroQuanta work but has none queued: migrate a task
   // stranded on a runqueue whose CPU is monopolized by a higher class (e.g.
   // a spinning agent).
@@ -211,6 +216,7 @@ Task* MicroQuantaClass::PickNext(int cpu) {
   }
   Task* task = rq.front();
   rq.pop_front();
+  --queued_total_;
   task->mq().queued = false;
   task->mq().rq_cpu = -1;
   return task;

@@ -13,9 +13,9 @@
 #ifndef GHOST_SIM_SRC_KERNEL_MICROQUANTA_H_
 #define GHOST_SIM_SRC_KERNEL_MICROQUANTA_H_
 
-#include <deque>
 #include <vector>
 
+#include "src/base/ring_deque.h"
 #include "src/kernel/sched_class.h"
 
 namespace gs {
@@ -55,7 +55,12 @@ class MicroQuantaClass : public SchedClass {
   void CancelThrottleTimer(Task* task);
 
   Params params_;
-  std::vector<std::deque<Task*>> rqs_;
+  // Ring-backed FIFOs: per-CPU queues oscillate around empty, which makes
+  // std::deque free/reallocate its block on every cycle.
+  std::vector<RingDeque<Task*>> rqs_;
+  // Tasks queued across all rqs_: every idle tick probes this class, and a
+  // machine with no MicroQuanta work must not pay an all-CPU scan per tick.
+  size_t queued_total_ = 0;
   // Throttle-check events for *running* tasks, keyed by CPU.
   std::vector<EventId> throttle_events_;
   uint64_t throttle_count_ = 0;

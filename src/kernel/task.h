@@ -12,10 +12,10 @@
 #define GHOST_SIM_SRC_KERNEL_TASK_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "src/base/cpumask.h"
+#include "src/base/inline_callback.h"
 #include "src/base/time.h"
 #include "src/sim/event_loop.h"
 
@@ -74,7 +74,10 @@ struct CoreSchedTaskState {
 
 class Task {
  public:
-  using BurstDoneFn = std::function<void(Task*)>;
+  // Burst completions fire once per simulated burst — hundreds of millions
+  // per bench run. InlineFunction keeps the capture in the task itself; a
+  // std::function here means a heap allocation per agent iteration.
+  using BurstDoneFn = InlineFunction<void(Task*)>;
 
   Task(int64_t tid, std::string name) : tid_(tid), name_(std::move(name)) {
     affinity_.SetAll();
@@ -138,6 +141,14 @@ class Task {
     return fn;
   }
 
+  // Hook invoked every time this task is placed on a CPU (fresh placement),
+  // before its burst is armed. Agents use it to run their scheduling loop.
+  // Embedded here so StartRunning never touches a side map.
+  const InlineFunction<void(Task*)>& on_scheduled() const { return on_scheduled_; }
+  void set_on_scheduled(InlineFunction<void(Task*)> hook) {
+    on_scheduled_ = std::move(hook);
+  }
+
   // Time when this task became runnable (for wakeup-latency accounting).
   Time runnable_since() const { return runnable_since_; }
   void set_runnable_since(Time t) { runnable_since_ = t; }
@@ -199,6 +210,7 @@ class Task {
 
   Duration burst_remaining_ = 0;
   BurstDoneFn on_burst_done_;
+  InlineFunction<void(Task*)> on_scheduled_;
 
   CfsTaskState cfs_;
   MicroQuantaTaskState mq_;

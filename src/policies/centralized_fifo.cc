@@ -17,6 +17,7 @@ void CentralizedFifoPolicy::Attached(AgentProcess* process, Enclave* enclave,
   enclave_ = enclave;
   process_ = process;
   global_cpu_ = options_.global_cpu >= 0 ? options_.global_cpu : enclave->cpus().First();
+  running_.assign(kernel->topology().num_cpus(), Running{});
   if (options_.use_fastpath) {
     enclave->InstallFastPath(RingFastPath::Global(kernel->topology().num_cpus()));
   }
@@ -27,7 +28,7 @@ void CentralizedFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) 
   // view, so stale runqueue/table state must go first.
   fifo_[0].Clear();
   fifo_[1].Clear();
-  running_.clear();
+  running_.assign(running_.size(), Running{});
   table_.Clear();
   for (const Enclave::TaskInfo& info : dump) {
     // Route future messages to this policy's (default) queue, regardless of
@@ -83,11 +84,10 @@ PolicyTask* CentralizedFifoPolicy::PopNext() {
 }
 
 void CentralizedFifoPolicy::ClearRunning(PolicyTask* task) {
-  if (task->assigned_cpu >= 0) {
-    auto it = running_.find(task->assigned_cpu);
-    if (it != running_.end() && it->second.task == task) {
-      running_.erase(it);
-    }
+  const int cpu = task->assigned_cpu;
+  if (cpu >= 0 && cpu < static_cast<int>(running_.size()) &&
+      running_[cpu].task == task) {
+    running_[cpu] = Running{};
   }
 }
 
@@ -105,11 +105,9 @@ void CentralizedFifoPolicy::HandleMessage(const Message& msg) {
       }
       break;
     case TaskTable::Event::kRunnable:
-      if (prior_cpu >= 0) {
-        auto it = running_.find(prior_cpu);
-        if (it != running_.end() && it->second.task == task) {
-          running_.erase(it);
-        }
+      if (prior_cpu >= 0 && prior_cpu < static_cast<int>(running_.size()) &&
+          running_[prior_cpu].task == task) {
+        running_[prior_cpu] = Running{};
       }
       if (!task->queued) {
         // Preempted / expired requests rejoin at the back (Shinjuku FIFO).
@@ -117,11 +115,9 @@ void CentralizedFifoPolicy::HandleMessage(const Message& msg) {
       }
       break;
     case TaskTable::Event::kBlocked:
-      if (prior_cpu >= 0) {
-        auto it = running_.find(prior_cpu);
-        if (it != running_.end() && it->second.task == task) {
-          running_.erase(it);
-        }
+      if (prior_cpu >= 0 && prior_cpu < static_cast<int>(running_.size()) &&
+          running_[prior_cpu].task == task) {
+        running_[prior_cpu] = Running{};
       }
       DequeueFromRunqueue(task);
       break;
@@ -175,14 +171,16 @@ AgentAction CentralizedFifoPolicy::RunAgent(AgentContext& ctx) {
     HandleMessage(msg);
   }
 
-  std::vector<std::pair<int, PolicyTask*>> assignments;
+  assignments_scratch_.clear();
+  std::vector<std::pair<int, PolicyTask*>>& assignments = assignments_scratch_;
 
   // 2. Timeslice rotation (Shinjuku: preempt after the allotted slice and
   // move the request to the back of the FIFO).
   const Duration slice = options_.preemption_timeslice;
   if (slice > 0) {
-    for (auto& [cpu, run] : running_) {
-      if (ctx.start() - run.since < slice) {
+    for (int cpu = 0; cpu < static_cast<int>(running_.size()); ++cpu) {
+      Running& run = running_[cpu];
+      if (run.task == nullptr || ctx.start() - run.since < slice) {
         continue;
       }
       // Rotate only if someone of the same-or-higher priority is waiting.
@@ -201,13 +199,17 @@ AgentAction CentralizedFifoPolicy::RunAgent(AgentContext& ctx) {
 
   // 3. Latency-critical wakeups preempt batch threads immediately.
   if (!fifo_[0].empty()) {
-    for (auto& [cpu, run] : running_) {
+    for (int cpu = 0; cpu < static_cast<int>(running_.size()); ++cpu) {
+      Running& run = running_[cpu];
+      if (run.task == nullptr) {
+        continue;
+      }
       if (fifo_[0].empty()) {
         break;
       }
       if (run.task->tier == 1 &&
           std::none_of(assignments.begin(), assignments.end(),
-                       [cpu = cpu](const auto& a) { return a.first == cpu; })) {
+                       [cpu](const auto& a) { return a.first == cpu; })) {
         assignments.emplace_back(cpu, PopTier(0));
         ++preemptions_;
       }
@@ -228,8 +230,10 @@ AgentAction CentralizedFifoPolicy::RunAgent(AgentContext& ctx) {
   // 5. Group-commit all assignments (Fig 4: Schedule()), split into chunks
   // of at most max_group_commit transactions per syscall.
   if (!assignments.empty()) {
-    std::vector<Transaction> storage(assignments.size());
-    std::vector<Transaction*> txns(assignments.size());
+    txn_storage_scratch_.assign(assignments.size(), Transaction{});
+    txn_ptrs_scratch_.resize(assignments.size());
+    std::vector<Transaction>& storage = txn_storage_scratch_;
+    std::vector<Transaction*>& txns = txn_ptrs_scratch_;
     for (size_t i = 0; i < assignments.size(); ++i) {
       storage[i] = AgentContext::MakeTxn(assignments[i].second->tid, assignments[i].first);
       if (options_.use_tseq) {
@@ -264,8 +268,10 @@ AgentAction CentralizedFifoPolicy::RunAgent(AgentContext& ctx) {
   // actually waiting to rotate in.
   if (slice > 0 && queue_depth() > 0) {
     Time earliest = kTimeNever;
-    for (const auto& [cpu, run] : running_) {
-      earliest = std::min(earliest, run.since + slice);
+    for (const Running& run : running_) {
+      if (run.task != nullptr) {
+        earliest = std::min(earliest, run.since + slice);
+      }
     }
     if (earliest != kTimeNever) {
       ctx.RequestWakeupAt(std::max(earliest, ctx.start() + ctx.cost()));

@@ -16,7 +16,6 @@
 #define GHOST_SIM_SRC_POLICIES_CENTRALIZED_FIFO_H_
 
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "src/agent/agent_context.h"
@@ -84,8 +83,15 @@ class CentralizedFifoPolicy : public Policy {
 
   TaskTable table_;
   FifoRunqueue fifo_[2];
-  std::map<int, Running> running_;  // cpu -> policy belief
+  // Dense cpu -> policy belief (task == nullptr means idle). The agent scans
+  // this every loop iteration; ascending-index scans match the old std::map's
+  // ascending-cpu order, so decisions are unchanged.
+  std::vector<Running> running_;
   std::vector<Message> scratch_msgs_;
+  // Per-iteration scratch, reused so the steady-state loop never mallocs.
+  std::vector<std::pair<int, PolicyTask*>> assignments_scratch_;
+  std::vector<Transaction> txn_storage_scratch_;
+  std::vector<Transaction*> txn_ptrs_scratch_;
 
   AgentProcess* process_ = nullptr;
   uint64_t scheduled_ = 0;

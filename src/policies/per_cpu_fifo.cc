@@ -7,6 +7,7 @@ void PerCpuFifoPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel*
   process_ = process;
   const CpuMask& cpus = enclave->cpus();
   boss_cpu_ = cpus.First();
+  cpus_.resize(kernel->topology().num_cpus());
   for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
     CpuSched& cs = cpus_[cpu];
     cs.queue = enclave->CreateQueue();
@@ -21,10 +22,10 @@ void PerCpuFifoPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel*
 
 void PerCpuFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
   // Full view replacement (also the overflow-resync path).
-  for (auto& [cpu, sched] : cpus_) {
+  for (CpuSched& sched : cpus_) {
     sched.runqueue.Clear();
   }
-  home_cpu_.clear();
+  home_cpu_.Clear();
   table().Clear();
   for (const Enclave::TaskInfo& info : dump) {
     PolicyTask* task = table().Add(info.tid);
@@ -32,7 +33,7 @@ void PerCpuFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
     task->affinity = info.affinity;
     task->runnable = info.runnable;
     const int home = NextHomeCpu();
-    home_cpu_[info.tid] = home;
+    home_cpu_.Insert(info.tid, home);
     enclave_->AssociateQueue(info.tid, cpus_[home].queue);
     if (info.runnable && !info.on_cpu) {
       task->queued = true;
@@ -42,8 +43,10 @@ void PerCpuFifoPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
 }
 
 size_t PerCpuFifoPolicy::QueueDepth(int cpu) const {
-  auto it = cpus_.find(cpu);
-  return it == cpus_.end() ? 0 : it->second.runqueue.size();
+  if (cpu < 0 || cpu >= static_cast<int>(cpus_.size())) {
+    return 0;
+  }
+  return cpus_[cpu].runqueue.size();
 }
 
 int PerCpuFifoPolicy::NextHomeCpu() {
@@ -67,7 +70,7 @@ void PerCpuFifoPolicy::TimerTick(AgentContext& ctx, const Message& msg) {
 
 void PerCpuFifoPolicy::TaskNew(AgentContext& ctx, PolicyTask* task, const Message& msg) {
   const int home = NextHomeCpu();
-  home_cpu_[msg.tid] = home;
+  home_cpu_.Insert(msg.tid, home);
   ctx.Charge(ctx.kernel()->cost().syscall);
   // May fail if more messages are pending on the default queue for this
   // thread; retried when they are drained.
@@ -117,7 +120,7 @@ void PerCpuFifoPolicy::Evict(AgentContext& ctx, PolicyTask* task) {
   if (task->queued) {
     cpus_[HomeOf(task->tid, ctx.agent_cpu())].runqueue.Remove(task);
   }
-  home_cpu_.erase(task->tid);
+  home_cpu_.Erase(task->tid);
   // The DispatchPolicy base removes the TaskTable entry after this hook.
 }
 
@@ -152,7 +155,7 @@ void PerCpuFifoPolicy::TaskAffinity(AgentContext& ctx, PolicyTask* task,
     cpus_[home].runqueue.Remove(task);
     cpus_[new_home].runqueue.Push(task);
   }
-  home_cpu_[task->tid] = new_home;
+  home_cpu_.Insert(task->tid, new_home);
   ctx.Charge(ctx.kernel()->cost().syscall);
   enclave_->AssociateQueue(task->tid, cpus_[new_home].queue);
   NotifyAgent(ctx, new_home);
@@ -225,7 +228,7 @@ AgentAction PerCpuFifoPolicy::Schedule(AgentContext& ctx) {
           break;
         }
       }
-      home_cpu_[next->tid] = new_home;
+      home_cpu_.Insert(next->tid, new_home);
       cpus_[new_home].runqueue.Push(next);
       NotifyAgent(ctx, new_home);
     } else {

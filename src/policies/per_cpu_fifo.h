@@ -14,7 +14,6 @@
 #ifndef GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_
 #define GHOST_SIM_SRC_POLICIES_PER_CPU_FIFO_H_
 
-#include <map>
 #include <vector>
 
 #include "src/agent/agent_context.h"
@@ -22,6 +21,7 @@
 #include "src/agent/dispatch_policy.h"
 #include "src/agent/runqueue.h"
 #include "src/agent/task_table.h"
+#include "src/base/flat_map.h"
 
 namespace gs {
 
@@ -36,7 +36,7 @@ class PerCpuFifoPolicy : public DispatchPolicy {
   size_t QueueDepth(int cpu) const;
   int RunqueueDepth() const override {
     int total = 0;
-    for (const auto& [cpu, sched] : cpus_) {
+    for (const CpuSched& sched : cpus_) {
       total += static_cast<int>(sched.runqueue.size());
     }
     return total;
@@ -72,14 +72,16 @@ class PerCpuFifoPolicy : public DispatchPolicy {
   // Round-robin target for newly arrived threads.
   int NextHomeCpu();
   int HomeOf(int64_t tid, int fallback) {
-    auto it = home_cpu_.find(tid);
-    return it == home_cpu_.end() ? fallback : it->second;
+    const int* home = home_cpu_.Find(tid);
+    return home == nullptr ? fallback : *home;
   }
 
   Enclave* enclave_ = nullptr;
   AgentProcess* process_ = nullptr;
-  std::map<int, CpuSched> cpus_;
-  std::map<int64_t, int> home_cpu_;  // tid -> owning CPU
+  // Dense cpu -> scheduling state (queue == nullptr for CPUs outside the
+  // enclave); indexed on every message and every Schedule() call.
+  std::vector<CpuSched> cpus_;
+  TidMap<int> home_cpu_;  // tid -> owning CPU
   std::vector<int> cpu_list_;
   size_t rr_next_ = 0;
   int boss_cpu_ = -1;  // drains the default queue (new-thread announcements)

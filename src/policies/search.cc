@@ -152,11 +152,13 @@ AgentAction SearchPolicy::RunAgent(AgentContext& ctx) {
   }
 
   CpuMask avail = ctx.AvailableCpus();
-  std::vector<std::pair<int, PolicyTask*>> assignments;
+  std::vector<std::pair<int, PolicyTask*>>& assignments = scratch_assignments_;
+  assignments.clear();
   // Walk the min-heap in runtime order; skip threads whose preferred CPUs
-  // are busy and revisit them on the next loop iteration (§4.4).
-  std::vector<std::pair<int64_t, PolicyTask*>> ordered(runqueue_.begin(), runqueue_.end());
-  for (auto& [key, task] : ordered) {
+  // are busy and revisit them on the next loop iteration (§4.4). The copy
+  // exists because the loop removes dispatched tasks from the runqueue.
+  scratch_ordered_.assign(runqueue_.begin(), runqueue_.end());
+  for (auto& [key, task] : scratch_ordered_) {
     if (avail.Empty()) {
       break;
     }
@@ -176,8 +178,12 @@ AgentAction SearchPolicy::RunAgent(AgentContext& ctx) {
   }
 
   if (!assignments.empty()) {
-    std::vector<Transaction> storage(assignments.size());
-    std::vector<Transaction*> txns(assignments.size());
+    std::vector<Transaction>& storage = scratch_txns_;
+    storage.clear();
+    storage.resize(assignments.size());
+    std::vector<Transaction*>& txns = scratch_txn_ptrs_;
+    txns.clear();
+    txns.resize(assignments.size());
     for (size_t i = 0; i < assignments.size(); ++i) {
       storage[i] = AgentContext::MakeTxn(assignments[i].second->tid, assignments[i].first);
       if (options_.use_tseq) {

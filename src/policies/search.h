@@ -74,7 +74,14 @@ class SearchPolicy : public Policy {
   // Sleeper-floor window: effectively unbounded reproduces the paper's plain
   // least-runtime heap; benchmarks may tighten it.
   Duration sleeper_window_ = Seconds(3600);
+  // Iteration scratch, reused across RunAgent calls: the global agent loops
+  // millions of times per run, so these keep their capacity instead of
+  // paying four vector allocations per iteration.
   std::vector<Message> scratch_msgs_;
+  std::vector<std::pair<int64_t, PolicyTask*>> scratch_ordered_;
+  std::vector<std::pair<int, PolicyTask*>> scratch_assignments_;
+  std::vector<Transaction> scratch_txns_;
+  std::vector<Transaction*> scratch_txn_ptrs_;
 
   uint64_t scheduled_ = 0;
   uint64_t deferred_ = 0;

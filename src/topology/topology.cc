@@ -56,7 +56,19 @@ Topology Topology::Make(std::string name, int sockets, int cores_per_socket, int
       info.numa = socket;
     }
   }
+  topo.BuildMaskCaches();
   return topo;
+}
+
+void Topology::BuildMaskCaches() {
+  core_masks_.assign(num_cores_, CpuMask());
+  ccx_masks_.assign(num_ccxs_, CpuMask());
+  numa_masks_.assign(num_numa_nodes_, CpuMask());
+  for (const CpuInfo& info : cpus_) {
+    core_masks_[info.core].Set(info.id);
+    ccx_masks_[info.ccx].Set(info.id);
+    numa_masks_[info.numa].Set(info.id);
+  }
 }
 
 Topology Topology::IntelSkylake112() {
@@ -87,34 +99,22 @@ const CpuInfo& Topology::cpu(int id) const {
   return cpus_[id];
 }
 
-CpuMask Topology::CoreMask(int core) const {
-  CpuMask mask;
-  for (const CpuInfo& info : cpus_) {
-    if (info.core == core) {
-      mask.Set(info.id);
-    }
-  }
-  return mask;
+const CpuMask& Topology::CoreMask(int core) const {
+  DCHECK_GE(core, 0);
+  DCHECK_LT(core, static_cast<int>(core_masks_.size()));
+  return core_masks_[core];
 }
 
-CpuMask Topology::CcxMask(int ccx) const {
-  CpuMask mask;
-  for (const CpuInfo& info : cpus_) {
-    if (info.ccx == ccx) {
-      mask.Set(info.id);
-    }
-  }
-  return mask;
+const CpuMask& Topology::CcxMask(int ccx) const {
+  DCHECK_GE(ccx, 0);
+  DCHECK_LT(ccx, static_cast<int>(ccx_masks_.size()));
+  return ccx_masks_[ccx];
 }
 
-CpuMask Topology::NumaMask(int numa) const {
-  CpuMask mask;
-  for (const CpuInfo& info : cpus_) {
-    if (info.numa == numa) {
-      mask.Set(info.id);
-    }
-  }
-  return mask;
+const CpuMask& Topology::NumaMask(int numa) const {
+  DCHECK_GE(numa, 0);
+  DCHECK_LT(numa, static_cast<int>(numa_masks_.size()));
+  return numa_masks_[numa];
 }
 
 PlacementDistance Topology::Distance(int from_cpu, int to_cpu) const {

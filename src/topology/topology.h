@@ -63,9 +63,12 @@ class Topology {
   const std::vector<CpuInfo>& cpus() const { return cpus_; }
 
   CpuMask AllCpus() const { return CpuMask::AllUpTo(num_cpus()); }
-  CpuMask CoreMask(int core) const;
-  CpuMask CcxMask(int ccx) const;
-  CpuMask NumaMask(int numa) const;
+  // Cached per-tier masks (built once at construction): placement policies
+  // call these inside per-task scan loops, so a rebuild-by-scanning-every-CPU
+  // implementation dominated the Search policy's profile.
+  const CpuMask& CoreMask(int core) const;
+  const CpuMask& CcxMask(int ccx) const;
+  const CpuMask& NumaMask(int numa) const;
 
   PlacementDistance Distance(int from_cpu, int to_cpu) const;
 
@@ -75,12 +78,18 @@ class Topology {
  private:
   Topology() = default;
 
+  // Fills core_masks_/ccx_masks_/numa_masks_ from cpus_.
+  void BuildMaskCaches();
+
   std::string name_;
   int smt_ = 1;
   int num_cores_ = 0;
   int num_ccxs_ = 0;
   int num_numa_nodes_ = 0;
   std::vector<CpuInfo> cpus_;
+  std::vector<CpuMask> core_masks_;
+  std::vector<CpuMask> ccx_masks_;
+  std::vector<CpuMask> numa_masks_;
 };
 
 }  // namespace gs

@@ -55,6 +55,21 @@ CostModel ZeroProtocolCosts() {
   return cost;
 }
 
+// Retry helper for RunLostWakeupScenario: wakes the worker into its final
+// 30 us burst once it has actually blocked; while it is still running,
+// re-queues itself at the back of the current event batch.
+void WakeWhenBlocked(Kernel& kernel, EventLoop& loop, Task* worker) {
+  if (worker->state() == TaskState::kBlocked) {
+    kernel.StartBurst(worker, Microseconds(30),
+                      [&kernel](Task* task) { kernel.Exit(task); });
+    kernel.Wake(worker);
+  } else if (worker->state() == TaskState::kRunning) {
+    loop.ScheduleAfter(0, [&kernel, &loop, worker] {
+      WakeWhenBlocked(kernel, loop, worker);
+    });
+  }
+}
+
 }  // namespace
 
 // A worker blocks at exactly t=50us; an external wakeup is aimed at the same
@@ -88,23 +103,12 @@ std::string RunLostWakeupScenario(ScheduleOracle* oracle, bool mutate) {
   // Wake-with-retry: depending on the explored order the wake event can fire
   // while the worker is still mid-burst; re-queue at the back of the batch
   // until the block has happened (Kernel::Wake itself absorbs the
-  // blocked-but-still-current window via wake_pending).
-  auto wake_fn = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak_wake = wake_fn;
-  *wake_fn = [&kernel, &loop, worker, weak_wake] {
-    if (worker->state() == TaskState::kBlocked) {
-      kernel.StartBurst(worker, Microseconds(30),
-                        [&kernel](Task* task) { kernel.Exit(task); });
-      kernel.Wake(worker);
-    } else if (worker->state() == TaskState::kRunning) {
-      loop.ScheduleAfter(0, [weak_wake] {
-        if (auto fn = weak_wake.lock()) {
-          (*fn)();
-        }
-      });
-    }
-  };
-  loop.ScheduleAt(Microseconds(50), [wake_fn] { (*wake_fn)(); });
+  // blocked-but-still-current window via wake_pending). The retry is a plain
+  // recursive closure — kernel/loop/worker all outlive RunFor below, so the
+  // old shared_ptr<std::function> self-capture (which leaked) is unneeded.
+  loop.ScheduleAt(Microseconds(50), [&kernel, &loop, worker] {
+    WakeWhenBlocked(kernel, loop, worker);
+  });
 
   machine.RunFor(Milliseconds(1));
   checker.CheckNow();

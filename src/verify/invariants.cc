@@ -116,7 +116,7 @@ void InvariantChecker::CheckCpus() {
                 std::to_string(cpu));
       continue;
     }
-    if (kernel_->cpu_state(cpu).current != task.get()) {
+    if (kernel_->cpu_state(cpu).current != task) {
       Violation("running task '" + task->name() + "' is not current on cpu " +
                 std::to_string(cpu));
     }
@@ -137,7 +137,7 @@ void InvariantChecker::CheckGhostMembership() {
       Violation("task '" + task->name() + "' is in the ghost class but unmanaged");
     }
     if (gt != nullptr) {
-      if (gt->task != task.get()) {
+      if (gt->task != task) {
         Violation("task '" + task->name() + "' ghost state points elsewhere");
       }
       if (!in_ghost_class) {

@@ -1,8 +1,19 @@
 #include "src/workloads/batch.h"
 
-#include <memory>
-
 namespace gs {
+
+namespace {
+
+// Self-rearming spin: each burst completion schedules the next chunk. A plain
+// recursive function beats the old shared_ptr<std::function> self-capture
+// knot, which leaked (the closure owned itself) and heap-allocated per thread.
+void SpinForever(Kernel* kernel, Task* task, Duration chunk) {
+  kernel->StartBurst(task, chunk, [kernel, chunk](Task* t) {
+    SpinForever(kernel, t, chunk);
+  });
+}
+
+}  // namespace
 
 BatchApp::BatchApp(Kernel* kernel, Options options) : kernel_(kernel), options_(options) {
   threads_.reserve(options_.num_threads);
@@ -14,11 +25,7 @@ BatchApp::BatchApp(Kernel* kernel, Options options) : kernel_(kernel), options_(
 
 void BatchApp::Start() {
   for (Task* thread : threads_) {
-    auto loop = std::make_shared<std::function<void(Task*)>>();
-    Kernel* kernel = kernel_;
-    const Duration chunk = options_.chunk;
-    *loop = [kernel, chunk, loop](Task* t) { kernel->StartBurst(t, chunk, *loop); };
-    kernel_->StartBurst(thread, options_.chunk, *loop);
+    SpinForever(kernel_, thread, options_.chunk);
     kernel_->Wake(thread);
   }
 }

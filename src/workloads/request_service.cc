@@ -29,9 +29,13 @@ void ThreadPoolServer::Submit(Time arrival, Duration service, CompletionFn done)
 }
 
 void ThreadPoolServer::Assign(int worker_index, Request request) {
+  active_[worker_index] = std::move(request);
+  StartActive(worker_index);
+}
+
+void ThreadPoolServer::StartActive(int worker_index) {
   Task* worker = workers_[worker_index];
-  active_[worker_index] = request;
-  kernel_->StartBurst(worker, request.service,
+  kernel_->StartBurst(worker, active_[worker_index].service,
                       [this, worker_index](Task*) { OnWorkerDone(worker_index); });
   kernel_->Wake(worker);
 }
@@ -58,10 +62,13 @@ void ThreadPoolServer::OnWorkerDone(int worker_index) {
     free_.push_back(worker_index);
     return;
   }
-  Request next = pending_.front();
+  // Park the next request in the slot now; the deferred event only carries
+  // the worker index (the Request — with its inline callback — never has to
+  // squeeze into the event loop's inline storage).
+  active_[worker_index] = std::move(pending_.front());
   pending_.pop_front();
-  kernel_->loop()->ScheduleAfter(options_.dispatch_delay, [this, worker_index, next] {
-    Assign(worker_index, next);
+  kernel_->loop()->ScheduleAfter(options_.dispatch_delay, [this, worker_index] {
+    StartActive(worker_index);
   });
 }
 

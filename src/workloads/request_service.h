@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/base/inline_callback.h"
 #include "src/base/rng.h"
 #include "src/kernel/kernel.h"
 #include "src/workloads/latency_recorder.h"
@@ -93,7 +94,9 @@ class ThreadPoolServer {
   const std::vector<Task*>& workers() const { return workers_; }
 
   // Per-request completion callback (fan-out joins, per-class latency).
-  using CompletionFn = std::function<void(Time now, Duration latency)>;
+  // InlineFunction: one of these travels with every request through the
+  // pending queue and the active slots, so it must not malloc per request.
+  using CompletionFn = InlineFunction<void(Time now, Duration latency)>;
 
   // Request arrival (open loop). Called at virtual time `arrival`. `done`,
   // when set, fires on this request's completion (after the recorder and the
@@ -119,6 +122,10 @@ class ThreadPoolServer {
   };
 
   void Assign(int worker_index, Request request);
+  // Starts the burst for the request already parked in active_[worker_index]
+  // (split from Assign so the dispatch-delay event captures only the index,
+  // never the move-only Request).
+  void StartActive(int worker_index);
   void OnWorkerDone(int worker_index);
 
   Kernel* kernel_;
