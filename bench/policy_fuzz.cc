@@ -1,0 +1,157 @@
+// Policy-fuzzer harness: sweeps generated hostile policies against the
+// mechanism layer (src/verify/policy_fuzzer) and exits non-zero on any
+// violation, so the binary doubles as the CI fuzz-smoke gate.
+//
+// Flags:
+//   --cases=<N>        hostile configs to generate (default 200)
+//   --seed=<N>         base seed; case i uses seed base+i (default 1)
+//   --schedules=<N>    random-walk executions per config (default 2)
+//   --jobs=<N>         parallel walks per case (default 1)
+//   --stop-at-first    stop the sweep at its first violating case
+//   --seam=<name>      reintroduce a fixed mechanism bug through its test
+//                      seam (unguarded_commit_ipis | leak_teardown_cpu_state |
+//                      deferred_exit_teardown); repeatable. With a seam on,
+//                      the sweep is *expected* to catch violations.
+//   --replay-out=<dir> write a shrunken replay file per violating case
+//   --replay=<file>    re-execute a saved replay and exit (0 = reproduced)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/verify/policy_fuzzer.h"
+
+namespace gs {
+namespace {
+
+struct Flags {
+  int cases = 200;
+  uint64_t seed = 1;
+  uint64_t schedules = 2;
+  int jobs = 1;
+  bool stop_at_first = false;
+  FuzzSeams seams;
+  std::string replay_out;
+  std::string replay;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--cases=N] [--seed=N] [--schedules=N] [--jobs=N]\n"
+               "          [--stop-at-first] [--seam=NAME] [--replay-out=DIR]\n"
+               "          [--replay=FILE]\n",
+               argv0);
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+    };
+    if (const char* v = value("--cases=")) {
+      flags->cases = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--schedules=")) {
+      flags->schedules = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--jobs=")) {
+      flags->jobs = std::atoi(v);
+    } else if (std::strcmp(arg, "--stop-at-first") == 0) {
+      flags->stop_at_first = true;
+    } else if (const char* v = value("--seam=")) {
+      if (std::strcmp(v, "unguarded_commit_ipis") == 0) {
+        flags->seams.unguarded_commit_ipis = true;
+      } else if (std::strcmp(v, "leak_teardown_cpu_state") == 0) {
+        flags->seams.leak_teardown_cpu_state = true;
+      } else if (std::strcmp(v, "deferred_exit_teardown") == 0) {
+        flags->seams.deferred_exit_teardown = true;
+      } else {
+        std::fprintf(stderr, "error: unknown seam '%s'\n", v);
+        return false;
+      }
+    } else if (const char* v = value("--replay-out=")) {
+      flags->replay_out = v;
+    } else if (const char* v = value("--replay=")) {
+      flags->replay = v;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunReplay(const std::string& path) {
+  HostileConfig config;
+  FuzzSeams seams;
+  Explorer::ChoiceTrace trace;
+  std::string expected;
+  if (!LoadFuzzReplay(path, &config, &seams, &trace, &expected)) {
+    std::fprintf(stderr, "error: cannot parse replay file %s\n", path.c_str());
+    return 2;
+  }
+  const std::string violation = RunFuzzReplay(config, seams, trace);
+  std::printf("replay: %s\nseed: %llu\nexpected: %s\n", path.c_str(),
+              static_cast<unsigned long long>(config.seed), expected.c_str());
+  if (violation.empty()) {
+    std::printf("result: no violation (replay did not reproduce)\n");
+    return 1;
+  }
+  std::printf("result: %s\n", violation.c_str());
+  return 0;
+}
+
+int Run(const Flags& flags) {
+  if (!flags.replay.empty()) {
+    return RunReplay(flags.replay);
+  }
+
+  FuzzSweepOptions options;
+  options.cases = flags.cases;
+  options.base_seed = flags.seed;
+  options.schedules_per_case = flags.schedules;
+  options.jobs = flags.jobs;
+  options.stop_at_first_case = flags.stop_at_first;
+  options.seams = flags.seams;
+  const FuzzSweepResult sweep = RunFuzzSweep(options);
+
+  std::printf("policy-fuzz: %d cases, %llu schedules, %zu violation(s)\n",
+              sweep.cases_run,
+              static_cast<unsigned long long>(sweep.total_schedules),
+              sweep.violations.size());
+  int saved = 0;
+  for (const FuzzCaseResult& v : sweep.violations) {
+    std::printf("  seed %llu: %s\n",
+                static_cast<unsigned long long>(v.config.seed),
+                v.violation.c_str());
+    if (!flags.replay_out.empty()) {
+      const std::string path = flags.replay_out + "/fuzz_seed_" +
+                               std::to_string(v.config.seed) + ".replay";
+      if (SaveFuzzReplay(path, v, flags.seams)) {
+        std::printf("  replay written: %s\n", path.c_str());
+        ++saved;
+      } else {
+        std::fprintf(stderr, "error: cannot write replay %s\n", path.c_str());
+      }
+    }
+  }
+  if (!sweep.violations.empty()) {
+    return 1;
+  }
+  std::printf("policy-fuzz: mechanism layer survived every generated policy\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gs
+
+int main(int argc, char** argv) {
+  gs::Flags flags;
+  if (!gs::ParseFlags(argc, argv, &flags)) {
+    return gs::Usage(argv[0]);
+  }
+  return gs::Run(flags);
+}

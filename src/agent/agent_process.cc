@@ -84,6 +84,47 @@ void AgentProcess::Shutdown() {
   polling_.clear();
 }
 
+std::unique_ptr<Policy> AgentProcess::SwapPolicy(std::unique_ptr<Policy> next) {
+  CHECK(started_) << "SwapPolicy before Start()";
+  CHECK(next != nullptr);
+  std::unique_ptr<Policy> old = std::move(policy_);
+  policy_ = std::move(next);
+  if (!alive_) {
+    return old;  // enclave died; nothing to hand over
+  }
+  ++policy_swaps_;
+
+  // The kernel dump supersedes the outgoing policy's message history, and
+  // the routing reset guarantees no message can land in a queue the incoming
+  // policy does not drain (the outgoing policy's queues are destroyed).
+  enclave_->FlushAllQueues();
+  enclave_->ResetQueueRouting();
+
+  StatsRegistry& stats = *kernel_->stats();
+  stat_runqueue_depth_ =
+      stats.GetHistogram("policy_runqueue_depth", {{"policy", policy_->name()}});
+  policy_->Attached(this, enclave_, kernel_);
+  policy_->Restore(enclave_->TaskDump());
+
+  // The flush discarded pending queue wakeups and Restore() placed runnable
+  // threads on runqueues whose agents may be asleep or committed to a stale
+  // iteration plan. Kick everyone: blocked agents wake, poll-waiters are
+  // poked into a fresh iteration, running agents re-run via the
+  // check-then-sleep aseq bump.
+  for (auto& [cpu, agent] : agents_) {
+    if (agent->state() == TaskState::kDead) {
+      continue;
+    }
+    if (agent->state() == TaskState::kBlocked) {
+      kernel_->Wake(agent);
+    } else {
+      enclave_->PokeAgent(agent);
+      Poke(agent);  // no-op unless the agent is poll-waiting
+    }
+  }
+  return old;
+}
+
 Task* AgentProcess::agent_on(int cpu) const {
   for (const auto& [c, agent] : agents_) {
     if (c == cpu) {

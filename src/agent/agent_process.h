@@ -40,6 +40,18 @@ class AgentProcess {
   // enclave.
   void Crash() { Shutdown(); }
 
+  // Live in-place policy swap (§3.4 upgrade without restarting the agent
+  // threads): flushes all queues, resets message routing to the default
+  // queue, attaches `next`, restores it from the kernel's TaskDump, and
+  // wakes/pokes every agent so the rebuilt runqueues are picked up. The
+  // outgoing policy is returned (its queues are already destroyed; it must
+  // not touch the enclave again). This is the promote/rollback path of an
+  // A/B canary and the hostile-swap path of the policy fuzzer. Requires a
+  // started, alive process; no-ops into a plain object replacement when the
+  // enclave already died.
+  std::unique_ptr<Policy> SwapPolicy(std::unique_ptr<Policy> next);
+  uint64_t policy_swaps() const { return policy_swaps_; }
+
   // Simulates a wedged agent (infinite loop in policy code, §3.4): the agent
   // threads stay alive and burn CPU but never run the policy, so runnable
   // ghOSt threads starve until the enclave watchdog destroys the enclave and
@@ -95,6 +107,7 @@ class AgentProcess {
   bool test_skip_sleep_recheck_ = false;
   uint64_t iterations_ = 0;
   uint64_t resyncs_ = 0;
+  uint64_t policy_swaps_ = 0;
 
   // Hot-path metrics (global registry; pointers cached at construction).
   HistogramMetric* stat_iteration_cost_ns_;

@@ -1,5 +1,7 @@
 #include "src/agent/dispatch_policy.h"
 
+#include <algorithm>
+
 namespace gs {
 
 void DispatchPolicy::Dispatch(AgentContext& ctx, const Message& msg) {
@@ -43,7 +45,54 @@ void DispatchPolicy::Dispatch(AgentContext& ctx, const Message& msg) {
   }
 }
 
+void DispatchPolicy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
+  restore_backlog_.clear();
+  // Table entries the dump no longer mentions departed while our view was
+  // stale (or under the outgoing policy of a live swap). Mark survivors as
+  // we walk the dump; sorted iteration keeps the backlog deterministic.
+  std::vector<int64_t> stale = table_.SortedTids();
+  for (const Enclave::TaskInfo& info : dump) {
+    stale.erase(std::remove(stale.begin(), stale.end(), info.tid), stale.end());
+    Message msg;
+    msg.tid = info.tid;
+    msg.tseq = info.tseq;
+    msg.affinity = info.affinity;
+    PolicyTask* task = table_.Find(info.tid);
+    if (task == nullptr) {
+      // An on-cpu thread is not re-enqueued: it already holds a CPU, and its
+      // eventual preempt/yield/block message re-enters it the normal way.
+      msg.type = MessageType::kTaskNew;
+      msg.runnable = info.runnable && !info.on_cpu;
+    } else if (info.runnable && !info.on_cpu && !task->runnable) {
+      msg.type = MessageType::kTaskWakeup;  // lost wakeup: kernel says ready
+    } else if (!info.runnable && task->runnable) {
+      msg.type = MessageType::kTaskBlocked;
+      msg.cpu = task->assigned_cpu >= 0 ? task->assigned_cpu : task->last_cpu;
+    } else {
+      continue;  // views agree; nothing to replay
+    }
+    restore_backlog_.push_back(msg);
+  }
+  for (int64_t tid : stale) {
+    Message msg;
+    msg.type = MessageType::kTaskDeparted;
+    msg.tid = tid;
+    restore_backlog_.push_back(msg);
+  }
+}
+
 AgentAction DispatchPolicy::RunAgent(AgentContext& ctx) {
+  if (!restore_backlog_.empty()) {
+    // Swap out first: a hook may trigger another Restore() (it should not,
+    // but a hostile subclass can), and Dispatch must not walk a mutating
+    // vector.
+    std::vector<Message> backlog;
+    backlog.swap(restore_backlog_);
+    for (Message& msg : backlog) {
+      msg.posted = ctx.kernel()->now();
+      Dispatch(ctx, msg);
+    }
+  }
   scratch_queues_.clear();
   CollectQueues(ctx, &scratch_queues_);
   scratch_msgs_.clear();

@@ -40,6 +40,19 @@ class DispatchPolicy : public Policy {
   // the iteration shape; subclasses customize through the hooks below.
   AgentAction RunAgent(AgentContext& ctx) final;
 
+  // Default upgrade/resync restore (§3.4): reconciles the table against the
+  // kernel dump by synthesizing messages, dispatched through the normal hook
+  // path at the start of the next RunAgent iteration. Threads the dump knows
+  // and the table does not become kTaskNew (a fresh policy instance after a
+  // live swap re-places everything this way — a thread the outgoing policy
+  // never scheduled is still re-announced, never silently dropped); known
+  // threads whose runnability disagrees with the dump get kTaskWakeup /
+  // kTaskBlocked; table entries missing from the dump get kTaskDeparted.
+  // Subclasses with richer state (home CPUs, priority arrays) override with
+  // full-view replacement instead; this default keeps hook-only policies
+  // correct without one.
+  void Restore(const std::vector<Enclave::TaskInfo>& dump) override;
+
  protected:
   // ---- Subclass obligations --------------------------------------------------
   // Appends the queues this agent drains each iteration, in drain order
@@ -74,6 +87,10 @@ class DispatchPolicy : public Policy {
   TaskTable table_;
   std::vector<MessageQueue*> scratch_queues_;
   std::vector<Message> scratch_msgs_;
+  // Synthesized by the default Restore(); dispatched (then cleared) before
+  // the queue drain of the next iteration. Deferred because Restore() runs
+  // without an AgentContext.
+  std::vector<Message> restore_backlog_;
 };
 
 }  // namespace gs

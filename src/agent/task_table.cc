@@ -1,8 +1,18 @@
 #include "src/agent/task_table.h"
 
+#include <algorithm>
+
 #include "src/base/logging.h"
 
 namespace gs {
+
+std::vector<int64_t> TaskTable::SortedTids() const {
+  std::vector<int64_t> tids;
+  tids.reserve(by_tid_.size());
+  by_tid_.ForEach([&tids](int64_t tid, PolicyTask* const&) { tids.push_back(tid); });
+  std::sort(tids.begin(), tids.end());
+  return tids;
+}
 
 PolicyTask* TaskTable::Add(int64_t tid) {
   PolicyTask* task = slab_.New();

@@ -9,6 +9,7 @@
 #define GHOST_SIM_SRC_AGENT_TASK_TABLE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/cpumask.h"
 #include "src/base/flat_map.h"
@@ -65,6 +66,9 @@ class TaskTable {
   }
   PolicyTask* Add(int64_t tid);  // for Restore() paths
   void Remove(int64_t tid);
+  // All tracked tids, sorted ascending (deterministic iteration for
+  // Restore()-style reconciliation against a TaskDump).
+  std::vector<int64_t> SortedTids() const;
   // Drops every entry (Restore()/resync paths rebuild from a TaskDump).
   // Callers must first clear any runqueues holding PolicyTask pointers.
   void Clear() {

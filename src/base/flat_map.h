@@ -81,6 +81,17 @@ class TidMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Visits every (key, value) pair in unspecified order. Callers needing
+  // deterministic order must collect and sort the keys (see the header note).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] >= 0) {
+        fn(keys_[i], values_[i]);
+      }
+    }
+  }
+
  private:
   static constexpr size_t kMinCapacity = 16;
   static constexpr int64_t kEmpty = -1;

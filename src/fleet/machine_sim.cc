@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/policies/ab_test_policy.h"
 #include "src/policies/factory.h"
 
 namespace gs {
@@ -144,9 +145,35 @@ MachineSim::MachineSim(const scenario::ScenarioSpec& spec, const Options& machin
       VmWorkload* vm_ptr = vm_.get();
       env.cookie_of = [vm_ptr](int64_t tid) { return vm_ptr->CookieOf(tid); };
     }
+    if (spec_.ab_test.has_value()) {
+      env.ab_test = &*spec_.ab_test;
+    }
     process_ = ctx_->CreateAgentProcess(enclave_.get(),
                                         MakeScenarioPolicy(spec_.policy, env));
     process_->Start();
+
+    // ---- A/B promote / rollback plan (§3.4 hot-swap under load) -------------
+    if (spec_.policy.kind == "ab_test" && spec_.ab_test.has_value()) {
+      const bool lifo = spec_.ab_test->canary.lifo;
+      const auto swap_to = [this, lifo](int canary_percent) {
+        if (process_ == nullptr || !process_->alive()) {
+          return;
+        }
+        AbTestPolicy::Options o;
+        o.canary_percent = canary_percent;
+        o.canary_lifo = lifo;
+        retired_policies_.push_back(
+            process_->SwapPolicy(std::make_unique<AbTestPolicy>(o)));
+      };
+      if (spec_.ab_test->promote_at_ms >= 0) {
+        ctx_->loop().ScheduleAt(FromMs(spec_.ab_test->promote_at_ms),
+                                [swap_to] { swap_to(100); });
+      }
+      if (spec_.ab_test->rollback_at_ms >= 0) {
+        ctx_->loop().ScheduleAt(FromMs(spec_.ab_test->rollback_at_ms),
+                                [swap_to] { swap_to(0); });
+      }
+    }
   }
 
   // ---- Thread placement -----------------------------------------------------
@@ -322,6 +349,33 @@ void MachineSim::CollectLocal(scenario::ScenarioResult* result) {
       result->exact[std::string("faults_") + ToString(kind)] =
           static_cast<int64_t>(injector->injected(kind));
     }
+  }
+  if (spec_.policy.kind == "ab_test") {
+    // Per-lane totals across every policy instance that served the enclave
+    // (initial + each promote/rollback swap-in). Lane membership is a pure
+    // tid hash, so base + canary partition the run's totals exactly.
+    AbTestPolicy::LaneCounters base;
+    AbTestPolicy::LaneCounters canary;
+    const auto add = [&base, &canary](Policy* p) {
+      if (auto* ab = dynamic_cast<AbTestPolicy*>(p)) {
+        base.scheduled += ab->base_counters().scheduled;
+        base.completed += ab->base_counters().completed;
+        canary.scheduled += ab->canary_counters().scheduled;
+        canary.completed += ab->canary_counters().completed;
+      }
+    };
+    for (const std::unique_ptr<Policy>& p : retired_policies_) {
+      add(p.get());
+    }
+    if (process_ != nullptr) {
+      add(process_->policy());
+    }
+    result->exact["ab_base_scheduled"] = static_cast<int64_t>(base.scheduled);
+    result->exact["ab_base_completed"] = static_cast<int64_t>(base.completed);
+    result->exact["ab_canary_scheduled"] = static_cast<int64_t>(canary.scheduled);
+    result->exact["ab_canary_completed"] = static_cast<int64_t>(canary.completed);
+    result->exact["policy_swaps"] =
+        process_ != nullptr ? static_cast<int64_t>(process_->policy_swaps()) : 0;
   }
   result->exact["enclave_destroyed"] =
       enclave_ != nullptr && enclave_->destroyed() ? 1 : 0;

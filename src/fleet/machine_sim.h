@@ -93,6 +93,9 @@ class MachineSim {
   std::shared_ptr<std::set<int64_t>> antagonist_tids_;
   std::unique_ptr<Enclave> enclave_;
   std::unique_ptr<AgentProcess> process_;
+  // Policies hot-swapped out by the A/B promote/rollback plan; kept so their
+  // per-lane counters can be summed at collect time.
+  std::vector<std::unique_ptr<Policy>> retired_policies_;
   std::unique_ptr<ServiceTimeModel> service_owned_;
   std::vector<std::unique_ptr<PoissonLoadGen>> gens_;
   LatencyRecorder group_latency_;  // fan-out group completion latency

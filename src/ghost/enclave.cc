@@ -321,6 +321,22 @@ void Enclave::FlushAllQueues() {
   watchdog_reset_ = kernel_->now();
 }
 
+void Enclave::ResetQueueRouting() {
+  for (GhostTask* gt : tasks_by_tid_) {
+    CHECK_EQ(gt->pending_msgs, 0) << "ResetQueueRouting requires a flush first";
+    gt->queue = default_queue_;
+  }
+  for (MessageQueue*& queue : cpu_queues_) {
+    queue = nullptr;
+  }
+  default_queue_->set_wakeup_agent(nullptr);
+  queues_.erase(std::remove_if(queues_.begin(), queues_.end(),
+                               [this](const std::unique_ptr<MessageQueue>& q) {
+                                 return q.get() != default_queue_;
+                               }),
+                queues_.end());
+}
+
 bool Enclave::ConsumeOverflowPending() {
   const bool pending = overflow_pending_;
   overflow_pending_ = false;
@@ -565,11 +581,13 @@ void Enclave::Latch(Transaction* txn, Task* agent, Duration delay) {
     if (local) {
       ghost_class->SetForcedIdle(cpu, true);
     } else {
-      kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
-        kernel->SendIpi(cpu, cross_numa, [ghost_class, cpu, kernel] {
-          ghost_class->SetForcedIdle(cpu, true);
-          kernel->ReschedCpu(cpu);
-        });
+      // The IPI carries the commit generation observed now: if anything
+      // rewrites the CPU's commit state before it lands (a newer latch, a
+      // teardown), the effect is dropped instead of wedging the CPU.
+      const uint64_t gen = ghost_class->commit_gen(cpu);
+      kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa, gen] {
+        kernel->SendIpi(cpu, cross_numa,
+                        [ghost_class, cpu, gen] { ghost_class->ForceIdle(cpu, gen); });
       }, MakeSchedTag(SchedTagKind::kCpu, cpu));
     }
     return;
@@ -583,9 +601,10 @@ void Enclave::Latch(Transaction* txn, Task* agent, Duration delay) {
     ghost_class->LatchTask(cpu, gt->task, /*enabled=*/true);
   } else {
     ghost_class->LatchTask(cpu, gt->task, /*enabled=*/false);
-    kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
+    const uint64_t gen = ghost_class->commit_gen(cpu);
+    kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa, gen] {
       kernel->SendIpi(cpu, cross_numa,
-                      [ghost_class, cpu] { ghost_class->EnableLatch(cpu); });
+                      [ghost_class, cpu, gen] { ghost_class->EnableLatch(cpu, gen); });
     }, MakeSchedTag(SchedTagKind::kCpu, cpu));
   }
 }
@@ -605,11 +624,10 @@ void Enclave::LatchDeliver(Transaction* txn, Task* agent, Duration delay) {
     if (local) {
       ghost_class->SetForcedIdle(cpu, true);
     } else {
-      kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
-        kernel->SendIpi(cpu, cross_numa, [ghost_class, cpu, kernel] {
-          ghost_class->SetForcedIdle(cpu, true);
-          kernel->ReschedCpu(cpu);
-        });
+      const uint64_t gen = ghost_class->commit_gen(cpu);
+      kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa, gen] {
+        kernel->SendIpi(cpu, cross_numa,
+                        [ghost_class, cpu, gen] { ghost_class->ForceIdle(cpu, gen); });
       }, MakeSchedTag(SchedTagKind::kCpu, cpu));
     }
     return;
@@ -619,9 +637,10 @@ void Enclave::LatchDeliver(Transaction* txn, Task* agent, Duration delay) {
     // Takes effect when the agent yields its CPU.
     ghost_class->EnableLatchQuiet(cpu);
   } else {
-    kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa] {
+    const uint64_t gen = ghost_class->commit_gen(cpu);
+    kernel_->loop()->ScheduleAfter(delay, [kernel, ghost_class, cpu, cross_numa, gen] {
       kernel->SendIpi(cpu, cross_numa,
-                      [ghost_class, cpu] { ghost_class->EnableLatch(cpu); });
+                      [ghost_class, cpu, gen] { ghost_class->EnableLatch(cpu, gen); });
     }, MakeSchedTag(SchedTagKind::kCpu, cpu));
   }
 }

@@ -119,6 +119,14 @@ class Enclave {
   // dump is the authoritative view.
   void FlushAllQueues();
 
+  // Returns message routing to the initial state: every thread re-associates
+  // with the default queue, CPU-message routing and the default queue's
+  // wakeup target reset, and every policy-created queue is destroyed. Used by
+  // the live policy swap (§3.4 hot upgrade): the outgoing policy's queues
+  // must not keep receiving messages nobody will ever drain. Call after
+  // FlushAllQueues() — queues must be empty (CHECKed).
+  void ResetQueueRouting();
+
   // ---- Overflow (recoverable, §3.1/§3.4) -------------------------------------
   // A full (or fault-injected) queue drops the message instead of crashing
   // the kernel: the per-task resync flag and the enclave-wide overflow latch

@@ -35,16 +35,33 @@ void GhostClass::AddEnclave(Enclave* enclave) {
 
 void GhostClass::RemoveEnclave(Enclave* enclave) {
   enclaves_.erase(std::remove(enclaves_.begin(), enclaves_.end(), enclave), enclaves_.end());
+  const CpuMask& cpus = enclave->cpus();
   for (auto& owner : cpu_owner_) {
     if (owner == enclave) {
       owner = nullptr;
     }
   }
-  for (size_t cpu = 0; cpu < latches_.size(); ++cpu) {
-    if (cpu_owner_[cpu] == nullptr && latches_[cpu].task != nullptr &&
-        StateOf(latches_[cpu].task)->enclave == enclave) {
-      ClearLatch(static_cast<int>(cpu));
+  if (test_leak_teardown_cpu_state_) {
+    // Pre-fix behavior: only latches whose task demonstrably belongs to the
+    // departing enclave were cleared; forced-idle markers (and the commit
+    // generation they would have bumped) survived teardown.
+    for (size_t cpu = 0; cpu < latches_.size(); ++cpu) {
+      if (cpu_owner_[cpu] == nullptr && latches_[cpu].task != nullptr &&
+          StateOf(latches_[cpu].task)->enclave == enclave) {
+        ClearLatch(static_cast<int>(cpu));
+      }
     }
+    return;
+  }
+  // The departing enclave's commits die with it: any latch or forced-idle
+  // marker on its CPUs is residue of a transaction whose agent no longer
+  // exists. Left behind, a forced-idle marker makes PickNext() return
+  // nullptr forever, stranding every thread a successor enclave places on
+  // the CPU. ClearLatch also bumps the commit generation, so in-flight
+  // enable/forced-idle IPIs from this enclave are dropped on arrival.
+  for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
+    ClearLatch(cpu);
+    latches_[cpu].forced_idle = false;
   }
 }
 
@@ -55,15 +72,36 @@ void GhostClass::LatchTask(int cpu, Task* task, bool enabled) {
   latched_.Set(cpu);
   latch.enabled = enabled;
   latch.forced_idle = false;
+  ++latch.gen;
   StateOf(task)->latched_cpu = cpu;
 }
 
-void GhostClass::EnableLatch(int cpu) {
+void GhostClass::EnableLatch(int cpu, uint64_t gen) {
   Latch& latch = latches_[cpu];
+  if (!test_unguarded_commit_ipis_ && latch.gen != gen) {
+    // The commit this IPI belongs to was cleared or superseded while the IPI
+    // was in flight. Without the guard a stale enable could arm a *newer*
+    // latch before that commit's own effect left the agent — collapsing its
+    // commit-in-flight window and letting the pick race the agent's yield.
+    return;
+  }
   if (latch.task == nullptr) {
     return;  // invalidated while the IPI was in flight
   }
   latch.enabled = true;
+  kernel_->ReschedCpu(cpu);
+}
+
+void GhostClass::ForceIdle(int cpu, uint64_t gen) {
+  if (!test_unguarded_commit_ipis_ && latches_[cpu].gen != gen) {
+    // The idle commit was invalidated while its IPI was in flight — a newer
+    // transaction latched the CPU, or the committing enclave was torn down.
+    // Acting anyway would stamp a forced-idle marker under the newer latch
+    // (wedging the CPU: pick returns nullptr, every later commit fails
+    // ETXNPENDING) or onto a CPU the enclave no longer owns.
+    return;
+  }
+  SetForcedIdle(cpu, true);
   kernel_->ReschedCpu(cpu);
 }
 
@@ -82,10 +120,14 @@ void GhostClass::ClearLatch(int cpu) {
     latched_.Clear(cpu);
   }
   latch.enabled = false;
+  // Unconditional: clearing invalidates whatever commit the state belonged
+  // to, so any of its IPIs still in flight must find a moved generation.
+  ++latch.gen;
 }
 
 void GhostClass::SetForcedIdle(int cpu, bool forced) {
   latches_[cpu].forced_idle = forced;
+  ++latches_[cpu].gen;
   if (forced) {
     // Kick any ghOSt thread currently running there.
     Task* current = kernel_->current(cpu);
@@ -120,7 +162,39 @@ void GhostClass::EnqueueWake(Task* task) {
   gt->enclave->OnTaskWakeup(task);
 }
 
+void GhostClass::TaskExited(Task* task) {
+  // Real ghOSt does this in the task_dead hook, synchronously with the exit —
+  // not at the next reschedule. Tearing the state down here closes the
+  // same-instant window where an invariant scan (or any other event ordered
+  // between Exit and the freed CPU's resched) would see a dead task still
+  // enclave-managed. Found by the policy fuzzer (remote/conflict-group knobs
+  // merely shifted death into a scan-coincident instant; the window itself
+  // exists for every exit).
+  if (test_deferred_exit_teardown_) {
+    return;  // pre-fix behavior: PutPrev(kExited) at the resched does it all
+  }
+  auto* gt = static_cast<GhostTask*>(task->ghost_state());
+  if (gt == nullptr) {
+    return;  // already departed (enclave remove raced the exit)
+  }
+  const int cpu = task->cpu();
+  gt->status.on_cpu = false;
+  gt->status.cpu = -1;
+  gt->status.runtime = task->total_runtime();
+  gt->status.runnable = false;
+  if (gt->latched_cpu >= 0) {
+    ClearLatch(gt->latched_cpu);
+  }
+  gt->enclave->OnTaskPutPrev(task, cpu, PutPrevReason::kExited);
+}
+
 void GhostClass::PutPrev(Task* task, int cpu, PutPrevReason reason) {
+  if (reason == PutPrevReason::kExited && !test_deferred_exit_teardown_) {
+    // Torn down synchronously in TaskExited(); the deferred reschedule has
+    // nothing left to put away.
+    CHECK(task->ghost_state() == nullptr);
+    return;
+  }
   GhostTask* gt = StateOf(task);
   gt->status.on_cpu = false;
   gt->status.cpu = -1;

@@ -9,6 +9,7 @@
 #ifndef GHOST_SIM_SRC_GHOST_GHOST_CLASS_H_
 #define GHOST_SIM_SRC_GHOST_GHOST_CLASS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/base/cpumask.h"
@@ -32,7 +33,16 @@ class GhostClass : public SchedClass {
   // Latches `task` on `cpu`. If `enabled`, the next pick may take it;
   // otherwise it becomes pickable once EnableLatch() runs (IPI arrival).
   void LatchTask(int cpu, Task* task, bool enabled);
-  void EnableLatch(int cpu);
+  // Per-CPU commit generation: bumped whenever the CPU's latch/forced-idle
+  // state is (re)written or invalidated. Deferred commit effects (the
+  // enable-IPI and forced-idle-IPI callbacks) carry the generation observed
+  // at commit time and are dropped on arrival if it moved — an in-flight IPI
+  // must never act on behalf of a commit that was since cleared, superseded,
+  // or torn down with its enclave.
+  uint64_t commit_gen(int cpu) const { return latches_[cpu].gen; }
+  void EnableLatch(int cpu, uint64_t gen);
+  // Deferred arm of a forced-idle marker (remote idle transaction, §4.5).
+  void ForceIdle(int cpu, uint64_t gen);
   // Marks an existing latch pickable without kicking the CPU (the caller is
   // the local agent, which vacates the CPU itself — synchronized group
   // commits' deliver phase).
@@ -56,6 +66,9 @@ class GhostClass : public SchedClass {
   void TaskDeparted(Task* task) override;
   void EnqueueWake(Task* task) override;
   void PutPrev(Task* task, int cpu, PutPrevReason reason) override;
+  // Synchronous task_dead bookkeeping: posts TASK_DEAD, clears any latch the
+  // task holds, and erases it from its enclave before Exit() returns.
+  void TaskExited(Task* task) override;
   Task* PickNext(int cpu) override;
   void TaskStarted(int cpu, Task* task) override;
   void TaskTick(int cpu, Task* current) override;
@@ -71,11 +84,37 @@ class GhostClass : public SchedClass {
   void set_test_unsafe_fastpath(bool unsafe) { test_unsafe_fastpath_ = unsafe; }
   bool test_unsafe_fastpath() const { return test_unsafe_fastpath_; }
 
+  // Test seam (policy fuzzer battery): ignores the commit-generation guard on
+  // deferred IPI effects, reintroducing two historical bugs — a stale
+  // enable-IPI arming a newer latch early, and an idle-IPI forcing a CPU idle
+  // after its commit was invalidated (including past enclave teardown, which
+  // wedges every later enclave on that CPU). Never set outside tests.
+  void set_test_unguarded_commit_ipis(bool unguarded) {
+    test_unguarded_commit_ipis_ = unguarded;
+  }
+  // Test seam (policy fuzzer battery): RemoveEnclave leaves the departing
+  // enclave's per-CPU latch/forced-idle state behind instead of clearing it,
+  // reintroducing the teardown leak where a surviving forced-idle marker
+  // strands every thread a successor enclave places on the CPU. Never set
+  // outside tests.
+  void set_test_leak_teardown_cpu_state(bool leak) {
+    test_leak_teardown_cpu_state_ = leak;
+  }
+  // Test seam (policy fuzzer battery): defers exit teardown back to the freed
+  // CPU's reschedule event instead of the synchronous task_dead hook,
+  // reintroducing the same-instant window where an invariant scan ordered
+  // between Kernel::Exit() and the resched sees a dead task still
+  // enclave-managed. Never set outside tests.
+  void set_test_deferred_exit_teardown(bool deferred) {
+    test_deferred_exit_teardown_ = deferred;
+  }
+
  private:
   struct Latch {
     Task* task = nullptr;
     bool enabled = false;
     bool forced_idle = false;
+    uint64_t gen = 0;  // commit generation, see commit_gen()
   };
 
   std::vector<Enclave*> enclaves_;
@@ -84,6 +123,9 @@ class GhostClass : public SchedClass {
   CpuMask latched_;  // bit set iff latches_[cpu].task != nullptr
   uint64_t fastpath_picks_ = 0;
   bool test_unsafe_fastpath_ = false;
+  bool test_unguarded_commit_ipis_ = false;
+  bool test_leak_teardown_cpu_state_ = false;
+  bool test_deferred_exit_teardown_ = false;
 };
 
 }  // namespace gs

@@ -125,8 +125,12 @@ void Kernel::Block(Task* task) {
 
 void Kernel::Exit(Task* task) {
   CHECK(task->state() == TaskState::kRunning) << task->name();
+  UpdateProgress(task->cpu());
   task->set_state(TaskState::kDead);
   trace_.Record(now(), TraceEventType::kExit, task->cpu(), task->tid());
+  // Synchronous death bookkeeping (the task_dead hook): by the time Exit
+  // returns, no class may still advertise the task as managed.
+  task->sched_class()->TaskExited(task);
   ReschedCpu(task->cpu());
 }
 
@@ -150,6 +154,11 @@ void Kernel::Kill(Task* task) {
     case TaskState::kCreated:
     case TaskState::kBlocked:
       task->set_state(TaskState::kDead);
+      // No PutPrev will ever run for a task that dies off-CPU; the class
+      // must still drop its bookkeeping (ghOSt: status word + enclave table).
+      if (task->sched_class() != nullptr) {
+        task->sched_class()->TaskExited(task);
+      }
       return;
     case TaskState::kDead:
       return;

@@ -41,6 +41,15 @@ class SchedClass {
   // must forget it. Always called before PickNext for that CPU.
   virtual void PutPrev(Task* task, int cpu, PutPrevReason reason) = 0;
 
+  // A running task died, called synchronously from Kernel::Exit() before the
+  // freed CPU's (zero-delay, but separately ordered) reschedule event runs.
+  // Classes that expose per-task state to outside observers (ghOSt's status
+  // words and enclave tables) tear it down here so no event ordering can see
+  // a dead-but-still-managed task — mirroring the real kernel's task_dead
+  // hook, which runs in the exit path itself. The default leaves everything
+  // to the reschedule's PutPrev(kExited).
+  virtual void TaskExited(Task* task) {}
+
   // Returns the task this class wants on `cpu` now (possibly the task just
   // passed to PutPrev), or nullptr. The class removes the returned task from
   // its queues before returning it.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/policies/ab_test_policy.h"
 #include "src/policies/o1.h"
 #include "src/policies/per_cpu_fifo.h"
 #include "src/policies/shinjuku.h"
@@ -77,6 +78,15 @@ constexpr Entry kBuilders[] = {
          return tier(tid) != 0 ? antagonist_prio : worker_prio;
        };
        return std::unique_ptr<Policy>(std::make_unique<O1Policy>(o));
+     }},
+    {"ab_test",
+     [](const scenario::PolicySpec&, const PolicyEnv& env) {
+       AbTestPolicy::Options o;
+       if (env.ab_test != nullptr) {
+         o.canary_percent = env.ab_test->canary.percent;
+         o.canary_lifo = env.ab_test->canary.lifo;
+       }
+       return std::unique_ptr<Policy>(std::make_unique<AbTestPolicy>(o));
      }},
     {"vm_core_sched",
      [](const scenario::PolicySpec& spec, const PolicyEnv& env) {

@@ -41,6 +41,8 @@ struct PolicyEnv {
   std::function<int(int64_t)> tier_of;
   // vm_core_sched: trust-domain cookie of a thread.
   std::function<int64_t(int64_t)> cookie_of;
+  // ab_test: the scenario's A/B block (borrowed); nullptr = default lanes.
+  const scenario::AbTestSpec* ab_test = nullptr;
 };
 
 // Sorted names of every kind the factory can build. "cfs" is not in the

@@ -319,6 +319,43 @@ constexpr Builtin kBuiltins[] = {
   "antagonist": {"threads": 4, "placement": "enclave", "chunk_us": 300},
   "invariants": {"enabled": true, "period_us": 250, "ghost_starvation_bound_ms": 40}
 })json"},
+
+    // Live A/B canary under load: 30% of threads run the canary lane (LIFO
+    // admission), the canary is promoted to 100% mid-measure and rolled back
+    // before drain — two SwapPolicy hot-swaps (§3.4) with per-lane counters
+    // pinned exactly.
+    {"ab_hot_swap", R"json({
+  "name": "ab_hot_swap",
+  "description": "A/B canary split with mid-run promote and rollback hot-swaps",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 60, "drain_ms": 20,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "ab_test"},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 30,
+    "service": {"model": "bimodal", "short_us": 15, "long_us": 1000, "p_long": 0.01},
+    "phases": [{"duration_ms": 90, "qps": 20000}]
+  },
+  "ab_test": {
+    "canary": {"percent": 30, "lifo": true},
+    "promote_at_ms": 35,
+    "rollback_at_ms": 60
+  },
+  "invariants": {"enabled": true, "period_us": 250, "ghost_starvation_bound_ms": 40}
+})json"},
+
+    // Policy-fuzzer smoke: a small deterministic sweep of generated hostile
+    // policies through the fuzz harness, pinning "the mechanism layer
+    // survives every one of them" as a golden (CI's wide sweeps run through
+    // bench/policy_fuzz).
+    {"fuzz_smoke", R"json({
+  "name": "fuzz_smoke",
+  "description": "Hostile-policy fuzz sweep: mechanism survives every generated policy",
+  "seed": 42,
+  "warmup_ms": 1, "measure_ms": 1, "drain_ms": 0,
+  "fuzz": {"cases": 25, "base_seed": 1, "schedules_per_case": 1}
+})json"},
 };
 
 bool FileExists(const std::string& path) {

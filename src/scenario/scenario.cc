@@ -197,7 +197,7 @@ void ParsePolicy(const JsonValue& v, const std::string& path, PolicySpec* out,
   static constexpr std::initializer_list<const char*> kKinds = {
       "centralized_fifo", "shinjuku",      "shinjuku_shenango",
       "snap",             "per_cpu_fifo",  "o1",
-      "vm_core_sched",    "cfs"};
+      "vm_core_sched",    "ab_test",       "cfs"};
   if (r.ok() && !OneOf(out->kind, kKinds)) {
     r.Fail(BadEnum(r.Path("kind"), out->kind, kKinds));
   }
@@ -391,6 +391,42 @@ void ParseInvariants(const JsonValue& v, InvariantsSpec* out, std::string* error
   r.Double("ghost_starvation_bound_ms", &out->ghost_starvation_bound_ms);
   if (r.ok() && out->period_us <= 0) {
     r.Fail("\"invariants.period_us\" must be > 0");
+  }
+  r.Finish();
+}
+
+void ParseAbTest(const JsonValue& v, AbTestSpec* out, std::string* error) {
+  ObjectReader r(v, "ab_test", error);
+  if (const JsonValue* canary = r.Section("canary")) {
+    ObjectReader c(*canary, r.Path("canary"), error);
+    c.Int("percent", &out->canary.percent);
+    c.Bool("lifo", &out->canary.lifo);
+    if (c.ok() && (out->canary.percent < 0 || out->canary.percent > 100)) {
+      c.Fail(ObjectReader::Quote(c.Path("percent")) + " must be in [0, 100]");
+    }
+    c.Finish();
+  }
+  r.Double("promote_at_ms", &out->promote_at_ms);
+  r.Double("rollback_at_ms", &out->rollback_at_ms);
+  if (r.ok() && out->promote_at_ms >= 0 && out->rollback_at_ms >= 0 &&
+      out->rollback_at_ms <= out->promote_at_ms) {
+    r.Fail(ObjectReader::Quote(r.Path("rollback_at_ms")) + " must be > " +
+           ObjectReader::Quote(r.Path("promote_at_ms")) +
+           " when both are scheduled");
+  }
+  r.Finish();
+}
+
+void ParseFuzz(const JsonValue& v, FuzzSpec* out, std::string* error) {
+  ObjectReader r(v, "fuzz", error);
+  r.Int("cases", &out->cases);
+  r.UInt64("base_seed", &out->base_seed);
+  r.Int("schedules_per_case", &out->schedules_per_case);
+  if (r.ok() && out->cases < 1) {
+    r.Fail(ObjectReader::Quote(r.Path("cases")) + " must be >= 1");
+  }
+  if (r.ok() && out->schedules_per_case < 1) {
+    r.Fail(ObjectReader::Quote(r.Path("schedules_per_case")) + " must be >= 1");
   }
   r.Finish();
 }
@@ -637,6 +673,20 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(std::string_view text,
   if (const JsonValue* v = r.Section("invariants")) {
     ParseInvariants(*v, &spec.invariants, error);
   }
+  if (const JsonValue* v = r.Section("ab_test")) {
+    spec.ab_test.emplace();
+    ParseAbTest(*v, &*spec.ab_test, error);
+    if (r.ok() && spec.policy.kind != "ab_test") {
+      r.Fail("\"ab_test\" requires \"policy.kind\" == \"ab_test\"");
+    }
+  }
+  if (const JsonValue* v = r.Section("fuzz")) {
+    spec.fuzz.emplace();
+    ParseFuzz(*v, &*spec.fuzz, error);
+    if (r.ok() && spec.ab_test.has_value()) {
+      r.Fail("\"fuzz\" cannot be combined with \"ab_test\"");
+    }
+  }
   // Fleet comes last: overrides merge over the fully-parsed base sections.
   if (const JsonValue* v = r.Section("fleet")) {
     spec.fleet.emplace();
@@ -650,6 +700,12 @@ std::optional<ScenarioSpec> ScenarioSpec::Parse(std::string_view text,
     }
     if (r.ok() && spec.policy.kind == "vm_core_sched") {
       r.Fail("\"fleet\" cannot be combined with \"policy.kind\" \"vm_core_sched\"");
+    }
+    if (r.ok() && (spec.ab_test.has_value() || spec.policy.kind == "ab_test")) {
+      r.Fail("\"fleet\" cannot be combined with \"ab_test\"");
+    }
+    if (r.ok() && spec.fuzz.has_value()) {
+      r.Fail("\"fleet\" cannot be combined with \"fuzz\"");
     }
     if (r.ok()) {
       for (size_t i = 0; i < spec.fleet->overrides.size(); ++i) {
@@ -877,6 +933,28 @@ std::string ScenarioSpec::ToJson() const {
   w.KV("period_us", invariants.period_us);
   w.KV("ghost_starvation_bound_ms", invariants.ghost_starvation_bound_ms);
   w.EndObject();
+
+  if (ab_test.has_value()) {
+    w.Key("ab_test");
+    w.BeginObject();
+    w.Key("canary");
+    w.BeginObject();
+    w.KV("percent", ab_test->canary.percent);
+    w.KV("lifo", ab_test->canary.lifo);
+    w.EndObject();
+    w.KV("promote_at_ms", ab_test->promote_at_ms);
+    w.KV("rollback_at_ms", ab_test->rollback_at_ms);
+    w.EndObject();
+  }
+
+  if (fuzz.has_value()) {
+    w.Key("fuzz");
+    w.BeginObject();
+    w.KV("cases", fuzz->cases);
+    w.KV("base_seed", fuzz->base_seed);
+    w.KV("schedules_per_case", fuzz->schedules_per_case);
+    w.EndObject();
+  }
 
   if (fleet.has_value()) {
     w.Key("fleet");

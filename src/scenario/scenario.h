@@ -41,8 +41,9 @@ struct TopologySpec {
 
 struct PolicySpec {
   // "centralized_fifo" | "shinjuku" | "shinjuku_shenango" | "snap" |
-  // "per_cpu_fifo" | "o1" | "vm_core_sched" | "cfs" (no agent: the workload
-  // runs under the kernel's default scheduler).
+  // "per_cpu_fifo" | "o1" | "vm_core_sched" | "ab_test" (A/B lane split;
+  // configured by the top-level "ab_test" block) | "cfs" (no agent: the
+  // workload runs under the kernel's default scheduler).
   std::string kind = "shinjuku";
   int global_cpu = -1;          // centralized policies; -1 = first enclave CPU
   double timeslice_us = 30;     // preemption timeslice (0 = run to completion)
@@ -129,6 +130,39 @@ struct InvariantsSpec {
   double period_us = 250;
   // Starvation bound for watchdog-less enclaves (0 = skip that check).
   double ghost_starvation_bound_ms = 0;
+};
+
+// ---- A/B hot-swap and policy-fuzzer specs -----------------------------------
+
+struct AbCanarySpec {
+  // Share of the tid space hashed into the canary lane, 0..100.
+  int percent = 10;
+  // Canary behavioral delta: freshly woken canary threads are admitted LIFO.
+  bool lifo = false;
+};
+
+// Live A/B hot-swap (policy.kind must be "ab_test"): the enclave starts with
+// the lanes split per `canary`, then the run optionally *promotes* the canary
+// (hot-swaps in an instance with canary at 100%) and/or *rolls back* (canary
+// at 0%) via AgentProcess::SwapPolicy — the §3.4 upgrade path — while the
+// workload keeps running. Per-lane counters land in the scenario's exact
+// metrics; lane membership is a pure tid hash, so split counters partition
+// the single-policy totals.
+struct AbTestSpec {
+  AbCanarySpec canary;
+  double promote_at_ms = -1;   // < 0 = never promote
+  double rollback_at_ms = -1;  // < 0 = never roll back
+};
+
+// Policy-fuzzer scenario: instead of one simulated machine, the run sweeps
+// `cases` generated hostile policies through the fuzz harness
+// (verify/policy_fuzzer.h) and reports case/violation counts as exact
+// metrics. All machine-shaping sections (topology/workload/...) are ignored;
+// the fuzz harness owns its own fixed machine.
+struct FuzzSpec {
+  int cases = 50;
+  uint64_t base_seed = 1;
+  int schedules_per_case = 1;  // random-walk executions per generated config
 };
 
 // ---- Fleet (multi-machine) specs --------------------------------------------
@@ -224,6 +258,10 @@ struct ScenarioSpec {
   AntagonistSpec antagonist;
   FaultsSpec faults;
   InvariantsSpec invariants;
+  // Present only with policy.kind == "ab_test"; incompatible with fleet.
+  std::optional<AbTestSpec> ab_test;
+  // Present = fuzzer sweep scenario; incompatible with fleet and ab_test.
+  std::optional<FuzzSpec> fuzz;
   // Absent = single machine (the degenerate one-node cluster, no network or
   // front end in the loop). Present = fleet mode, even with machines == 1.
   std::optional<FleetSpec> fleet;

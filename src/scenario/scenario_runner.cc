@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "src/fleet/cluster.h"
+#include "src/verify/policy_fuzzer.h"
 
 namespace gs {
 namespace scenario {
@@ -34,6 +35,30 @@ void EnvelopeBand(const std::string& name, double value, double* lo, double* hi)
 
 ScenarioResult RunScenario(const ScenarioSpec& spec, StatsRegistry* stats,
                            int jobs) {
+  if (spec.fuzz.has_value()) {
+    // Fuzzer scenario: no machine to build — sweep generated hostile
+    // policies through the fuzz harness and report the verdict as exact
+    // metrics. Always single-job so the golden is byte-identical whatever
+    // --jobs the harness runs with.
+    FuzzSweepOptions options;
+    options.cases = spec.fuzz->cases;
+    options.base_seed = spec.fuzz->base_seed;
+    options.schedules_per_case = static_cast<uint64_t>(spec.fuzz->schedules_per_case);
+    options.jobs = 1;
+    const FuzzSweepResult sweep = RunFuzzSweep(options);
+    ScenarioResult result;
+    result.name = spec.name;
+    result.seed = spec.seed;
+    result.exact["fuzz_cases"] = sweep.cases_run;
+    result.exact["fuzz_schedules"] = static_cast<int64_t>(sweep.total_schedules);
+    result.exact["fuzz_violations"] = static_cast<int64_t>(sweep.violations.size());
+    result.exact["invariants_ok"] = sweep.violations.empty() ? 1 : 0;
+    for (const FuzzCaseResult& v : sweep.violations) {
+      result.violations.push_back("seed " + std::to_string(v.config.seed) + ": " +
+                                  v.violation);
+    }
+    return result;
+  }
   fleet::Cluster cluster(spec, stats, jobs);
   return cluster.Run();
 }

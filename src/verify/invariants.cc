@@ -76,7 +76,46 @@ void InvariantChecker::Scan() {
   for (Enclave* enclave : enclaves_) {
     CheckEnclave(enclave);
   }
+  CheckOrphanedCpuState();
   CheckConservation();
+}
+
+void InvariantChecker::CheckOrphanedCpuState() {
+  GhostClass* cls = nullptr;
+  for (Enclave* enclave : enclaves_) {
+    if (enclave->ghost_class() != nullptr) {
+      cls = enclave->ghost_class();  // one ghost class per kernel
+      break;
+    }
+  }
+  if (cls == nullptr) {
+    return;
+  }
+  const int num_cpus = kernel_->topology().num_cpus();
+  for (int cpu = 0; cpu < num_cpus; ++cpu) {
+    // A forced-idle marker under a pending latch wedges the CPU permanently:
+    // PickNext() returns nullptr so the latch never clears, and every later
+    // commit fails ETXNPENDING — the latched task is stranded forever. The
+    // only way to reach this state is a stale idle-IPI acting on behalf of an
+    // invalidated commit (the commit-generation guard exists to drop it).
+    if (Task* latched = cls->LatchedTask(cpu);
+        latched != nullptr && cls->forced_idle(cpu)) {
+      Violation("cpu " + std::to_string(cpu) + " holds a latch for '" +
+                latched->name() +
+                "' under a forced-idle marker (wedged commit)");
+    }
+    if (cls->EnclaveForCpu(cpu) != nullptr) {
+      continue;  // the owning enclave's checks cover it
+    }
+    if (Task* latched = cls->LatchedTask(cpu); latched != nullptr) {
+      Violation("cpu " + std::to_string(cpu) + " has no enclave but holds a latch for '" +
+                latched->name() + "' (leaked across teardown)");
+    }
+    if (cls->forced_idle(cpu)) {
+      Violation("cpu " + std::to_string(cpu) +
+                " has no enclave but is marked forced-idle (leaked across teardown)");
+    }
+  }
 }
 
 void InvariantChecker::CheckCpus() {

@@ -94,6 +94,11 @@ class InvariantChecker {
   void CheckCpus();
   void CheckGhostMembership();
   void CheckEnclave(Enclave* enclave);
+  // A CPU no enclave owns must hold no latch and no forced-idle marker:
+  // leaked teardown state silently strands whatever a successor enclave
+  // places there. Runs against the ghost class of every watched enclave,
+  // including destroyed ones (teardown is exactly when leaks happen).
+  void CheckOrphanedCpuState();
   void CheckConservation();
 
   Kernel* kernel_;

@@ -1,0 +1,148 @@
+// Policy-fuzzer tests: deterministic config generation, a seams-off smoke
+// sweep that must stay clean, replay-file round-tripping, and — the point of
+// the whole battery — one regression per mechanism bug the fuzzer surfaced,
+// each pinned by its checked-in shrunken replay (tests/replays/): the replay
+// must reproduce the violation with the bug's test seam reopened and come
+// back clean on the fixed code.
+#include "src/verify/policy_fuzzer.h"
+
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace gs {
+namespace {
+
+std::string ReplayPath(const char* name) {
+  return std::string(GHOST_SIM_REPLAYS_DIR) + "/" + name;
+}
+
+TEST(HostileConfigTest, SameSeedSameConfig) {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    const HostileConfig a = GenerateHostileConfig(seed);
+    const HostileConfig b = GenerateHostileConfig(seed);
+    EXPECT_EQ(a.seed, seed);
+    EXPECT_EQ(a.drop_wakeup_pct, b.drop_wakeup_pct);
+    EXPECT_EQ(a.drop_new_pct, b.drop_new_pct);
+    EXPECT_EQ(a.stale_cpu_pct, b.stale_cpu_pct);
+    EXPECT_EQ(a.remote_pct, b.remote_pct);
+    EXPECT_EQ(a.idle_commit_pct, b.idle_commit_pct);
+    EXPECT_EQ(a.conflict_group_pct, b.conflict_group_pct);
+    EXPECT_EQ(a.never_yield_pct, b.never_yield_pct);
+    EXPECT_EQ(a.block_with_work_pct, b.block_with_work_pct);
+    EXPECT_EQ(a.stall_window, b.stall_window);
+    EXPECT_EQ(a.crash_agent, b.crash_agent);
+  }
+}
+
+TEST(HostileConfigTest, AtLeastOneHostileKnobIsAlwaysActive) {
+  for (uint64_t seed = 1; seed <= 256; ++seed) {
+    const HostileConfig c = GenerateHostileConfig(seed);
+    EXPECT_TRUE(c.drop_wakeup_pct > 0 || c.drop_new_pct > 0 ||
+                c.stale_cpu_pct > 0 || c.remote_pct > 0 ||
+                c.idle_commit_pct > 0 || c.conflict_group_pct > 0 ||
+                c.never_yield_pct > 0 || c.block_with_work_pct > 0 ||
+                c.stall_window || c.crash_agent)
+        << "seed " << seed << " generated a benign policy";
+  }
+}
+
+TEST(PolicyFuzzerTest, SmokeSweepIsCleanWithoutSeams) {
+  FuzzSweepOptions options;
+  options.cases = 30;
+  options.schedules_per_case = 1;
+  const FuzzSweepResult result = RunFuzzSweep(options);
+  EXPECT_EQ(result.cases_run, 30);
+  EXPECT_GE(result.total_schedules, 30u);
+  ASSERT_TRUE(result.violations.empty())
+      << "seed " << result.violations[0].config.seed << ": "
+      << result.violations[0].violation;
+}
+
+TEST(PolicyFuzzerTest, SweepIsDeterministic) {
+  FuzzSweepOptions options;
+  options.cases = 10;
+  options.schedules_per_case = 1;
+  const FuzzSweepResult a = RunFuzzSweep(options);
+  const FuzzSweepResult b = RunFuzzSweep(options);
+  EXPECT_EQ(a.total_schedules, b.total_schedules);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(PolicyFuzzerTest, ReplayFileRoundTrips) {
+  FuzzCaseResult result;
+  result.shrunk = GenerateHostileConfig(7);
+  result.violation = "some violation text";
+  result.trace = {2, 0, 1, 3};
+  FuzzSeams seams;
+  seams.leak_teardown_cpu_state = true;
+  seams.deferred_exit_teardown = true;
+  const std::string path = ::testing::TempDir() + "roundtrip.replay";
+  ASSERT_TRUE(SaveFuzzReplay(path, result, seams));
+
+  HostileConfig config;
+  FuzzSeams loaded;
+  Explorer::ChoiceTrace trace;
+  std::string violation;
+  ASSERT_TRUE(LoadFuzzReplay(path, &config, &loaded, &trace, &violation));
+  EXPECT_EQ(config.seed, result.shrunk.seed);
+  EXPECT_EQ(config.drop_wakeup_pct, result.shrunk.drop_wakeup_pct);
+  EXPECT_EQ(config.remote_pct, result.shrunk.remote_pct);
+  EXPECT_EQ(config.conflict_group_pct, result.shrunk.conflict_group_pct);
+  EXPECT_EQ(config.stall_window, result.shrunk.stall_window);
+  EXPECT_EQ(config.crash_agent, result.shrunk.crash_agent);
+  EXPECT_FALSE(loaded.unguarded_commit_ipis);
+  EXPECT_TRUE(loaded.leak_teardown_cpu_state);
+  EXPECT_TRUE(loaded.deferred_exit_teardown);
+  EXPECT_EQ(trace, result.trace);
+  EXPECT_EQ(violation, "some violation text");
+}
+
+TEST(PolicyFuzzerTest, LoadRejectsWrongHeader) {
+  const std::string path = ::testing::TempDir() + "bad.replay";
+  {
+    std::ofstream out(path);
+    out << "not a replay\n";
+  }
+  HostileConfig config;
+  FuzzSeams seams;
+  Explorer::ChoiceTrace trace;
+  std::string violation;
+  EXPECT_FALSE(LoadFuzzReplay(path, &config, &seams, &trace, &violation));
+  EXPECT_FALSE(LoadFuzzReplay("/nonexistent/x.replay", &config, &seams, &trace,
+                              &violation));
+}
+
+// ---- Checked-in regressions -------------------------------------------------
+// One parameter per mechanism bug the fuzz battery surfaced. Each replay was
+// shrunk and saved by the fuzzer itself; the `seams:` line reopens exactly
+// the bug it pinned.
+class FuzzReplayRegressionTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzReplayRegressionTest, ReplayReproducesWithSeamAndIsFixedWithoutIt) {
+  HostileConfig config;
+  FuzzSeams seams;
+  Explorer::ChoiceTrace trace;
+  std::string expected;
+  ASSERT_TRUE(LoadFuzzReplay(ReplayPath(GetParam()), &config, &seams, &trace,
+                             &expected))
+      << "cannot load " << ReplayPath(GetParam());
+  ASSERT_TRUE(seams.unguarded_commit_ipis || seams.leak_teardown_cpu_state ||
+              seams.deferred_exit_teardown)
+      << "replay pins no seam; it would not reproduce anything";
+  // With the bug's seam reopened the shrunken replay reproduces the exact
+  // violation it was saved with...
+  EXPECT_EQ(RunFuzzReplay(config, seams, trace), expected);
+  // ...and the fixed mechanism layer survives the identical hostile policy
+  // on the identical schedule.
+  EXPECT_EQ(RunFuzzReplay(config, FuzzSeams(), trace), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(CheckedIn, FuzzReplayRegressionTest,
+                         ::testing::Values("unguarded_commit_ipis.replay",
+                                           "leak_teardown_cpu_state.replay",
+                                           "deferred_exit_teardown.replay"));
+
+}  // namespace
+}  // namespace gs

@@ -132,6 +132,71 @@ TEST(ScenarioParseTest, FleetBlockParses) {
   EXPECT_EQ(spec->fleet->plan[0].kind, "lb_drain");
 }
 
+std::string WithAbTest(const std::string& ab_json) {
+  std::string spec(kMinimal);
+  spec.replace(spec.find("per_cpu_fifo"), sizeof("per_cpu_fifo") - 1, "ab_test");
+  const size_t close = spec.rfind('}');
+  return spec.substr(0, close) + ", \"ab_test\": " + ab_json + "}";
+}
+
+std::string WithFuzz(const std::string& fuzz_json) {
+  std::string spec(kMinimal);
+  const size_t close = spec.rfind('}');
+  return spec.substr(0, close) + ", \"fuzz\": " + fuzz_json + "}";
+}
+
+TEST(ScenarioParseTest, AbTestBlockParses) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(
+      WithAbTest(R"({"canary": {"percent": 25, "lifo": true},
+                     "promote_at_ms": 4, "rollback_at_ms": 6})"),
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_TRUE(spec->ab_test.has_value());
+  EXPECT_EQ(spec->ab_test->canary.percent, 25);
+  EXPECT_TRUE(spec->ab_test->canary.lifo);
+  EXPECT_DOUBLE_EQ(spec->ab_test->promote_at_ms, 4);
+  EXPECT_DOUBLE_EQ(spec->ab_test->rollback_at_ms, 6);
+}
+
+TEST(ScenarioParseTest, AbTestRequiresTheAbTestPolicyKind) {
+  std::string error;
+  std::string spec(kMinimal);  // policy.kind stays per_cpu_fifo
+  const size_t close = spec.rfind('}');
+  spec = spec.substr(0, close) + ", \"ab_test\": {\"canary\": {\"percent\": 5}}}";
+  EXPECT_FALSE(ScenarioSpec::Parse(spec, &error).has_value());
+  EXPECT_NE(error.find("ab_test"), std::string::npos) << error;
+  EXPECT_NE(error.find("policy.kind"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, AbTestCanaryPercentMustBeInRange) {
+  std::string error;
+  EXPECT_FALSE(
+      ScenarioSpec::Parse(WithAbTest(R"({"canary": {"percent": 101}})"), &error)
+          .has_value());
+  EXPECT_NE(error.find("percent"), std::string::npos) << error;
+}
+
+TEST(ScenarioParseTest, FuzzBlockParses) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ScenarioSpec::Parse(
+      WithFuzz(R"({"cases": 40, "base_seed": 9, "schedules_per_case": 3})"), &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_TRUE(spec->fuzz.has_value());
+  EXPECT_EQ(spec->fuzz->cases, 40);
+  EXPECT_EQ(spec->fuzz->base_seed, 9u);
+  EXPECT_EQ(spec->fuzz->schedules_per_case, 3);
+}
+
+TEST(ScenarioParseTest, FuzzCannotCombineWithAbTest) {
+  std::string error;
+  std::string spec = WithAbTest(R"({"canary": {"percent": 5}})");
+  const size_t close = spec.rfind('}');
+  spec = spec.substr(0, close) + ", \"fuzz\": {\"cases\": 5}}";
+  EXPECT_FALSE(ScenarioSpec::Parse(spec, &error).has_value());
+  EXPECT_NE(error.find("fuzz"), std::string::npos) << error;
+}
+
 TEST(ScenarioParseTest, FleetUnknownKeyIsNamedWithPath) {
   std::string error;
   EXPECT_FALSE(ScenarioSpec::Parse(WithFleet(R"({"machines": 2, "ballancer": {}})"),
@@ -224,6 +289,22 @@ TEST(ScenarioDeathTest, FleetTypoNamesExactPathAndExits2) {
   EXPECT_EXIT(
       ScenarioSpec::ParseOrExit(WithFleet(R"({"machines": 2, "ballancer": {}})")),
       ::testing::ExitedWithCode(2), "unknown key \"fleet.ballancer\"");
+}
+
+TEST(ScenarioDeathTest, AbTestCanaryTypoNamesExactPathAndExits2) {
+  EXPECT_EXIT(
+      ScenarioSpec::ParseOrExit(WithAbTest(R"({"canary": {"percent": 10, "polcy": 1}})")),
+      ::testing::ExitedWithCode(2), "unknown key \"ab_test.canary.polcy\"");
+}
+
+TEST(ScenarioDeathTest, AbTestTypoNamesExactPathAndExits2) {
+  EXPECT_EXIT(ScenarioSpec::ParseOrExit(WithAbTest(R"({"promot_at_ms": 4})")),
+              ::testing::ExitedWithCode(2), "unknown key \"ab_test.promot_at_ms\"");
+}
+
+TEST(ScenarioDeathTest, FuzzTypoNamesExactPathAndExits2) {
+  EXPECT_EXIT(ScenarioSpec::ParseOrExit(WithFuzz(R"({"cses": 10})")),
+              ::testing::ExitedWithCode(2), "unknown key \"fuzz.cses\"");
 }
 
 TEST(ScenarioDeathTest, LoadFileOrExitRejectsMissingFile) {
