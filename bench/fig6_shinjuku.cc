@@ -24,7 +24,7 @@
 #include "src/agent/agent_process.h"
 #include "src/baselines/shinjuku_dataplane.h"
 #include "src/ghost/machine.h"
-#include "src/policies/shinjuku.h"
+#include "src/policies/factory.h"
 #include "src/workloads/batch.h"
 #include "src/workloads/request_service.h"
 
@@ -89,18 +89,20 @@ Result RunGhost(bench::Run& run, double offered_kqps, bool with_batch, uint64_t 
 
   BatchApp batch(&m.kernel(), {.num_threads = kBatchThreads});
   auto batch_tids = std::make_shared<std::set<int64_t>>();
-  std::unique_ptr<CentralizedFifoPolicy> policy;
+  // Construct through the factory — the same path the scenario runner uses.
+  scenario::PolicySpec spec;
+  spec.kind = with_batch ? "shinjuku_shenango" : "shinjuku";
+  spec.timeslice_us = static_cast<double>(kTimeslice) / 1e3;
+  PolicyEnv env;
+  env.default_global_cpu = 1;
   if (with_batch) {
     for (Task* t : batch.threads()) {
       batch_tids->insert(t->tid());
     }
-    policy = MakeShinjukuShenangoPolicy(
-        kTimeslice, [batch_tids](int64_t tid) { return batch_tids->count(tid) ? 1 : 0; },
-        /*global_cpu=*/1);
-  } else {
-    policy = MakeShinjukuPolicy(kTimeslice, /*global_cpu=*/1);
+    env.tier_of = [batch_tids](int64_t tid) { return batch_tids->count(tid) ? 1 : 0; };
   }
-  AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(), std::move(policy));
+  AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(),
+                       MakeScenarioPolicy(spec, env));
   process.Start();
 
   ThreadPoolServer server(&m.kernel(), {.num_workers = kNumWorkers});

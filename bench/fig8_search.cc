@@ -15,7 +15,7 @@
 #include "bench/machine_trace.h"
 #include "src/agent/agent_process.h"
 #include "src/ghost/machine.h"
-#include "src/policies/search.h"
+#include "src/policies/factory.h"
 #include "src/workloads/search_workload.h"
 
 namespace gs {
@@ -69,10 +69,12 @@ Series RunGhost(bench::Run& run, uint64_t seed) {
             /*with_core_sched=*/false, &run.stats());
   bench::ScopedMachineTrace trace_scope(run, m.kernel());
   auto enclave = m.CreateEnclave(m.kernel().topology().AllCpus());
-  SearchPolicy::Options options;
-  options.global_cpu = 0;
+  // Construct through the factory — the same path the scenario runner uses.
+  scenario::PolicySpec spec;
+  spec.kind = "search";
+  spec.global_cpu = 0;
   AgentProcess process(&m.kernel(), m.ghost_class(), enclave.get(),
-                       std::make_unique<SearchPolicy>(options));
+                       MakeScenarioPolicy(spec, PolicyEnv{}));
   process.Start();
 
   SearchWorkload workload(&m.kernel(), {.seed = seed});

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "src/agent/runqueue.h"
+#include "src/agent/sdk/runqueue.h"
 #include "src/agent/task_table.h"
 #include "src/sim/simulation.h"
 

@@ -1,0 +1,94 @@
+#include "src/agent/sdk/placement.h"
+
+#include "src/kernel/kernel.h"
+#include "src/topology/topology.h"
+
+namespace gs {
+
+int TieredPlacer::PickFromTier(const CpuMask& tier) const {
+  // Prefer a CPU whose SMT sibling is idle (a whole idle core), like the
+  // kernel's select_idle_core(); otherwise take any CPU in the tier.
+  const Topology& topo = kernel_->topology();
+  for (int cpu = tier.First(); cpu >= 0; cpu = tier.NextAfter(cpu)) {
+    const int sibling = topo.cpu(cpu).sibling;
+    if (sibling < 0 || kernel_->CpuIdle(sibling)) {
+      return cpu;
+    }
+  }
+  return tier.First();
+}
+
+int TieredPlacer::Pick(AgentContext& ctx, const PolicyTask& task,
+                       const CpuMask& candidates, const PlacementHint& hint) {
+  // An exact-CPU hint that is actually available short-circuits everything:
+  // the hinting policy already knows more than the tier heuristic.
+  if (hint.cpu >= 0 && candidates.IsSet(hint.cpu)) {
+    ++hint_hits_;
+    return hint.cpu;
+  }
+  if (!options_.ccx_aware || task.last_cpu < 0) {
+    // No run history to be warm relative to: a CCX hint (predicted wakeup
+    // affinity) is the only locality signal there is.
+    if (hint.ccx >= 0) {
+      const CpuMask tier = candidates & kernel_->topology().CcxMask(hint.ccx);
+      if (!tier.Empty()) {
+        ++hint_hits_;
+        return PickFromTier(tier);
+      }
+    }
+    return PickFromTier(candidates);
+  }
+  const Topology& topo = kernel_->topology();
+  const CpuInfo& last = topo.cpu(task.last_cpu);
+  ctx.Charge(kernel_->cost().agent_per_task_scan);  // the 57-line heuristic
+
+  // Tier 1: same physical core (warm L1/L2).
+  CpuMask tier = candidates & topo.CoreMask(last.core);
+  if (!tier.Empty()) {
+    return tier.First();
+  }
+  // Tier 2: same CCX (warm L3).
+  tier = candidates & topo.CcxMask(last.ccx);
+  if (!tier.Empty()) {
+    return PickFromTier(tier);
+  }
+  // Hinted CCX: the predictor says the task's footprint is headed there, so
+  // it outranks the blind neighbour fan-out — and takes it immediately, no
+  // warmth deferral, because the hint is itself the warmth estimate.
+  if (hint.ccx >= 0 && hint.ccx != last.ccx) {
+    tier = candidates & topo.CcxMask(hint.ccx);
+    if (!tier.Empty()) {
+      ++hint_hits_;
+      return PickFromTier(tier);
+    }
+  }
+  // Tier 3: nearest-neighbour CCXs on the same socket (fan-out search).
+  const int ccxs_per_numa = topo.num_ccxs() / topo.num_numa_nodes();
+  const int numa_first_ccx = (last.ccx / ccxs_per_numa) * ccxs_per_numa;
+  for (int distance = 1; distance < ccxs_per_numa; ++distance) {
+    for (int sign : {+1, -1}) {
+      const int ccx = last.ccx + sign * distance;
+      if (ccx < numa_first_ccx || ccx >= numa_first_ccx + ccxs_per_numa) {
+        continue;
+      }
+      tier = candidates & topo.CcxMask(ccx);
+      if (!tier.Empty()) {
+        // §4.4's bespoke optimization: prefer waiting up to 100 us for the
+        // home CCX over an immediate cross-CCX migration.
+        if (ctx.start() - task.became_runnable < options_.max_pending_before_migrate) {
+          ++deferred_;
+          return -1;
+        }
+        return PickFromTier(tier);
+      }
+    }
+  }
+  // Anywhere allowed (cross-socket only if the cpumask permits it).
+  if (ctx.start() - task.became_runnable < options_.max_pending_before_migrate) {
+    ++deferred_;
+    return -1;
+  }
+  return PickFromTier(candidates);
+}
+
+}  // namespace gs

@@ -1,13 +1,18 @@
-// Userspace runqueues for policies.
+// Policy-SDK runqueue primitives: the one runqueue implementation surface
+// that DispatchPolicy authors compose instead of hand-rolling.
 //
 // FifoRunqueue backs the Shinjuku/Snap-style FIFO policies (Fig 3/4);
 // MinRunqueue is an ordered queue keyed by a policy-chosen value — elapsed
 // runtime for the Google Search policy's min-heap (§4.4), deadlines for the
-// EDF secure-VM policy (§4.5).
-#ifndef GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
-#define GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
+// EDF secure-VM policy (§4.5); PrioArrayRunqueue is a multilevel FIFO with
+// an occupancy bitmap and O(1) highest-priority pick (the Linux 2.6 O(1)
+// scheduler's priority array, hoisted out of the O1 policy).
+#ifndef GHOST_SIM_SRC_AGENT_SDK_RUNQUEUE_H_
+#define GHOST_SIM_SRC_AGENT_SDK_RUNQUEUE_H_
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -124,6 +129,82 @@ class MinRunqueue {
   std::vector<Entry> queue_;
 };
 
+// Multilevel FIFO with an occupancy bitmap: one FIFO per priority level
+// (0 is highest), pick = count-trailing-zeros on the bitmap + pop that
+// queue's head. At most 64 levels (one bitmap word). This is the O(1)
+// scheduler's priority array; the O1 policy keeps an active/expired pair of
+// these and swaps them when the active one drains.
+class PrioArrayRunqueue {
+ public:
+  PrioArrayRunqueue() = default;
+  explicit PrioArrayRunqueue(int levels) { Resize(levels); }
+
+  // Sets the number of priority levels. Existing queued tasks are dropped;
+  // call before use (or between runs), not while populated.
+  void Resize(int levels) {
+    CHECK(levels >= 1 && levels <= 64)
+        << "PrioArrayRunqueue: levels must be in [1, 64], got " << levels;
+    queues_.assign(static_cast<size_t>(levels), FifoRunqueue());
+    bitmap_ = 0;
+  }
+
+  void Push(PolicyTask* task, int prio, bool front) {
+    if (front) {
+      queues_[prio].PushFront(task);
+    } else {
+      queues_[prio].Push(task);
+    }
+    bitmap_ |= uint64_t{1} << prio;
+  }
+
+  // Head of the highest-priority non-empty level; nullptr if empty.
+  PolicyTask* Pop() {
+    if (bitmap_ == 0) {
+      return nullptr;
+    }
+    const int prio = std::countr_zero(bitmap_);
+    PolicyTask* task = queues_[prio].Pop();
+    if (queues_[prio].empty()) {
+      bitmap_ &= ~(uint64_t{1} << prio);
+    }
+    return task;
+  }
+
+  bool Remove(PolicyTask* task, int prio) {
+    if (!queues_[prio].Remove(task)) {
+      return false;
+    }
+    if (queues_[prio].empty()) {
+      bitmap_ &= ~(uint64_t{1} << prio);
+    }
+    return true;
+  }
+
+  bool empty() const { return bitmap_ == 0; }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const FifoRunqueue& q : queues_) {
+      total += q.size();
+    }
+    return total;
+  }
+
+  // Drops every queued task, keeping the level count.
+  void Clear() {
+    for (FifoRunqueue& q : queues_) {
+      q.Clear();
+    }
+    bitmap_ = 0;
+  }
+
+  int levels() const { return static_cast<int>(queues_.size()); }
+
+ private:
+  uint64_t bitmap_ = 0;
+  std::vector<FifoRunqueue> queues_;
+};
+
 }  // namespace gs
 
-#endif  // GHOST_SIM_SRC_AGENT_RUNQUEUE_H_
+#endif  // GHOST_SIM_SRC_AGENT_SDK_RUNQUEUE_H_

@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/policies/ab_test_policy.h"
 #include "src/policies/factory.h"
+#include "src/policies/predictive_shinjuku.h"
 
 namespace gs {
 namespace fleet {
@@ -376,6 +377,21 @@ void MachineSim::CollectLocal(scenario::ScenarioResult* result) {
     result->exact["ab_canary_completed"] = static_cast<int64_t>(canary.completed);
     result->exact["policy_swaps"] =
         process_ != nullptr ? static_cast<int64_t>(process_->policy_swaps()) : 0;
+  }
+  if (spec_.policy.kind == "predictive_shinjuku" && process_ != nullptr) {
+    // Pin the predictor's routing and the backstop's work exactly: a
+    // regression in classification or the demotion path shifts these
+    // counters even when the latency envelopes still pass.
+    if (auto* pred = dynamic_cast<PredictiveShinjukuPolicy*>(process_->policy())) {
+      result->exact["predicted_short"] =
+          static_cast<int64_t>(pred->predicted_short());
+      result->exact["predicted_long"] =
+          static_cast<int64_t>(pred->predicted_long());
+      result->exact["backstop_demotions"] =
+          static_cast<int64_t>(pred->backstop_demotions());
+      result->exact["predictive_preemptions"] =
+          static_cast<int64_t>(pred->preemptions());
+    }
   }
   result->exact["enclave_destroyed"] =
       enclave_ != nullptr && enclave_->destroyed() ? 1 : 0;

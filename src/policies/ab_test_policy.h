@@ -24,7 +24,7 @@
 #include "src/agent/agent_context.h"
 #include "src/agent/agent_process.h"
 #include "src/agent/dispatch_policy.h"
-#include "src/agent/runqueue.h"
+#include "src/agent/sdk/runqueue.h"
 #include "src/agent/task_table.h"
 #include "src/base/flat_map.h"
 #include "src/stats/stats.h"

@@ -267,14 +267,16 @@ AgentAction CentralizedFifoPolicy::RunAgent(AgentContext& ctx) {
   // no messages arrive. Pointless (and livelock-prone) unless someone is
   // actually waiting to rotate in.
   if (slice > 0 && queue_depth() > 0) {
-    Time earliest = kTimeNever;
+    Time earliest_since = kTimeNever;
     for (const Running& run : running_) {
       if (run.task != nullptr) {
-        earliest = std::min(earliest, run.since + slice);
+        earliest_since = std::min(earliest_since, run.since);
       }
     }
-    if (earliest != kTimeNever) {
-      ctx.RequestWakeupAt(std::max(earliest, ctx.start() + ctx.cost()));
+    if (earliest_since != kTimeNever) {
+      const Time wake = NextSliceWakeup(earliest_since, slice, ctx.start(),
+                                        options_.probe_interval);
+      ctx.RequestWakeupAt(std::max(wake, ctx.start() + ctx.cost()));
     }
   }
 

@@ -7,6 +7,8 @@
 #include "src/policies/ab_test_policy.h"
 #include "src/policies/o1.h"
 #include "src/policies/per_cpu_fifo.h"
+#include "src/policies/predictive_shinjuku.h"
+#include "src/policies/search.h"
 #include "src/policies/shinjuku.h"
 #include "src/policies/vm_core_sched.h"
 
@@ -49,12 +51,14 @@ constexpr Entry kBuilders[] = {
     {"shinjuku",
      [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
        return std::unique_ptr<Policy>(
-           MakeShinjukuPolicy(FromUs(spec.timeslice_us), GlobalCpu(spec, env)));
+           MakeShinjukuPolicy(FromUs(spec.timeslice_us), GlobalCpu(spec, env),
+                              FromUs(spec.probe_interval_us)));
      }},
     {"shinjuku_shenango",
      [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
        return std::unique_ptr<Policy>(MakeShinjukuShenangoPolicy(
-           FromUs(spec.timeslice_us), TierOf(env), GlobalCpu(spec, env)));
+           FromUs(spec.timeslice_us), TierOf(env), GlobalCpu(spec, env),
+           FromUs(spec.probe_interval_us)));
      }},
     {"snap",
      [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
@@ -78,6 +82,30 @@ constexpr Entry kBuilders[] = {
          return tier(tid) != 0 ? antagonist_prio : worker_prio;
        };
        return std::unique_ptr<Policy>(std::make_unique<O1Policy>(o));
+     }},
+    {"search",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       SearchPolicy::Options o;
+       o.global_cpu = GlobalCpu(spec, env);
+       return std::unique_ptr<Policy>(std::make_unique<SearchPolicy>(o));
+     }},
+    {"predictive_search",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       SearchPolicy::Options o;
+       o.global_cpu = GlobalCpu(spec, env);
+       o.predictive_placement = true;
+       return std::unique_ptr<Policy>(std::make_unique<SearchPolicy>(o));
+     }},
+    {"predictive_shinjuku",
+     [](const scenario::PolicySpec& spec, const PolicyEnv& env) {
+       PredictiveShinjukuPolicy::Options o;
+       o.global_cpu = GlobalCpu(spec, env);
+       o.rotation_slice = FromUs(spec.timeslice_us);
+       o.long_threshold = FromUs(spec.long_threshold_us);
+       o.backstop_multiplier = spec.backstop_multiplier;
+       o.tier_of = TierOf(env);
+       return std::unique_ptr<Policy>(
+           std::make_unique<PredictiveShinjukuPolicy>(o));
      }},
     {"ab_test",
      [](const scenario::PolicySpec&, const PolicyEnv& env) {

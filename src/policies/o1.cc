@@ -1,7 +1,5 @@
 #include "src/policies/o1.h"
 
-#include <bit>
-
 #include "src/base/logging.h"
 
 namespace gs {
@@ -14,12 +12,8 @@ O1Policy::O1Policy(Options options) : options_(std::move(options)) {
 }
 
 Duration O1Policy::TimesliceFor(int priority) const {
-  if (options_.num_priorities == 1) {
-    return options_.base_timeslice;
-  }
-  const Duration span = options_.base_timeslice - options_.min_timeslice;
-  return options_.base_timeslice -
-         span * priority / (options_.num_priorities - 1);
+  return InterpolatedTimeslice(options_.base_timeslice, options_.min_timeslice,
+                               priority, options_.num_priorities);
 }
 
 int O1Policy::ClampPriority(int prio) const {
@@ -32,36 +26,6 @@ int O1Policy::ClampPriority(int prio) const {
   return prio;
 }
 
-PolicyTask* O1Policy::PrioArray::Pop() {
-  if (bitmap == 0) {
-    return nullptr;
-  }
-  const int prio = std::countr_zero(bitmap);
-  PolicyTask* task = queues[prio].Pop();
-  if (queues[prio].empty()) {
-    bitmap &= ~(uint64_t{1} << prio);
-  }
-  return task;
-}
-
-bool O1Policy::PrioArray::Remove(PolicyTask* task, int prio) {
-  if (!queues[prio].Remove(task)) {
-    return false;
-  }
-  if (queues[prio].empty()) {
-    bitmap &= ~(uint64_t{1} << prio);
-  }
-  return true;
-}
-
-size_t O1Policy::PrioArray::size() const {
-  size_t total = 0;
-  for (const FifoRunqueue& q : queues) {
-    total += q.size();
-  }
-  return total;
-}
-
 void O1Policy::Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) {
   enclave_ = enclave;
   process_ = process;
@@ -70,8 +34,8 @@ void O1Policy::Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel)
   for (int cpu = cpus.First(); cpu >= 0; cpu = cpus.NextAfter(cpu)) {
     CpuSched& cs = cpus_[cpu];
     cs.queue = enclave->CreateQueue();
-    cs.arrays[0].queues.resize(options_.num_priorities);
-    cs.arrays[1].queues.resize(options_.num_priorities);
+    cs.arrays[0].Resize(options_.num_priorities);
+    cs.arrays[1].Resize(options_.num_priorities);
     enclave->ConfigQueueWakeup(cs.queue, process->agent_on(cpu));
     enclave->SetCpuQueue(cpu, cs.queue);
     cpu_list_.push_back(cpu);
@@ -81,12 +45,8 @@ void O1Policy::Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel)
 
 void O1Policy::Restore(const std::vector<Enclave::TaskInfo>& dump) {
   for (auto& [cpu, sched] : cpus_) {
-    for (PrioArray& array : sched.arrays) {
-      for (FifoRunqueue& q : array.queues) {
-        q.Clear();
-      }
-      array.bitmap = 0;
-    }
+    sched.arrays[0].Clear();
+    sched.arrays[1].Clear();
     sched.active = 0;
   }
   states_.clear();
@@ -120,7 +80,7 @@ O1Policy::O1Task& O1Policy::AttachState(PolicyTask* task) {
   st.prio = options_.priority_of
                 ? ClampPriority(options_.priority_of(task->tid))
                 : options_.num_priorities / 2;
-  st.remaining = TimesliceFor(st.prio);
+  st.slice.Refresh(TimesliceFor(st.prio));
   task->user = &st;
   return st;
 }
@@ -140,16 +100,7 @@ void O1Policy::CollectQueues(AgentContext& ctx, std::vector<MessageQueue*>* queu
 }
 
 void O1Policy::ChargeRuntime(AgentContext& ctx, PolicyTask* task) {
-  O1Task& st = StateOf(task);
-  if (!st.running) {
-    return;
-  }
-  st.running = false;
-  // Virtual run time since the pick. The commit landed slightly after
-  // picked_at (agent-iteration cost), so this over-charges by at most one
-  // iteration — the same direction real tick-based accounting errs.
-  const Duration elapsed = ctx.start() - st.picked_at;
-  st.remaining = st.remaining > elapsed ? st.remaining - elapsed : 0;
+  StateOf(task).slice.ChargeUntil(ctx.start());
 }
 
 void O1Policy::EnqueueRunnable(AgentContext& ctx, PolicyTask* task, bool expired,
@@ -189,17 +140,17 @@ void O1Policy::TaskWakeup(AgentContext& ctx, PolicyTask* task, const Message& ms
   // blocking forfeited the rest of the old slice; waking grants a fresh one
   // and re-entry into the active array.
   O1Task& st = StateOf(task);
-  st.remaining = TimesliceFor(st.prio);
+  st.slice.Refresh(TimesliceFor(st.prio));
   EnqueueRunnable(ctx, task, /*expired=*/false, /*front=*/false);
 }
 
 void O1Policy::TaskPreempted(AgentContext& ctx, PolicyTask* task, const Message& msg) {
   ChargeRuntime(ctx, task);
   O1Task& st = StateOf(task);
-  if (st.remaining == 0) {
+  if (st.slice.Expired()) {
     // Slice exhausted: refresh and rotate into the expired array.
     ++slice_expirations_;
-    st.remaining = TimesliceFor(st.prio);
+    st.slice.Refresh(TimesliceFor(st.prio));
     EnqueueRunnable(ctx, task, /*expired=*/true, /*front=*/false);
   } else {
     // Slice unfinished (agent preemption, higher-priority wakeup): resume at
@@ -212,7 +163,7 @@ void O1Policy::TaskYield(AgentContext& ctx, PolicyTask* task, const Message& msg
   // sched_yield under O(1): to the expired array, fresh slice.
   ChargeRuntime(ctx, task);
   O1Task& st = StateOf(task);
-  st.remaining = TimesliceFor(st.prio);
+  st.slice.Refresh(TimesliceFor(st.prio));
   EnqueueRunnable(ctx, task, /*expired=*/true, /*front=*/false);
 }
 
@@ -301,8 +252,7 @@ AgentAction O1Policy::Schedule(AgentContext& ctx) {
   if (txn.committed()) {
     next->assigned_cpu = cpu;
     next->last_cpu = cpu;
-    st.picked_at = ctx.start();
-    st.running = true;
+    st.slice.MarkPicked(ctx.start());
     ++scheduled_;
     return AgentAction::kYield;
   }

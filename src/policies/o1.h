@@ -16,8 +16,10 @@
 // gets a fresh slice and re-enters the ACTIVE array (sleepers are rewarded);
 // a task that calls sched_yield is demoted to the expired array.
 //
-// DispatchPolicy consumer: message boilerplate lives in the base class; this
-// file keeps the array bookkeeping and the slice accounting.
+// SDK consumer: message boilerplate lives in DispatchPolicy, the priority
+// arrays are sdk PrioArrayRunqueues, and slice accounting is an sdk
+// SliceBudget per task; this file keeps only the active/expired generation
+// logic and per-CPU homing that make the policy O(1)-shaped.
 #ifndef GHOST_SIM_SRC_POLICIES_O1_H_
 #define GHOST_SIM_SRC_POLICIES_O1_H_
 
@@ -28,9 +30,7 @@
 
 #include "src/agent/agent_context.h"
 #include "src/agent/agent_process.h"
-#include "src/agent/dispatch_policy.h"
-#include "src/agent/runqueue.h"
-#include "src/agent/task_table.h"
+#include "src/agent/sdk/sdk.h"
 
 namespace gs {
 
@@ -81,35 +81,14 @@ class O1Policy : public DispatchPolicy {
   // Per-task O1 state, owned here and linked from PolicyTask::user.
   struct O1Task {
     int prio = 0;
-    Duration remaining = 0;  // slice budget left in this array generation
-    int home = -1;           // owning CPU
-    int array = 0;           // which of its home's arrays it is queued in
-    Time picked_at = 0;      // when the policy last committed it
-    bool running = false;    // policy belief: on CPU since picked_at
-  };
-
-  // One priority array: FIFO per level + occupancy bitmap.
-  struct PrioArray {
-    uint64_t bitmap = 0;
-    std::vector<FifoRunqueue> queues;
-
-    void Push(PolicyTask* task, int prio, bool front) {
-      if (front) {
-        queues[prio].PushFront(task);
-      } else {
-        queues[prio].Push(task);
-      }
-      bitmap |= uint64_t{1} << prio;
-    }
-    PolicyTask* Pop();  // highest-priority head; nullptr if empty
-    bool Remove(PolicyTask* task, int prio);
-    bool empty() const { return bitmap == 0; }
-    size_t size() const;
+    SliceBudget slice;  // budget left in this array generation
+    int home = -1;      // owning CPU
+    int array = 0;      // which of its home's arrays it is queued in
   };
 
   struct CpuSched {
     MessageQueue* queue = nullptr;
-    PrioArray arrays[2];
+    PrioArrayRunqueue arrays[2];
     int active = 0;  // index of the active array; 1 - active is expired
   };
 

@@ -4,11 +4,16 @@
 
 namespace gs {
 
-SearchPolicy::SearchPolicy(Options options) : options_(options) {}
+SearchPolicy::SearchPolicy(Options options)
+    : options_(options),
+      placer_(TieredPlacer::Options{
+          .ccx_aware = options.ccx_aware,
+          .max_pending_before_migrate = options.max_pending_before_migrate}) {}
 
 void SearchPolicy::Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) {
   enclave_ = enclave;
   kernel_ = kernel;
+  placer_.Attach(kernel);
   global_cpu_ = options_.global_cpu >= 0 ? options_.global_cpu : enclave->cpus().First();
 }
 
@@ -43,6 +48,11 @@ void SearchPolicy::EnqueueRunnable(AgentContext& ctx, PolicyTask* task) {
   int64_t runtime = status != nullptr ? status->runtime : 0;
   max_runtime_seen_ = std::max(max_runtime_seen_, runtime);
   runtime = std::max(runtime, max_runtime_seen_ - sleeper_window_);
+  // The wakeup is the train point: each wakeup's eventual CCX accumulates
+  // into the tid's frequency table, so Predict() tracks the modal home.
+  if (options_.predictive_placement && task->last_cpu >= 0) {
+    affinity_.Observe(task->tid, kernel_->topology().cpu(task->last_cpu).ccx);
+  }
   task->queued = true;
   runqueue_.Push(task, runtime);
 }
@@ -68,73 +78,15 @@ void SearchPolicy::HandleMessage(AgentContext& ctx, const Message& msg) {
       if (task->queued) {
         runqueue_.Remove(task);
       }
+      if (options_.predictive_placement) {
+        affinity_.Forget(msg.tid);
+      }
       table_.Remove(msg.tid);
       break;
     case TaskTable::Event::kAffinity:
     case TaskTable::Event::kNone:
       break;
   }
-}
-
-int SearchPolicy::PickFromTier(const CpuMask& tier) const {
-  // Prefer a CPU whose SMT sibling is idle (a whole idle core), like the
-  // kernel's select_idle_core(); otherwise take any CPU in the tier.
-  const Topology& topo = kernel_->topology();
-  for (int cpu = tier.First(); cpu >= 0; cpu = tier.NextAfter(cpu)) {
-    const int sibling = topo.cpu(cpu).sibling;
-    if (sibling < 0 || kernel_->CpuIdle(sibling)) {
-      return cpu;
-    }
-  }
-  return tier.First();
-}
-
-int SearchPolicy::PickPlacement(AgentContext& ctx, const PolicyTask& task,
-                                const CpuMask& candidates) {
-  if (!options_.ccx_aware || task.last_cpu < 0) {
-    return PickFromTier(candidates);
-  }
-  const Topology& topo = kernel_->topology();
-  const CpuInfo& last = topo.cpu(task.last_cpu);
-  ctx.Charge(kernel_->cost().agent_per_task_scan);  // the 57-line heuristic
-
-  // Tier 1: same physical core (warm L1/L2).
-  CpuMask tier = candidates & topo.CoreMask(last.core);
-  if (!tier.Empty()) {
-    return tier.First();
-  }
-  // Tier 2: same CCX (warm L3).
-  tier = candidates & topo.CcxMask(last.ccx);
-  if (!tier.Empty()) {
-    return PickFromTier(tier);
-  }
-  // Tier 3: nearest-neighbour CCXs on the same socket (fan-out search).
-  const int ccxs_per_numa = topo.num_ccxs() / topo.num_numa_nodes();
-  const int numa_first_ccx = (last.ccx / ccxs_per_numa) * ccxs_per_numa;
-  for (int distance = 1; distance < ccxs_per_numa; ++distance) {
-    for (int sign : {+1, -1}) {
-      const int ccx = last.ccx + sign * distance;
-      if (ccx < numa_first_ccx || ccx >= numa_first_ccx + ccxs_per_numa) {
-        continue;
-      }
-      tier = candidates & topo.CcxMask(ccx);
-      if (!tier.Empty()) {
-        // §4.4's bespoke optimization: prefer waiting up to 100 us for the
-        // home CCX over an immediate cross-CCX migration.
-        if (ctx.start() - task.became_runnable < options_.max_pending_before_migrate) {
-          ++deferred_;
-          return -1;
-        }
-        return PickFromTier(tier);
-      }
-    }
-  }
-  // Anywhere allowed (cross-socket only if the cpumask permits it).
-  if (ctx.start() - task.became_runnable < options_.max_pending_before_migrate) {
-    ++deferred_;
-    return -1;
-  }
-  return PickFromTier(candidates);
 }
 
 AgentAction SearchPolicy::RunAgent(AgentContext& ctx) {
@@ -167,7 +119,11 @@ AgentAction SearchPolicy::RunAgent(AgentContext& ctx) {
     if (candidates.Empty()) {
       continue;  // revisit next iteration
     }
-    const int cpu = PickPlacement(ctx, *task, candidates);
+    PlacementHint hint;
+    if (options_.predictive_placement) {
+      hint.ccx = affinity_.Predict(task->tid);
+    }
+    const int cpu = placer_.Pick(ctx, *task, candidates, hint);
     if (cpu < 0) {
       continue;  // deferred for cache warmth
     }

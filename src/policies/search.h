@@ -9,14 +9,19 @@
 //  * Placement searches inside-out from where the thread last ran: same
 //    L1/L2 (core), then CCX (L3), then nearest-neighbour CCX, then the
 //    socket — "to avoid expensive thread migration costs due to high
-//    inter-CCX communication latencies".
+//    inter-CCX communication latencies". That search is the SDK's
+//    TieredPlacer (src/agent/sdk/placement.h), including §4.4's bespoke
+//    keep-pending-up-to-100us optimization.
 //  * NUMA preferences arrive as cpumasks via sched_setaffinity /
 //    THREAD_CREATED messages; the agent intersects them with the idle set
 //    and skips threads whose preferred CPUs are busy, revisiting them on the
 //    next loop iteration.
-//  * The bespoke optimization found through rapid iteration: if a thread's
-//    preferred CCX is unavailable, keep it pending up to 100 us rather than
-//    migrating it immediately.
+//
+// Predictive placement (ROADMAP item 4): with Options::predictive_placement
+// a WakeupAffinityPredictor learns each thread's modal CCX from where it
+// actually runs; when a thread has drifted off its home CCX (migrated under
+// pressure) the prediction pulls it back to its warm-history CCX instead of
+// fanning out blindly from the drifted position.
 #ifndef GHOST_SIM_SRC_POLICIES_SEARCH_H_
 #define GHOST_SIM_SRC_POLICIES_SEARCH_H_
 
@@ -24,8 +29,8 @@
 
 #include "src/agent/agent_context.h"
 #include "src/agent/policy.h"
-#include "src/agent/runqueue.h"
-#include "src/agent/task_table.h"
+#include "src/agent/sdk/sdk.h"
+#include "src/predict/estimators.h"
 
 namespace gs {
 
@@ -39,29 +44,29 @@ class SearchPolicy : public Policy {
     // (0 = migrate immediately).
     Duration max_pending_before_migrate = Microseconds(100);
     bool use_tseq = true;
+    // Feed TieredPlacer CCX hints from a per-tid wakeup-affinity predictor.
+    bool predictive_placement = false;
   };
 
   SearchPolicy() : SearchPolicy(Options()) {}
   explicit SearchPolicy(Options options);
 
-  const char* name() const override { return "search"; }
+  const char* name() const override {
+    return options_.predictive_placement ? "predictive-search" : "search";
+  }
   void Attached(AgentProcess* process, Enclave* enclave, Kernel* kernel) override;
   void Restore(const std::vector<Enclave::TaskInfo>& dump) override;
   AgentAction RunAgent(AgentContext& ctx) override;
 
   uint64_t scheduled() const { return scheduled_; }
-  uint64_t deferred_for_warmth() const { return deferred_; }
+  uint64_t deferred_for_warmth() const { return placer_.deferred(); }
   uint64_t txn_failures() const { return txn_failures_; }
+  uint64_t hint_hits() const { return placer_.hint_hits(); }
   int RunqueueDepth() const override { return static_cast<int>(runqueue_.size()); }
 
  private:
   void HandleMessage(AgentContext& ctx, const Message& msg);
   void EnqueueRunnable(AgentContext& ctx, PolicyTask* task);
-  // Chooses a CPU from `candidates` by placement tier relative to where
-  // `task` last ran; -1 = defer (wait for a warmer CPU).
-  int PickPlacement(AgentContext& ctx, const PolicyTask& task, const CpuMask& candidates);
-  // Within a tier, prefer a CPU on a fully idle core.
-  int PickFromTier(const CpuMask& tier) const;
 
   Options options_;
   Enclave* enclave_ = nullptr;
@@ -70,6 +75,8 @@ class SearchPolicy : public Policy {
 
   TaskTable table_;
   MinRunqueue runqueue_;  // keyed by elapsed runtime (with sleeper floor)
+  TieredPlacer placer_;
+  predict::WakeupAffinityPredictor affinity_;
   int64_t max_runtime_seen_ = 0;
   // Sleeper-floor window: effectively unbounded reproduces the paper's plain
   // least-runtime heap; benchmarks may tighten it.
@@ -84,7 +91,6 @@ class SearchPolicy : public Policy {
   std::vector<Transaction*> scratch_txn_ptrs_;
 
   uint64_t scheduled_ = 0;
-  uint64_t deferred_ = 0;
   uint64_t txn_failures_ = 0;
 };
 

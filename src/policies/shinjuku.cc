@@ -3,19 +3,23 @@
 namespace gs {
 
 std::unique_ptr<CentralizedFifoPolicy> MakeShinjukuPolicy(Duration timeslice,
-                                                          int global_cpu) {
+                                                          int global_cpu,
+                                                          Duration probe_interval) {
   CentralizedFifoPolicy::Options options;
   options.global_cpu = global_cpu;
   options.preemption_timeslice = timeslice;
+  options.probe_interval = probe_interval;
   return std::make_unique<CentralizedFifoPolicy>(options);
 }
 
 std::unique_ptr<CentralizedFifoPolicy> MakeShinjukuShenangoPolicy(
-    Duration timeslice, std::function<int(int64_t)> tier_of, int global_cpu) {
+    Duration timeslice, std::function<int(int64_t)> tier_of, int global_cpu,
+    Duration probe_interval) {
   CentralizedFifoPolicy::Options options;
   options.global_cpu = global_cpu;
   options.preemption_timeslice = timeslice;
   options.tier_of = std::move(tier_of);
+  options.probe_interval = probe_interval;
   return std::make_unique<CentralizedFifoPolicy>(options);
 }
 

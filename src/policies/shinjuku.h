@@ -15,15 +15,20 @@
 namespace gs {
 
 // §4.2: centralized, preemptive FIFO with the Shinjuku 30 µs timeslice.
+// probe_interval > 0 wakes the agent on a fixed probe cadence instead of
+// tracking exact per-request expiries (scenario key:
+// policy.probe_interval_us); 0 keeps exact tracking.
 std::unique_ptr<CentralizedFifoPolicy> MakeShinjukuPolicy(Duration timeslice,
-                                                          int global_cpu = -1);
+                                                          int global_cpu = -1,
+                                                          Duration probe_interval = 0);
 
 // §4.2: Shinjuku + Shenango-style batch sharing — idle cycles go to threads
 // classified as batch (tier 1), which latency-critical wakeups preempt
 // immediately. "Merely 17 more lines of code" in the paper; one classifier
 // hook here.
 std::unique_ptr<CentralizedFifoPolicy> MakeShinjukuShenangoPolicy(
-    Duration timeslice, std::function<int(int64_t)> tier_of, int global_cpu = -1);
+    Duration timeslice, std::function<int(int64_t)> tier_of, int global_cpu = -1,
+    Duration probe_interval = 0);
 
 // §4.3: the Snap policy — centralized FIFO giving Snap packet-processing
 // workers strict priority over antagonist threads, no timeslice (workers

@@ -23,7 +23,7 @@
 #include "src/agent/agent_context.h"
 #include "src/agent/agent_process.h"
 #include "src/agent/policy.h"
-#include "src/agent/runqueue.h"
+#include "src/agent/sdk/runqueue.h"
 #include "src/agent/task_table.h"
 
 namespace gs {

@@ -1,0 +1,120 @@
+#include "src/predict/estimators.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/base/logging.h"
+
+namespace gs {
+namespace predict {
+
+ServiceTimePredictor::ServiceTimePredictor(Options options)
+    : options_(options) {
+  CHECK(options_.num_classes >= 1 && options_.num_classes <= 64)
+      << "ServiceTimePredictor: num_classes must be in [1, 64], got "
+      << options_.num_classes;
+}
+
+int ServiceTimePredictor::ClassOf(Duration service) const {
+  if (service <= 0) {
+    return 0;
+  }
+  // log2 of the duration in whole microseconds: <2 µs -> 0, ~10 µs -> 4,
+  // ~100 µs -> 7, ~10 ms -> 14.
+  const uint64_t us = static_cast<uint64_t>(service) / 1000;
+  const int cls = us == 0 ? 0 : std::bit_width(us);
+  return std::min(cls, options_.num_classes - 1);
+}
+
+void ServiceTimePredictor::Observe(int64_t tid, Duration service) {
+  TidState& st = states_[tid];
+  if (st.transitions.empty()) {
+    const size_t n = static_cast<size_t>(options_.num_classes);
+    st.transitions.assign(n * n, 0);
+    st.class_service.assign(n, Ewma(options_.class_alpha));
+  }
+  const int cls = ClassOf(service);
+  st.class_service[cls].Observe(static_cast<double>(service));
+  if (st.last_class >= 0) {
+    uint32_t& count =
+        st.transitions[st.last_class * options_.num_classes + cls];
+    if (count == UINT32_MAX) {
+      // Saturate by halving the row, keeping relative frequencies.
+      for (int to = 0; to < options_.num_classes; ++to) {
+        st.transitions[st.last_class * options_.num_classes + to] /= 2;
+      }
+    }
+    ++count;
+  }
+  st.last_class = cls;
+}
+
+int ServiceTimePredictor::ArgmaxTransition(const TidState& st, int from) const {
+  int best = -1;
+  uint32_t best_count = 0;
+  for (int to = 0; to < options_.num_classes; ++to) {
+    const uint32_t count = st.transitions[from * options_.num_classes + to];
+    if (count > best_count) {
+      best_count = count;
+      best = to;
+    }
+  }
+  return best;
+}
+
+Duration ServiceTimePredictor::Predict(int64_t tid) const {
+  auto it = states_.find(tid);
+  if (it == states_.end() || it->second.last_class < 0) {
+    return options_.default_prediction;
+  }
+  const TidState& st = it->second;
+  int cls = ArgmaxTransition(st, st.last_class);
+  if (cls < 0) {
+    // One observation, no transition yet: predict a repeat.
+    cls = st.last_class;
+  }
+  const Ewma& service = st.class_service[cls];
+  if (service.initialized()) {
+    return static_cast<Duration>(service.value());
+  }
+  // Transition into a class we never timed (halving artifacts): fall back to
+  // the geometric center of the class bucket.
+  const uint64_t us = cls == 0 ? 1 : (uint64_t{1} << cls);
+  return static_cast<Duration>(us) * 1000;
+}
+
+void ServiceTimePredictor::Forget(int64_t tid) { states_.erase(tid); }
+
+void WakeupAffinityPredictor::Observe(int64_t tid, int node) {
+  if (node < 0) {
+    return;
+  }
+  std::vector<uint32_t>& counts = states_[tid];
+  if (counts.size() <= static_cast<size_t>(node)) {
+    counts.resize(static_cast<size_t>(node) + 1, 0);
+  }
+  if (++counts[node] >= options_.decay_limit) {
+    for (uint32_t& c : counts) {
+      c /= 2;
+    }
+  }
+}
+
+int WakeupAffinityPredictor::Predict(int64_t tid) const {
+  auto it = states_.find(tid);
+  if (it == states_.end()) {
+    return -1;
+  }
+  int best = -1;
+  uint32_t best_count = 0;
+  for (size_t node = 0; node < it->second.size(); ++node) {
+    if (it->second[node] > best_count) {
+      best_count = it->second[node];
+      best = static_cast<int>(node);
+    }
+  }
+  return best;
+}
+
+}  // namespace predict
+}  // namespace gs

@@ -1,0 +1,132 @@
+// Online predictors for the predictive policy family (ROADMAP item 4,
+// KernelOracle direction): cheap, dependency-free estimators over the
+// per-thread signals a ghOSt agent already observes — status-word runtime
+// deltas (service time) and committed placements (wakeup affinity).
+//
+// Contract (what policies may rely on):
+//  * Deterministic: identical observation sequences give identical
+//    predictions — no clocks, no randomness, no global state. Predictions
+//    are therefore byte-identical across --jobs and across runs.
+//  * O(1) per Observe/Predict with bounded per-tid memory, so a predictor
+//    can sit on the agent's message hot path.
+//  * Cold-start explicit: predictors return a caller-supplied default (or
+//    -1 for affinity) until they have seen data for the tid; they never
+//    fabricate a confident answer from nothing.
+//  * Forget(tid) drops all state for a departed thread.
+#ifndef GHOST_SIM_SRC_PREDICT_ESTIMATORS_H_
+#define GHOST_SIM_SRC_PREDICT_ESTIMATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace gs {
+namespace predict {
+
+// Exponentially weighted moving average. alpha is the weight of the newest
+// sample; the first sample initializes the average directly.
+class Ewma {
+ public:
+  Ewma() = default;
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void Observe(double sample) {
+    value_ = initialized_ ? alpha_ * sample + (1.0 - alpha_) * value_ : sample;
+    initialized_ = true;
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_ = 0.25;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+// Per-tid Markov service-time predictor.
+//
+// Service times are quantized into log2 classes (1 µs granularity: class 0
+// is <2 µs, class 4 ≈ 10 µs, class 14 ≈ 10 ms). Per tid it keeps a Markov
+// transition count matrix over classes plus a per-class EWMA of the actual
+// durations observed in that class. Predict() follows the most-frequent
+// transition out of the last observed class and returns that target class's
+// EWMA — so a thread alternating short/long request types is predicted
+// correctly where a plain EWMA would smear the two modes together.
+class ServiceTimePredictor {
+ public:
+  struct Options {
+    int num_classes = 16;           // log2 buckets above 1 µs
+    double class_alpha = 0.25;      // per-class duration EWMA weight
+    Duration default_prediction = Microseconds(10);  // before any data
+  };
+
+  ServiceTimePredictor() : ServiceTimePredictor(Options()) {}
+  explicit ServiceTimePredictor(Options options);
+
+  // Records one completed service interval for `tid`.
+  void Observe(int64_t tid, Duration service);
+
+  // Predicted next service time for `tid`; options.default_prediction until
+  // the tid has been observed at least once.
+  Duration Predict(int64_t tid) const;
+
+  // The log2 service class a duration falls into (exposed for tests and for
+  // policies that threshold on class rather than duration).
+  int ClassOf(Duration service) const;
+
+  void Forget(int64_t tid);
+  size_t tracked() const { return states_.size(); }
+
+ private:
+  struct TidState {
+    int last_class = -1;
+    std::vector<uint32_t> transitions;  // [from * num_classes + to] counts
+    std::vector<Ewma> class_service;    // per-class observed duration
+  };
+
+  // Most-frequent next class out of `from` (ties to the smaller class for
+  // determinism); -1 if no transition out of `from` has been seen.
+  int ArgmaxTransition(const TidState& st, int from) const;
+
+  Options options_;
+  std::map<int64_t, TidState> states_;
+};
+
+// Next-wakeup CPU-affinity predictor: per tid, a frequency table over nodes
+// (CCX indices for L3 placement; CPU ids work too) with periodic halving so
+// the table adapts after a thread's home moves. Predict() returns the modal
+// node, ties to the smaller index; -1 until the tid has been observed.
+class WakeupAffinityPredictor {
+ public:
+  struct Options {
+    // Halve all of a tid's counts when its max count reaches this, so old
+    // homes decay with a half-life of ~decay_limit observations.
+    uint32_t decay_limit = 64;
+  };
+
+  WakeupAffinityPredictor() : WakeupAffinityPredictor(Options()) {}
+  explicit WakeupAffinityPredictor(Options options) : options_(options) {}
+
+  // Records that `tid` ran on `node` (call at wakeup with where it last ran,
+  // or post-commit with where it was placed).
+  void Observe(int64_t tid, int node);
+
+  // Modal node for `tid`; -1 if unknown.
+  int Predict(int64_t tid) const;
+
+  void Forget(int64_t tid) { states_.erase(tid); }
+  size_t tracked() const { return states_.size(); }
+
+ private:
+  Options options_;
+  std::map<int64_t, std::vector<uint32_t>> states_;  // tid -> per-node counts
+};
+
+}  // namespace predict
+}  // namespace gs
+
+#endif  // GHOST_SIM_SRC_PREDICT_ESTIMATORS_H_

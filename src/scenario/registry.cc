@@ -345,6 +345,28 @@ constexpr Builtin kBuiltins[] = {
   "invariants": {"enabled": true, "period_us": 250, "ghost_starvation_bound_ms": 40}
 })json"},
 
+    // Predictive Shinjuku under an adversarial bimodal mix: 10% of requests
+    // are longs, so the per-tid predictor mispredicts constantly at first
+    // and every long classified short must be caught by the backstop and
+    // demoted to the long lane. The golden pins the demotion/preemption
+    // counters alongside the latency envelopes — a regression in the
+    // backstop path shows up as a counter shift even when tails survive.
+    {"predictive_mispredict_storm", R"json({
+  "name": "predictive_mispredict_storm",
+  "description": "Predictive Shinjuku vs adversarial bimodal: backstop catches mispredicted longs",
+  "seed": 42,
+  "warmup_ms": 10, "measure_ms": 80, "drain_ms": 30,
+  "topology": {"preset": "custom", "sockets": 1, "cores_per_socket": 4, "smt": 2, "cores_per_ccx": 4},
+  "policy": {"kind": "predictive_shinjuku", "timeslice_us": 30,
+             "long_threshold_us": 100, "backstop_multiplier": 4},
+  "enclave": {"cpu_first": 1},
+  "workload": {
+    "kind": "request_service", "num_workers": 40,
+    "service": {"model": "bimodal", "short_us": 10, "long_us": 1000, "p_long": 0.1},
+    "phases": [{"duration_ms": 100, "qps": 20000}]
+  }
+})json"},
+
     // Policy-fuzzer smoke: a small deterministic sweep of generated hostile
     // policies through the fuzz harness, pinning "the mechanism layer
     // survives every one of them" as a golden (CI's wide sweeps run through

@@ -195,14 +195,18 @@ void ParsePolicy(const JsonValue& v, const std::string& path, PolicySpec* out,
   ObjectReader r(v, path, error);
   r.String("kind", &out->kind);
   static constexpr std::initializer_list<const char*> kKinds = {
-      "centralized_fifo", "shinjuku",      "shinjuku_shenango",
-      "snap",             "per_cpu_fifo",  "o1",
-      "vm_core_sched",    "ab_test",       "cfs"};
+      "centralized_fifo",    "shinjuku",          "shinjuku_shenango",
+      "snap",                "per_cpu_fifo",      "o1",
+      "search",              "predictive_shinjuku", "predictive_search",
+      "vm_core_sched",       "ab_test",           "cfs"};
   if (r.ok() && !OneOf(out->kind, kKinds)) {
     r.Fail(BadEnum(r.Path("kind"), out->kind, kKinds));
   }
   r.Int("global_cpu", &out->global_cpu);
   r.Double("timeslice_us", &out->timeslice_us);
+  r.Double("probe_interval_us", &out->probe_interval_us);
+  r.Double("long_threshold_us", &out->long_threshold_us);
+  r.Int("backstop_multiplier", &out->backstop_multiplier);
   r.Int("num_priorities", &out->num_priorities);
   r.Double("base_timeslice_ms", &out->base_timeslice_ms);
   r.Double("min_timeslice_ms", &out->min_timeslice_ms);
@@ -215,6 +219,15 @@ void ParsePolicy(const JsonValue& v, const std::string& path, PolicySpec* out,
   if (r.ok() && out->min_timeslice_ms > out->base_timeslice_ms) {
     r.Fail(ObjectReader::Quote(r.Path("min_timeslice_ms")) + " must be <= " +
            ObjectReader::Quote(r.Path("base_timeslice_ms")));
+  }
+  if (r.ok() && out->probe_interval_us < 0) {
+    r.Fail(ObjectReader::Quote(r.Path("probe_interval_us")) + " must be >= 0");
+  }
+  if (r.ok() && out->long_threshold_us <= 0) {
+    r.Fail(ObjectReader::Quote(r.Path("long_threshold_us")) + " must be > 0");
+  }
+  if (r.ok() && out->backstop_multiplier < 1) {
+    r.Fail(ObjectReader::Quote(r.Path("backstop_multiplier")) + " must be >= 1");
   }
   r.Finish();
 }
@@ -741,6 +754,9 @@ void RenderPolicy(JsonWriter& w, const PolicySpec& policy) {
   w.KV("kind", policy.kind);
   w.KV("global_cpu", policy.global_cpu);
   w.KV("timeslice_us", policy.timeslice_us);
+  w.KV("probe_interval_us", policy.probe_interval_us);
+  w.KV("long_threshold_us", policy.long_threshold_us);
+  w.KV("backstop_multiplier", policy.backstop_multiplier);
   w.KV("num_priorities", policy.num_priorities);
   w.KV("base_timeslice_ms", policy.base_timeslice_ms);
   w.KV("min_timeslice_ms", policy.min_timeslice_ms);

@@ -7,7 +7,7 @@
 
 #include "src/agent/agent_process.h"
 #include "src/agent/dispatch_policy.h"
-#include "src/agent/runqueue.h"
+#include "src/agent/sdk/runqueue.h"
 #include "src/base/rng.h"
 #include "src/ghost/machine.h"
 #include "src/policies/per_cpu_fifo.h"

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/agent/agent_process.h"
-#include "src/agent/runqueue.h"
+#include "src/agent/sdk/runqueue.h"
 #include "src/agent/task_table.h"
 #include "src/ghost/machine.h"
 #include "src/policies/search.h"

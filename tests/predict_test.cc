@@ -1,0 +1,233 @@
+// Tests for the src/predict/ online estimators: the contract the predictive
+// policies rely on — deterministic predictions, convergence on stationary
+// mixes (train/eval split), bounded error after a distribution shift, and
+// byte-identical behavior regardless of how many BatchRunner jobs replay the
+// same observation stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/predict/estimators.h"
+#include "src/sim/batch_runner.h"
+
+namespace gs {
+namespace predict {
+namespace {
+
+// --- Ewma ----------------------------------------------------------------------
+
+TEST(EwmaTest, FirstSampleInitializesDirectly) {
+  Ewma e(0.25);
+  EXPECT_FALSE(e.initialized());
+  e.Observe(100);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 100);
+}
+
+TEST(EwmaTest, ConvergesToStationaryMean) {
+  Ewma e(0.25);
+  for (int i = 0; i < 100; ++i) {
+    e.Observe(42);
+  }
+  EXPECT_DOUBLE_EQ(e.value(), 42);
+
+  // After a level shift the estimate tracks the new level geometrically:
+  // within ~17 samples (log(0.01)/log(0.75)) it is inside 1% of the range.
+  for (int i = 0; i < 17; ++i) {
+    e.Observe(142);
+  }
+  EXPECT_GT(e.value(), 141);
+  EXPECT_LE(e.value(), 142);
+}
+
+// --- ServiceTimePredictor -------------------------------------------------------
+
+TEST(ServiceTimePredictorTest, ColdStartReturnsDefault) {
+  ServiceTimePredictor p({.default_prediction = Microseconds(7)});
+  EXPECT_EQ(p.Predict(1), Microseconds(7));
+  EXPECT_EQ(p.tracked(), 0u);
+}
+
+TEST(ServiceTimePredictorTest, ClassOfIsLogarithmic) {
+  ServiceTimePredictor p;
+  EXPECT_EQ(p.ClassOf(Microseconds(0)), 0);
+  EXPECT_EQ(p.ClassOf(Microseconds(1)), 1);
+  EXPECT_EQ(p.ClassOf(Microseconds(10)), 4);
+  EXPECT_EQ(p.ClassOf(Microseconds(100)), 7);
+  EXPECT_EQ(p.ClassOf(Milliseconds(10)), 14);
+  // Saturates at the top class rather than indexing out of range.
+  EXPECT_EQ(p.ClassOf(Seconds(100)), 15);
+}
+
+TEST(ServiceTimePredictorTest, ConvergesOnStationaryFixedService) {
+  ServiceTimePredictor p;
+  for (int i = 0; i < 50; ++i) {
+    p.Observe(5, Microseconds(10));
+  }
+  EXPECT_EQ(p.Predict(5), Microseconds(10));
+}
+
+TEST(ServiceTimePredictorTest, LearnsAlternatingPatternEwmaCannot) {
+  // A thread strictly alternating 10 us and 10 ms requests: the Markov
+  // transition matrix pins short -> long -> short, so each prediction is the
+  // *other* mode — a plain EWMA would smear both modes into ~5 ms and be
+  // wrong for every request.
+  ServiceTimePredictor p;
+  for (int i = 0; i < 40; ++i) {
+    p.Observe(9, i % 2 == 0 ? Microseconds(10) : Milliseconds(10));
+  }
+  // Last observation was long (i=39), so the next is predicted short...
+  EXPECT_LT(p.Predict(9), Microseconds(20));
+  // ...and after one more short, the next is predicted long.
+  p.Observe(9, Microseconds(10));
+  EXPECT_GT(p.Predict(9), Milliseconds(5));
+}
+
+TEST(ServiceTimePredictorTest, TrainEvalSplitOnStationaryMix) {
+  // Train on the first 2000 draws of a stationary bimodal mix, then
+  // evaluate on the next 500 without further training. The mix is heavily
+  // short-dominated (the Fig 6 shape), so the converged predictor must
+  // classify the overwhelming majority of eval draws on the correct side of
+  // the 100 us threshold.
+  constexpr Duration kShort = Microseconds(10);
+  constexpr Duration kLong = Milliseconds(10);
+  constexpr Duration kThreshold = Microseconds(100);
+  ServiceTimePredictor p;
+  Rng rng(42);
+  auto draw = [&] { return rng.NextBernoulli(0.05) ? kLong : kShort; };
+  for (int i = 0; i < 2000; ++i) {
+    p.Observe(3, draw());
+  }
+  int correct = 0, total = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Duration actual = draw();
+    const Duration predicted = p.Predict(3);
+    correct += (predicted >= kThreshold) == (actual >= kThreshold);
+    ++total;
+    p.Observe(3, actual);  // online: eval then train, like the policy does
+  }
+  // An iid 5%-long mix caps any single-class predictor at 95% accuracy;
+  // require most of that headroom.
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST(ServiceTimePredictorTest, BoundedErrorAfterDistributionShift) {
+  // The workload shifts from 10 us requests to 400 us requests. The
+  // predictor must re-converge: within 20 post-shift observations the
+  // prediction lands within 25% of the new mode, and stays there.
+  ServiceTimePredictor p;
+  for (int i = 0; i < 200; ++i) {
+    p.Observe(4, Microseconds(10));
+  }
+  EXPECT_EQ(p.Predict(4), Microseconds(10));
+  for (int i = 0; i < 20; ++i) {
+    p.Observe(4, Microseconds(400));
+  }
+  for (int i = 0; i < 50; ++i) {
+    p.Observe(4, Microseconds(400));
+    const double err =
+        std::abs(ToSeconds(p.Predict(4)) - 400e-6) / 400e-6;
+    EXPECT_LT(err, 0.25) << "observation " << i << " after shift";
+  }
+}
+
+TEST(ServiceTimePredictorTest, ForgetDropsState) {
+  ServiceTimePredictor p;
+  p.Observe(11, Microseconds(50));
+  EXPECT_EQ(p.tracked(), 1u);
+  p.Forget(11);
+  EXPECT_EQ(p.tracked(), 0u);
+  EXPECT_EQ(p.Predict(11), ServiceTimePredictor::Options().default_prediction);
+}
+
+TEST(ServiceTimePredictorTest, TidsAreIndependent) {
+  ServiceTimePredictor p;
+  for (int i = 0; i < 20; ++i) {
+    p.Observe(1, Microseconds(10));
+    p.Observe(2, Milliseconds(10));
+  }
+  EXPECT_LT(p.Predict(1), Microseconds(100));
+  EXPECT_GT(p.Predict(2), Milliseconds(1));
+}
+
+// --- WakeupAffinityPredictor ----------------------------------------------------
+
+TEST(WakeupAffinityPredictorTest, ColdStartIsUnknown) {
+  WakeupAffinityPredictor p;
+  EXPECT_EQ(p.Predict(1), -1);
+}
+
+TEST(WakeupAffinityPredictorTest, PredictsModalNode) {
+  WakeupAffinityPredictor p;
+  for (int i = 0; i < 8; ++i) {
+    p.Observe(1, 3);
+  }
+  p.Observe(1, 5);
+  EXPECT_EQ(p.Predict(1), 3);
+}
+
+TEST(WakeupAffinityPredictorTest, DecayAdaptsToNewHome) {
+  // A thread lives on node 2 for a long time, then migrates to node 6. With
+  // halving at decay_limit the old home's lead decays; the new home takes
+  // over within ~2x the old count rather than needing to outnumber the
+  // whole history.
+  WakeupAffinityPredictor p({.decay_limit = 16});
+  for (int i = 0; i < 100; ++i) {
+    p.Observe(1, 2);
+  }
+  EXPECT_EQ(p.Predict(1), 2);
+  for (int i = 0; i < 32; ++i) {
+    p.Observe(1, 6);
+  }
+  EXPECT_EQ(p.Predict(1), 6);
+}
+
+// --- Determinism across BatchRunner jobs ----------------------------------------
+
+// Replays an identical observation stream into a fresh predictor and
+// serializes every prediction along the way. The digest depends only on the
+// stream, never on scheduling, so any two replays must match byte for byte.
+std::string PredictionDigest(uint64_t seed) {
+  ServiceTimePredictor service;
+  WakeupAffinityPredictor affinity;
+  Rng rng(seed);
+  std::string digest;
+  for (int i = 0; i < 3000; ++i) {
+    const int64_t tid = static_cast<int64_t>(rng.NextBounded(16));
+    const Duration s = rng.NextBernoulli(0.1) ? Milliseconds(1)
+                                              : Microseconds(1 + rng.NextBounded(50));
+    service.Observe(tid, s);
+    affinity.Observe(tid, static_cast<int>(rng.NextBounded(8)));
+    if (i % 7 == 0) {
+      digest += std::to_string(service.Predict(tid)) + ":" +
+                std::to_string(affinity.Predict(tid)) + ";";
+    }
+  }
+  return digest;
+}
+
+TEST(PredictDeterminismTest, ByteIdenticalAcrossJobs) {
+  // 8 replays of the same 4 seeds, fanned across 1 worker vs 8 workers:
+  // every corresponding digest must be identical. This is the property that
+  // keeps BENCH_predict.json and the scenario goldens --jobs-independent.
+  const auto digest_fn = [](int k) { return PredictionDigest(100 + k % 4); };
+  const std::vector<std::string> serial =
+      BatchRunner(1).Map<std::string>(8, digest_fn);
+  const std::vector<std::string> parallel =
+      BatchRunner(8).Map<std::string>(8, digest_fn);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "replay " << i;
+    EXPECT_EQ(serial[i], serial[i % 4]) << "same seed, same digest";
+  }
+  EXPECT_NE(serial[0], serial[1]);  // different seeds actually differ
+}
+
+}  // namespace
+}  // namespace predict
+}  // namespace gs
